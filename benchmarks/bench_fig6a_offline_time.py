@@ -1,0 +1,37 @@
+"""Figure 6(a): offline phase running time.
+
+Paper: offline time vs (index threshold β, graph size) for L = 1, 2, 3.
+Expected shape: time grows ~10–14x from L=1 to L=2 and ~7–30x from L=2
+to L=3; lower β (more indexed paths) is slower; growth with graph size
+is superlinear at higher L.
+
+Scale substitution: graph sizes 100–400 references stand in for the
+paper's 50k–1m (pure-Python constant factors; all workload ratios kept).
+"""
+
+import pytest
+
+from benchmarks import harness
+from repro.index import build_path_index
+
+SIZES = (100, 200, 400)
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("beta", harness.OFFLINE_BETAS)
+@pytest.mark.parametrize("size", SIZES)
+def test_offline_build_time(benchmark, size, beta, max_length):
+    peg = harness.synthetic_peg(num_references=size)
+
+    def build():
+        return build_path_index(peg, max_length=max_length, beta=beta)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["paths"] = index.num_paths()
+    benchmark.extra_info["size_bytes"] = index.size_bytes()
+    harness.report(
+        "fig6a_offline_time",
+        "# size beta L seconds paths",
+        [(size, beta, max_length,
+          f"{benchmark.stats.stats.mean:.4f}", index.num_paths())],
+    )

@@ -1,0 +1,46 @@
+"""Figure 6(b): path index size.
+
+Paper: index size vs (β, graph size) for L = 1, 2, 3. Expected shape:
+size multiplies by ~30x per unit of L (the index grows linearly with the
+graph at L=1, quadratically at L=2, cubically at L=3) and grows as β
+drops.
+
+The timed quantity here is a representative index *lookup* (size is not
+a timing); the regenerated figure values are the ``size_bytes`` /
+``paths`` series written to ``benchmarks/results/fig6b_index_size.txt``.
+"""
+
+import functools
+
+import pytest
+
+from benchmarks import harness
+from repro.index import build_path_index
+
+SIZES = (100, 200, 400)
+
+
+@functools.lru_cache(maxsize=None)
+def cached_index(size, beta, max_length):
+    peg = harness.synthetic_peg(num_references=size)
+    return build_path_index(peg, max_length=max_length, beta=beta)
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("beta", harness.OFFLINE_BETAS)
+@pytest.mark.parametrize("size", SIZES)
+def test_index_size_and_lookup(benchmark, size, beta, max_length):
+    index = cached_index(size, beta, max_length)
+    peg = harness.synthetic_peg(num_references=size)
+    sigma = sorted(peg.sigma)
+    sequence = tuple(sigma[i % len(sigma)] for i in range(max_length + 1))
+
+    benchmark(lambda: index.lookup(sequence, max(beta, 0.7)))
+    benchmark.extra_info["size_bytes"] = index.size_bytes()
+    benchmark.extra_info["paths"] = index.num_paths()
+    harness.report(
+        "fig6b_index_size",
+        "# size beta L bytes paths sequences",
+        [(size, beta, max_length, index.size_bytes(), index.num_paths(),
+          index.num_sequences())],
+    )

@@ -1,0 +1,54 @@
+"""Figure 6(c): online running time vs query size.
+
+Paper: q(3,3) … q(15,60) on the 100k graph, α = 0.7, comparing the
+optimized approach at L = 1, 2, 3 against the Random-decomposition and
+No-search-space-reduction baselines (both at L = 3). Expected shape:
+optimized L=3 wins overall; L=2 beats L=1 on small queries; the ablated
+baselines trail the optimized configuration.
+
+Scale substitution: 400-reference graph; each measurement averages
+three random queries of the given size (paper averages five).
+"""
+
+import pytest
+
+from benchmarks import harness
+from repro.query import QueryOptions
+
+ALPHA = 0.7
+QUERY_SIZES = [(3, 3), (5, 10), (7, 21), (9, 36), (11, 44), (13, 52), (15, 60)]
+
+VARIANTS = {
+    "optimized-L1": (1, None),
+    "optimized-L2": (2, None),
+    "optimized-L3": (3, None),
+    "random-decomp-L3": (3, QueryOptions(decomposition="random", seed=3)),
+    "no-ss-reduction-L3": (
+        3,
+        QueryOptions(
+            use_structure_reduction=False, use_upperbound_reduction=False
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+@pytest.mark.parametrize("size", QUERY_SIZES, ids=lambda s: f"q{s[0]}-{s[1]}")
+def test_query_size(benchmark, size, variant):
+    max_length, options = VARIANTS[variant]
+    engine = harness.synthetic_engine(max_length=max_length, beta=0.5)
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, ALPHA, options),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    benchmark.extra_info["matches"] = matches
+    harness.report(
+        "fig6c_query_size",
+        "# nodes edges variant seconds_per_query matches",
+        [(size[0], size[1], variant,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

@@ -1,0 +1,38 @@
+"""Figure 6(e): online running time vs degree of uncertainty (5-node).
+
+Paper: the fraction of uncertain references/relations/reference-sets is
+swept from 20% to 80%; queries q(5,5) and q(5,9), α = 0.7. Expected
+shape: L=3 always ahead; L=2 overtakes L=1 for uncertainty above 20%
+(more uncertainty ⇒ better pruning from longer indexed paths).
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHA = 0.7
+UNCERTAINTIES = (0.2, 0.4, 0.6, 0.8)
+QUERIES = [(5, 5), (5, 9)]
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("size", QUERIES, ids=lambda s: f"q{s[0]}-{s[1]}")
+@pytest.mark.parametrize("uncertainty", UNCERTAINTIES)
+def test_uncertainty_q5(benchmark, uncertainty, size, max_length):
+    engine = harness.synthetic_engine(
+        uncertainty=uncertainty, max_length=max_length, beta=0.5
+    )
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, ALPHA),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    harness.report(
+        "fig6e_uncertainty_q5",
+        "# uncertainty nodes edges L seconds_per_query matches",
+        [(uncertainty, size[0], size[1], max_length,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

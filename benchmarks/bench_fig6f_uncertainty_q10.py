@@ -1,0 +1,36 @@
+"""Figure 6(f): online running time vs degree of uncertainty (10-node).
+
+Same sweep as Figure 6(e) with queries q(10,20) and q(10,40) — the
+larger queries amplify the pruning benefit of longer indexed paths.
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHA = 0.7
+UNCERTAINTIES = (0.2, 0.4, 0.6, 0.8)
+QUERIES = [(10, 20), (10, 40)]
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("size", QUERIES, ids=lambda s: f"q{s[0]}-{s[1]}")
+@pytest.mark.parametrize("uncertainty", UNCERTAINTIES)
+def test_uncertainty_q10(benchmark, uncertainty, size, max_length):
+    engine = harness.synthetic_engine(
+        uncertainty=uncertainty, max_length=max_length, beta=0.5
+    )
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, ALPHA),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    harness.report(
+        "fig6f_uncertainty_q10",
+        "# uncertainty nodes edges L seconds_per_query matches",
+        [(uncertainty, size[0], size[1], max_length,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

@@ -1,0 +1,39 @@
+"""Figure 7(a): online running time vs input graph size (5-node queries).
+
+Paper: graphs of 50k–1m references (300k–6m edges), q(5,5) and q(5,9),
+α = 0.7. Expected shape: runtime grows with graph size; L=1 hits memory
+limits on the largest graphs with the sparser query; L=3 stays ahead.
+
+Scale substitution: 100–800 references (pure-Python constant factors),
+same 5x edge ratio.
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHA = 0.7
+QUERIES = [(5, 5), (5, 9)]
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("size", QUERIES, ids=lambda s: f"q{s[0]}-{s[1]}")
+@pytest.mark.parametrize("graph_size", harness.GRAPH_SIZES)
+def test_graph_size_q5(benchmark, graph_size, size, max_length):
+    engine = harness.synthetic_engine(
+        num_references=graph_size, max_length=max_length, beta=0.5
+    )
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, ALPHA),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    harness.report(
+        "fig7a_graph_size_q5",
+        "# graph_size nodes edges L seconds_per_query matches",
+        [(graph_size, size[0], size[1], max_length,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

@@ -1,0 +1,34 @@
+"""Figure 7(b): online running time vs input graph size (10-node queries).
+
+Same sweep as Figure 7(a) with q(10,20) and q(10,40).
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHA = 0.7
+QUERIES = [(10, 20), (10, 40)]
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("size", QUERIES, ids=lambda s: f"q{s[0]}-{s[1]}")
+@pytest.mark.parametrize("graph_size", harness.GRAPH_SIZES)
+def test_graph_size_q10(benchmark, graph_size, size, max_length):
+    engine = harness.synthetic_engine(
+        num_references=graph_size, max_length=max_length, beta=0.5
+    )
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, ALPHA),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    harness.report(
+        "fig7b_graph_size_q10",
+        "# graph_size nodes edges L seconds_per_query matches",
+        [(graph_size, size[0], size[1], max_length,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

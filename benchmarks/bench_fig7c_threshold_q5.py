@@ -1,0 +1,38 @@
+"""Figure 7(c): online running time vs query threshold (5-node queries).
+
+Paper: α swept over 0.3–0.9 on the 100k graph, q(5,5) and q(5,9).
+Expected shape: all lengths speed up as α rises (smaller candidate
+sets); short path lengths are the most threshold-sensitive, long ones
+the most stable.
+
+The engines are built with β = 0.3 so every α in the sweep is servable
+from the index.
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHAS = (0.3, 0.5, 0.7, 0.9)
+QUERIES = [(5, 5), (5, 9)]
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("size", QUERIES, ids=lambda s: f"q{s[0]}-{s[1]}")
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_threshold_q5(benchmark, alpha, size, max_length):
+    engine = harness.synthetic_engine(max_length=max_length, beta=0.3)
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, alpha),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    harness.report(
+        "fig7c_threshold_q5",
+        "# alpha nodes edges L seconds_per_query matches",
+        [(alpha, size[0], size[1], max_length,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

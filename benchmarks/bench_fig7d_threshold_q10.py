@@ -1,0 +1,32 @@
+"""Figure 7(d): online running time vs query threshold (10-node queries).
+
+Same sweep as Figure 7(c) with q(10,20) and q(10,40).
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHAS = (0.3, 0.5, 0.7, 0.9)
+QUERIES = [(10, 20), (10, 40)]
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("size", QUERIES, ids=lambda s: f"q{s[0]}-{s[1]}")
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_threshold_q10(benchmark, alpha, size, max_length):
+    engine = harness.synthetic_engine(max_length=max_length, beta=0.3)
+    queries = harness.synthetic_queries(engine.peg, *size)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, alpha),
+        rounds=2,
+        iterations=1,
+    )
+    matches = sum(len(r.matches) for r in results)
+    harness.report(
+        "fig7d_threshold_q10",
+        "# alpha nodes edges L seconds_per_query matches",
+        [(alpha, size[0], size[1], max_length,
+          f"{benchmark.stats.stats.mean / len(queries):.5f}", matches)],
+    )

@@ -1,0 +1,54 @@
+"""Figure 7(e): search-space progression through the pruning steps.
+
+Paper: search-space size (product of candidate-list sizes) after (1)
+the path-index lookup, (2) context pruning, (3) the joint k-partite
+reduction, for L = 1, 2, 3 on 100k graphs at 20% and 80% uncertainty,
+q(5,7), α = 0.7. Expected shape: the final reduction is effective at
+every L but most dramatic for short paths; context pruning contributes
+most for long paths; higher uncertainty shrinks every stage; the final
+search space of L=3 is many orders of magnitude below L=1.
+"""
+
+import pytest
+
+from benchmarks import harness
+
+ALPHA = 0.7
+UNCERTAINTIES = (0.2, 0.8)
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("uncertainty", UNCERTAINTIES)
+def test_search_space_progression(benchmark, uncertainty, max_length):
+    engine = harness.synthetic_engine(
+        uncertainty=uncertainty, max_length=max_length, beta=0.5
+    )
+    queries = harness.synthetic_queries(engine.peg, 5, 7)
+
+    results = benchmark.pedantic(
+        lambda: harness.run_queries(engine, queries, ALPHA),
+        rounds=2,
+        iterations=1,
+    )
+    rows = []
+    for seed, result in zip(harness.QUERY_SEEDS, results):
+        rows.append(
+            (
+                uncertainty,
+                max_length,
+                seed,
+                f"{result.search_space_path:.3e}",
+                f"{result.search_space_context:.3e}",
+                f"{result.search_space_final:.3e}",
+            )
+        )
+        benchmark.extra_info[f"ss_q{seed}"] = (
+            result.search_space_path,
+            result.search_space_context,
+            result.search_space_final,
+        )
+    harness.report(
+        "fig7e_search_space",
+        "# uncertainty L query_seed ss_path ss_path_context ss_final",
+        rows,
+    )

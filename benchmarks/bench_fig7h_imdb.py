@@ -1,0 +1,37 @@
+"""Figure 7(h): the IMDB co-starring patterns.
+
+Paper: the same Figure-8 structures on the co-starring graph with
+*independent* edge probabilities; every query node carries the same
+genre label; α = 0.1. Expected shape: L=3 beats L=2 beats L=1.
+
+Scale substitution: a 400-actor synthetic IMDB look-alike (see
+repro.datasets.imdb). The threshold is raised to α = 0.25: our scaled
+graph is far denser per label than the real IMDB, and at α = 0.1 the
+answer sets explode into the thousands so match *generation* (identical
+across L) dominates the timing; see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from benchmarks import harness
+from repro.datasets.queries import PATTERN_NAMES
+
+ALPHA = 0.25
+
+
+@pytest.mark.parametrize("max_length", harness.PATH_LENGTHS)
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_imdb_patterns(benchmark, pattern, max_length):
+    engine = harness.imdb_engine(max_length)
+    query = harness.imdb_pattern(pattern, genre="Comedy")
+
+    result = benchmark.pedantic(
+        lambda: engine.query(query, ALPHA), rounds=2, iterations=1
+    )
+    benchmark.extra_info["matches"] = len(result.matches)
+    harness.report(
+        "fig7h_imdb",
+        "# pattern L seconds matches",
+        [(pattern, max_length,
+          f"{benchmark.stats.stats.mean:.5f}", len(result.matches))],
+    )

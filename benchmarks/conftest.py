@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Report files under ``benchmarks/results/`` are truncated on first write
+by each pytest session (see :func:`benchmarks.harness.report`), so
+chunked runs of individual modules refresh only their own series.
+"""

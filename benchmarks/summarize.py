@@ -1,0 +1,98 @@
+"""Summarize ``benchmarks/results/*.txt`` into one report.
+
+Usage::
+
+    python benchmarks/summarize.py            # print to stdout
+    python benchmarks/summarize.py --out summary.txt
+
+Each result file is a whitespace-separated series written by
+:func:`benchmarks.harness.report`; this script groups rows into aligned
+tables and prefixes each with the figure it regenerates, giving a
+single artifact to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Figure captions, keyed by result-file stem.
+CAPTIONS = {
+    "fig6a_offline_time": "Figure 6(a) — offline phase running time",
+    "fig6b_index_size": "Figure 6(b) — path index size",
+    "fig6c_query_size": "Figure 6(c) — online time vs query size",
+    "fig6d_query_density": "Figure 6(d) — online time vs query density",
+    "fig6e_uncertainty_q5": "Figure 6(e) — uncertainty sweep (5-node)",
+    "fig6f_uncertainty_q10": "Figure 6(f) — uncertainty sweep (10-node)",
+    "fig7a_graph_size_q5": "Figure 7(a) — graph size sweep (5-node)",
+    "fig7b_graph_size_q10": "Figure 7(b) — graph size sweep (10-node)",
+    "fig7c_threshold_q5": "Figure 7(c) — threshold sweep (5-node)",
+    "fig7d_threshold_q10": "Figure 7(d) — threshold sweep (10-node)",
+    "fig7e_search_space": "Figure 7(e) — search-space progression",
+    "fig7f_reduction": "Figure 7(f) — structure vs upperbound reduction",
+    "fig7g_dblp": "Figure 7(g) — DBLP collaboration patterns",
+    "fig7h_imdb": "Figure 7(h) — IMDB co-starring patterns",
+    "sql_baseline": "SQL baseline comparison (§6.2.1)",
+    "ablation": "Design ablations (DESIGN.md §3)",
+}
+
+
+def _format_table(lines: list) -> list:
+    """Align whitespace-separated rows into columns."""
+    rows = [line.split() for line in lines if line.strip()]
+    if not rows:
+        return []
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    return [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+
+
+def summarize(results_dir: str = RESULTS_DIR) -> str:
+    """Render every result series into one aligned report string."""
+    sections = []
+    paths = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
+    if not paths:
+        return (
+            "no result series found; run "
+            "`pytest benchmarks/ --benchmark-only` first\n"
+        )
+    for path in paths:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        caption = CAPTIONS.get(stem, stem)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        body = _format_table(lines)
+        sections.append("\n".join([f"== {caption}", *body]))
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=None, help="write the summary to a file"
+    )
+    parser.add_argument(
+        "--results", default=RESULTS_DIR, help="results directory"
+    )
+    args = parser.parse_args(argv)
+    text = summarize(args.results)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

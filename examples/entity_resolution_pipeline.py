@@ -1,0 +1,106 @@
+"""End-to-end entity-resolution pipeline on an IMDB-like network.
+
+Demonstrates the full workflow a practitioner would run:
+
+1. start from raw co-starring records with duplicate actor entries,
+2. propose reference sets from name similarity
+   (:func:`repro.pgd.reference_sets_from_similarity`),
+3. build the PEG and inspect identity components,
+4. answer genre-pattern queries, and
+5. contrast the optimized engine with the naive SQL-style baseline.
+
+Run:  python examples/entity_resolution_pipeline.py
+"""
+
+import time
+
+from repro import (
+    QueryEngine,
+    build_peg,
+    reference_sets_from_similarity,
+)
+from repro.datasets import generate_imdb_pgd, pattern_query
+from repro.datasets.imdb import IMDB_GENRES
+from repro.pgd.builders import normalized_levenshtein
+from repro.relational import RowLimitExceeded, sql_baseline_matches
+
+ALPHA = 0.25
+
+
+def demo_similarity_proposals() -> None:
+    """Step 2 in isolation: name-similarity reference-set proposals."""
+    names = {
+        1: "Christopher Tucker",
+        2: "Chris Tucker",
+        3: "Kristofer Tucker",
+        4: "Gerald Maya",
+        5: "Geraldine Mayo",
+    }
+    proposals = reference_sets_from_similarity(
+        names, normalized_levenshtein, threshold=0.55
+    )
+    print("similarity proposals (threshold 0.55):")
+    for (ref_a, ref_b), probability in proposals:
+        print(
+            f"  {names[ref_a]!r} <-> {names[ref_b]!r}: "
+            f"merge probability {probability:.2f}"
+        )
+
+
+def main() -> None:
+    demo_similarity_proposals()
+
+    print("\ngenerating IMDB-like co-starring network...")
+    pgd = generate_imdb_pgd(num_actors=300, edges_per_actor=3, seed=23)
+    peg = build_peg(pgd)
+    print("PEG:", peg.stats())
+    nontrivial = [c for c in peg.components if not c.is_trivial]
+    print(f"identity components with real uncertainty: {len(nontrivial)}")
+    if nontrivial:
+        component = nontrivial[0]
+        print("  example component configurations:")
+        for cfg in component.configurations:
+            rendered = " | ".join(
+                "{" + ",".join(map(str, sorted(entity))) + "}"
+                for entity in sorted(cfg.chosen, key=repr)
+            )
+            print(f"    Pr={cfg.probability:.3f}  {rendered}")
+
+    engine = QueryEngine(peg, max_length=3, beta=0.05)
+    print(f"\ngenre pattern queries (all nodes share one genre, alpha={ALPHA}):")
+    for name in ("ST", "GR", "TR"):
+        for genre in IMDB_GENRES[:2]:
+            query = pattern_query(name, genre)
+            start = time.perf_counter()
+            result = engine.query(query, alpha=ALPHA)
+            optimized_ms = (time.perf_counter() - start) * 1000
+            print(
+                f"  {name}/{genre:6s}: {len(result.matches):5d} matches, "
+                f"optimized {optimized_ms:8.1f} ms"
+            )
+
+    print("\nSQL baseline comparison on the star pattern (Drama):")
+    query = pattern_query("ST", "Drama")
+    start = time.perf_counter()
+    optimized = engine.query(query, alpha=0.3)
+    optimized_ms = (time.perf_counter() - start) * 1000
+    start = time.perf_counter()
+    try:
+        sql = sql_baseline_matches(peg, query, alpha=0.3, row_limit=3_000_000)
+        sql_ms = (time.perf_counter() - start) * 1000
+        assert len(sql) == len(optimized.matches)
+        print(
+            f"  optimized: {optimized_ms:8.1f} ms   "
+            f"SQL joins: {sql_ms:10.1f} ms   "
+            f"speedup: {sql_ms / max(optimized_ms, 1e-9):8.1f}x"
+        )
+    except RowLimitExceeded:
+        sql_ms = (time.perf_counter() - start) * 1000
+        print(
+            f"  optimized: {optimized_ms:8.1f} ms   "
+            f"SQL joins: DNF (row budget exceeded after {sql_ms:.0f} ms)"
+        )
+
+
+if __name__ == "__main__":
+    main()

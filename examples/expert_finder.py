@@ -1,0 +1,107 @@
+"""Expert finder: multi-source integration at a realistic (small) scale.
+
+The paper's motivating application: an organization integrates expert
+profiles from a professional network, a social network, and personal
+webpages. Extraction confidences become label distributions, link
+predictions become edge probabilities, and name-similarity duplicates
+become reference sets.
+
+This example builds a ~300-reference network, asks three expert-search
+patterns at different thresholds, and shows how the answers change when
+the identity-merge evidence changes.
+
+Run:  python examples/expert_finder.py
+"""
+
+from repro import (
+    PGD,
+    QueryEngine,
+    QueryGraph,
+    build_peg,
+    pair_merge_potentials,
+)
+from repro.utils.rng import ensure_rng
+
+AFFILIATIONS = ("a", "r", "i")  # Academia, Research lab, Industry
+
+
+def build_network(merge_probability: float, seed: int = 7) -> PGD:
+    """A synthetic three-source expert network with injected duplicates."""
+    rng = ensure_rng(seed)
+    pgd = PGD(merge="average")
+    num_experts = 300
+    for expert in range(num_experts):
+        if rng.random() < 0.3:  # extraction was uncertain
+            masses = rng.dirichlet([1.5, 1.0, 1.0])
+            pgd.add_reference(
+                expert,
+                {
+                    aff: float(mass)
+                    for aff, mass in zip(AFFILIATIONS, masses)
+                },
+            )
+        else:
+            pgd.add_reference(
+                expert, AFFILIATIONS[int(rng.integers(len(AFFILIATIONS)))]
+            )
+    # Collaboration edges: each expert knows a handful of earlier ones.
+    for expert in range(1, num_experts):
+        for _ in range(int(rng.integers(1, 4))):
+            other = int(rng.integers(expert))
+            if pgd.edge_distribution(expert, other) is None:
+                confidence = float(rng.uniform(0.4, 1.0))
+                pgd.add_edge(expert, other, confidence)
+    # Ten duplicate profiles found by name similarity.
+    pair_potential, singleton_potential = pair_merge_potentials(
+        merge_probability
+    )
+    duplicates = rng.choice(num_experts, size=20, replace=False)
+    for i in range(0, 20, 2):
+        ref_a, ref_b = int(duplicates[i]), int(duplicates[i + 1])
+        pgd.add_reference_set((ref_a, ref_b), pair_potential)
+        pgd.set_singleton_potential(ref_a, singleton_potential)
+        pgd.set_singleton_potential(ref_b, singleton_potential)
+    pgd.validate()
+    return pgd
+
+
+def main() -> None:
+    queries = {
+        "research chain  (r)-(a)-(i)": QueryGraph(
+            {"x": "r", "y": "a", "z": "i"}, [("x", "y"), ("y", "z")]
+        ),
+        "academia triangle (a)-(a)-(a)": QueryGraph(
+            {"x": "a", "y": "a", "z": "a"},
+            [("x", "y"), ("y", "z"), ("x", "z")],
+        ),
+        "industry star": QueryGraph(
+            {"c": "i", "l1": "a", "l2": "r", "l3": "i"},
+            [("c", "l1"), ("c", "l2"), ("c", "l3")],
+        ),
+    }
+    for merge_probability in (0.5, 0.9):
+        print(f"\n=== duplicate merge probability {merge_probability} ===")
+        peg = build_peg(build_network(merge_probability))
+        engine = QueryEngine(peg, max_length=2, beta=0.1)
+        print("PEG:", peg.stats())
+        for name, query in queries.items():
+            for alpha in (0.3, 0.6):
+                result = engine.query(query, alpha=alpha)
+                timing = sum(result.timings.values())
+                print(
+                    f"  {name:34s} alpha={alpha}: "
+                    f"{len(result.matches):4d} matches "
+                    f"({timing * 1000:.1f} ms, final search space "
+                    f"{result.search_space_final:.0f})"
+                )
+            if result.matches:
+                best = result.matches[0]
+                rendered = ", ".join(
+                    f"{{{','.join(str(r) for r in sorted(entity, key=str))}}}"
+                    for entity, _ in best.nodes
+                )
+                print(f"      best: {rendered}  Pr={best.probability:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Workload generators reproducing the paper's experimental setup.
+
+* :mod:`repro.datasets.synthetic` — preferential-attachment graphs with
+  zipf-skewed label/edge probabilities and grouped reference sets
+  (Section 6's synthetic setting),
+* :mod:`repro.datasets.queries` — random queries ``q(n, m)`` and the
+  Figure-8 pattern queries (BF1, BF2, GR, ST, TR),
+* :mod:`repro.datasets.dblp` — DBLP-like collaboration network with
+  label-correlated edge CPTs,
+* :mod:`repro.datasets.imdb` — IMDB-like co-starring network with
+  independent edge probabilities.
+"""
+
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_pgd,
+    preferential_attachment_edges,
+    zipf_label_distribution,
+    skewed_edge_probability,
+)
+from repro.datasets.queries import (
+    random_query,
+    paper_query_series,
+    pattern_query,
+    PATTERN_NAMES,
+)
+from repro.datasets.dblp import generate_dblp_pgd
+from repro.datasets.imdb import generate_imdb_pgd
+
+__all__ = [
+    "SyntheticConfig",
+    "generate_synthetic_pgd",
+    "preferential_attachment_edges",
+    "zipf_label_distribution",
+    "skewed_edge_probability",
+    "random_query",
+    "paper_query_series",
+    "pattern_query",
+    "PATTERN_NAMES",
+    "generate_dblp_pgd",
+    "generate_imdb_pgd",
+]

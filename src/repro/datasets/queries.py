@@ -1,0 +1,130 @@
+"""Query workload generators.
+
+* :func:`random_query` — connected random queries ``q(n, m)`` (random
+  spanning tree plus random extra edges, labels drawn from the
+  alphabet), the paper's synthetic query generator,
+* :func:`paper_query_series` — the ``q(n, min(4n, max))`` size series of
+  Figure 6(c),
+* :func:`pattern_query` — the Figure-8 collaboration patterns (BF1,
+  BF2, GR, ST, TR) used in the real-world experiments.
+"""
+
+from __future__ import annotations
+
+from repro.query.query_graph import QueryGraph
+from repro.utils.errors import QueryError
+from repro.utils.rng import ensure_rng
+
+#: The Figure-8 pattern names.
+PATTERN_NAMES = ("BF1", "BF2", "GR", "ST", "TR")
+
+
+def random_query(
+    num_nodes: int, num_edges: int, sigma, seed=None, labels=None
+) -> QueryGraph:
+    """Random connected query with ``num_nodes`` nodes and ``num_edges`` edges.
+
+    A random spanning tree guarantees connectivity; remaining edges are
+    sampled uniformly from the missing pairs. Node labels are drawn
+    uniformly from ``sigma`` unless ``labels`` supplies them.
+    """
+    rng = ensure_rng(seed)
+    sigma = tuple(sigma)
+    if num_nodes < 1:
+        raise QueryError(f"query needs at least one node, got {num_nodes}")
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges < num_nodes - 1 or num_edges > max_edges:
+        raise QueryError(
+            f"q({num_nodes},{num_edges}) is not a connected simple graph: "
+            f"need {num_nodes - 1} <= m <= {max_edges}"
+        )
+    nodes = [f"q{i}" for i in range(num_nodes)]
+    if labels is None:
+        node_labels = {
+            node: sigma[int(rng.integers(len(sigma)))] for node in nodes
+        }
+    else:
+        node_labels = dict(labels)
+    edges: set = set()
+    order = list(rng.permutation(num_nodes))
+    for position in range(1, num_nodes):
+        anchor = order[int(rng.integers(position))]
+        edges.add(frozenset((nodes[order[position]], nodes[anchor])))
+    candidates = [
+        frozenset((nodes[i], nodes[j]))
+        for i in range(num_nodes)
+        for j in range(i + 1, num_nodes)
+        if frozenset((nodes[i], nodes[j])) not in edges
+    ]
+    extra = num_edges - len(edges)
+    if extra > 0:
+        picks = rng.choice(len(candidates), size=extra, replace=False)
+        for pick in picks:
+            edges.add(candidates[int(pick)])
+    return QueryGraph(node_labels, [tuple(edge) for edge in edges])
+
+
+def paper_query_series(max_nodes: int = 15) -> list:
+    """The Figure 6(c) size series: ``(n, min(4n, n(n-1)/2))`` for odd n.
+
+    Returns ``(num_nodes, num_edges)`` tuples for n = 3, 5, ..., max.
+    """
+    series = []
+    for n in range(3, max_nodes + 1, 2):
+        series.append((n, min(4 * n, n * (n - 1) // 2)))
+    return series
+
+
+def pattern_query(name: str, labels) -> QueryGraph:
+    """One of the Figure-8 collaboration patterns.
+
+    Parameters
+    ----------
+    name:
+        ``"BF1"`` (butterfly: two triangles sharing a center), ``"BF2"``
+        (larger butterfly: two diamonds sharing a center), ``"GR"``
+        (group: 4-clique), ``"ST"`` (star with four leaves) or ``"TR"``
+        (complete binary tree of depth 2).
+    labels:
+        Either a single label applied to every node (the IMDB setting:
+        co-starring within one genre) or a mapping ``{node: label}``
+        (the DBLP setting mixes areas). Node names per pattern are
+        ``n0, n1, ...`` in the structures documented here.
+    """
+    structures = {
+        "BF1": (
+            5,
+            [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)],
+        ),
+        "BF2": (
+            7,
+            [
+                (0, 1), (0, 2), (1, 3), (2, 3),
+                (0, 4), (0, 5), (4, 6), (5, 6),
+            ],
+        ),
+        "GR": (
+            4,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        ),
+        "ST": (
+            5,
+            [(0, 1), (0, 2), (0, 3), (0, 4)],
+        ),
+        "TR": (
+            7,
+            [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)],
+        ),
+    }
+    if name not in structures:
+        raise QueryError(
+            f"unknown pattern {name!r}; available: {sorted(structures)}"
+        )
+    num_nodes, edge_indexes = structures[name]
+    nodes = [f"n{i}" for i in range(num_nodes)]
+    if isinstance(labels, dict):
+        node_labels = {node: labels[node] for node in nodes}
+    else:
+        node_labels = {node: labels for node in nodes}
+    edges = [(nodes[i], nodes[j]) for i, j in edge_indexes]
+    return QueryGraph(node_labels, edges)

@@ -1,0 +1,179 @@
+"""Synthetic workload generator (Section 6, first paragraph).
+
+Reproduces the paper's construction:
+
+* graph structure from the preferential-attachment model [Barabási &
+  Albert 1999],
+* node label distributions: random probabilities weighted by a zipf
+  factor ``p'_i = p_i / i`` and normalized, assigned to labels randomly,
+* edge probabilities generated analogously (a two-outcome {T, F}
+  distribution built the same way; the T mass is the edge probability),
+* reference sets: ``k`` random groups of ``s`` nodes, ``r`` random pairs
+  per group placed in size-2 reference sets with random potentials,
+* a configurable fraction of references/relations/reference sets is
+  uncertain (the paper's "degree of uncertainty", default 20%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pgd.distributions import LabelDistribution
+from repro.pgd.model import PGD
+from repro.utils.errors import ModelError
+from repro.utils.rng import ensure_rng
+
+
+def preferential_attachment_edges(num_nodes: int, edges_per_node: int, rng) -> list:
+    """Barabási–Albert preferential attachment edge list.
+
+    Starts from a small clique and attaches every new node to
+    ``edges_per_node`` distinct existing nodes chosen proportionally to
+    their current degree (the classic repeated-nodes implementation).
+    """
+    rng = ensure_rng(rng)
+    m = max(1, int(edges_per_node))
+    if num_nodes <= m:
+        raise ModelError(
+            f"preferential attachment needs more than {m} nodes, got {num_nodes}"
+        )
+    edges = []
+    # Seed: a clique over the first m+1 nodes.
+    repeated = []
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            edges.append((i, j))
+            repeated.extend((i, j))
+    for new_node in range(m + 1, num_nodes):
+        targets: set = set()
+        while len(targets) < m:
+            pick = repeated[int(rng.integers(len(repeated)))]
+            targets.add(pick)
+        for target in sorted(targets):
+            edges.append((target, new_node))
+            repeated.extend((target, new_node))
+    return edges
+
+
+def zipf_label_distribution(labels: tuple, rng) -> LabelDistribution:
+    """Random label distribution with zipf skew (paper's construction).
+
+    Draws ``p_i`` uniformly, weighs ``p'_i = p_i / i``, normalizes, and
+    assigns the resulting probabilities to the labels in random order.
+    """
+    rng = ensure_rng(rng)
+    raw = rng.uniform(0.05, 1.0, size=len(labels))
+    weighted = [p / (i + 1) for i, p in enumerate(raw)]
+    total = sum(weighted)
+    probs = [w / total for w in weighted]
+    order = list(rng.permutation(len(labels)))
+    return LabelDistribution(
+        {labels[order[i]]: probs[i] for i in range(len(labels))}
+    )
+
+
+def skewed_edge_probability(rng) -> float:
+    """Edge probability from a zipf-skewed two-outcome distribution.
+
+    The {T, F} analogue of the label construction: draw two random
+    masses, weigh the second by 1/2, normalize; the T mass is returned.
+    Skews towards existence (mean ≈ 2/3) while spanning (0, 1).
+    """
+    rng = ensure_rng(rng)
+    p_true = rng.uniform(0.05, 1.0)
+    p_false = rng.uniform(0.05, 1.0) / 2.0
+    return p_true / (p_true + p_false)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic workload.
+
+    Defaults mirror the paper's ratios: relations = 5 × references,
+    ``k = references / 1000`` groups (at least 1), ``s = r = 4``,
+    20% of references/relations/reference sets uncertain.
+    """
+
+    num_references: int = 1000
+    edges_per_node: int = 5
+    num_labels: int = 5
+    uncertainty: float = 0.2
+    groups: int | None = None
+    group_size: int = 4
+    pairs_per_group: int = 4
+    seed: int | None = None
+
+    def resolved_groups(self) -> int:
+        """Number of reference-set groups (paper default: refs/1000)."""
+        if self.groups is not None:
+            return self.groups
+        return max(1, self.num_references // 1000)
+
+
+def generate_synthetic_pgd(config: SyntheticConfig | None = None, **overrides) -> PGD:
+    """Generate a synthetic PGD per the paper's recipe.
+
+    Accepts either a :class:`SyntheticConfig` or keyword overrides of its
+    fields. The result is reproducible for a fixed ``seed``.
+    """
+    if config is None:
+        config = SyntheticConfig(**overrides)
+    elif overrides:
+        raise ModelError("pass either a config object or keyword overrides")
+    if not 0.0 <= config.uncertainty <= 1.0:
+        raise ModelError(f"uncertainty must be in [0, 1], got {config.uncertainty}")
+    rng = ensure_rng(config.seed)
+    labels = tuple(f"L{i}" for i in range(config.num_labels))
+    pgd = PGD(merge="average")
+
+    # --- references with label distributions ---------------------------
+    uncertain_nodes = rng.random(config.num_references) < config.uncertainty
+    for ref in range(config.num_references):
+        if uncertain_nodes[ref]:
+            pgd.add_reference(ref, zipf_label_distribution(labels, rng))
+        else:
+            pgd.add_reference(ref, labels[int(rng.integers(len(labels)))])
+
+    # --- relations with edge probabilities -----------------------------
+    edges = preferential_attachment_edges(
+        config.num_references, config.edges_per_node, rng
+    )
+    uncertain_edges = rng.random(len(edges)) < config.uncertainty
+    for index, (ref_a, ref_b) in enumerate(edges):
+        if uncertain_edges[index]:
+            pgd.add_edge(ref_a, ref_b, skewed_edge_probability(rng))
+        else:
+            pgd.add_edge(ref_a, ref_b, 1.0)
+
+    # --- reference sets -------------------------------------------------
+    # Groups are disjoint slices of a random permutation so connected
+    # identity components never exceed the group size s (the paper:
+    # "the maximum size of a connected component is s").
+    k = config.resolved_groups()
+    s = config.group_size
+    r = config.pairs_per_group
+    if k * s > config.num_references:
+        raise ModelError(
+            f"{k} groups of size {s} need more than "
+            f"{config.num_references} references"
+        )
+    permutation = rng.permutation(config.num_references)
+    seen_pairs: set = set()
+    for group_index in range(k):
+        group = permutation[group_index * s:(group_index + 1) * s]
+        for _ in range(r):
+            pair = tuple(sorted(rng.choice(group, size=2, replace=False)))
+            pair = (int(pair[0]), int(pair[1]))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            # An uncertain reference set gets a random potential; a
+            # "certain" one a high potential (strong merge evidence).
+            if rng.random() < config.uncertainty:
+                potential = float(rng.uniform(0.1, 0.9))
+            else:
+                potential = 0.9
+            pgd.add_reference_set(pair, potential)
+
+    pgd.validate()
+    return pgd

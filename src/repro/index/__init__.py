@@ -1,0 +1,31 @@
+"""Context-aware path indexing — the offline phase (Section 5.1).
+
+* :mod:`repro.index.paths` — compact binary serialization of indexed
+  paths (node ids + probability components),
+* :mod:`repro.index.context` — per-node context information
+  ``c(v, σ)``, ``ppu(v, σ)``, ``fpu(v, σ)``,
+* :mod:`repro.index.histogram` — per-label-sequence cardinality
+  histograms with exponential-curve-fit estimation,
+* :mod:`repro.index.builder` — bottom-up, length-wise index
+  construction with β pruning and symmetry canonicalisation,
+* :mod:`repro.index.path_index` — the queryable index: bucket range
+  scans, orientation handling, cardinality estimates.
+"""
+
+from repro.index.paths import IndexedPath, encode_paths, decode_paths
+from repro.index.context import ContextInformation, build_context
+from repro.index.histogram import CardinalityHistogram
+from repro.index.path_index import PathIndex
+from repro.index.builder import PathIndexBuilder, build_path_index
+
+__all__ = [
+    "IndexedPath",
+    "encode_paths",
+    "decode_paths",
+    "ContextInformation",
+    "build_context",
+    "CardinalityHistogram",
+    "PathIndex",
+    "PathIndexBuilder",
+    "build_path_index",
+]

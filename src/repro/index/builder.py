@@ -1,0 +1,340 @@
+"""Bottom-up path-index construction (Section 5.1).
+
+Construction starts from single-node paths (length 0) and extends
+length-``l`` paths by one edge to build length-``l+1`` entries, pruning
+by the lower bound β at every step — every sub-path of a β-qualified
+path is itself β-qualified, so no qualifying path is missed.
+
+The frontier holds *directed* labeled paths (each undirected path in
+both orientations, which is what edge-extension needs); storage keeps
+only the canonical orientation, exploiting the undirected symmetry the
+paper describes. Optional thread-based parallelism mirrors the paper's
+per-label-sequence parallel build with a barrier between lengths.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.index.path_index import PathIndex, make_histogram
+from repro.index.paths import IndexedPath, encode_paths
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+from repro.storage.kvstore import InMemoryPathStore, PathStore
+from repro.utils.errors import IndexError_
+from repro.utils.timing import Timer
+
+
+class PathIndexBuilder:
+    """Builds a :class:`~repro.index.path_index.PathIndex` over a PEG.
+
+    Parameters
+    ----------
+    peg:
+        The probabilistic entity graph.
+    max_length:
+        Maximum indexed path length ``L`` (edges per path).
+    beta:
+        Index lower-bound probability threshold β.
+    gamma:
+        Bucket resolution γ.
+    store:
+        Target :class:`~repro.storage.kvstore.PathStore`; defaults to a
+        fresh in-memory store.
+    num_threads:
+        Worker threads for the per-sequence storage step (>=1). The
+        default of 1 is fastest under CPython's GIL; the parallel path
+        exists for structural parity with the paper.
+    """
+
+    def __init__(
+        self,
+        peg: ProbabilisticEntityGraph,
+        max_length: int = 3,
+        beta: float = 0.1,
+        gamma: float = 0.1,
+        store: PathStore | None = None,
+        num_threads: int = 1,
+    ) -> None:
+        if max_length < 1:
+            raise IndexError_(f"max_length must be >= 1, got {max_length}")
+        if num_threads < 1:
+            raise IndexError_(f"num_threads must be >= 1, got {num_threads}")
+        self.peg = peg
+        self.max_length = int(max_length)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.store = store if store is not None else InMemoryPathStore()
+        self.num_threads = int(num_threads)
+        # component sharing fast path: a node can only share references
+        # with another node if its identity component has several entities.
+        self._comp_shared = self._component_sharing_flags()
+
+    def _component_sharing_flags(self) -> list:
+        counts: dict = {}
+        for node in self.peg.node_ids():
+            comp = self.peg.component_index_id(node)
+            counts[comp] = counts.get(comp, 0) + 1
+        return [
+            counts[self.peg.component_index_id(node)] > 1
+            for node in self.peg.node_ids()
+        ]
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> PathIndex:
+        """Run the full construction and return the queryable index."""
+        peg = self.peg
+        stats = {"paths_per_length": {}, "build_seconds": 0.0}
+        bucket_counts: dict = {}
+        grid = _grid_milli(self.beta, self.gamma)
+
+        with Timer() as timer:
+            # Length 0: one directed path per (node, possible label).
+            frontier = []
+            for node in peg.node_ids():
+                prn = peg.existence_probability_id(node)
+                if prn <= 0.0:
+                    continue
+                for label in peg.possible_labels_id(node):
+                    prle = peg.label_probability_id(node, label)
+                    if prle * prn >= self.beta:
+                        frontier.append(((node,), (label,), prle, prn))
+            self._store_level(frontier, bucket_counts, grid)
+            stats["paths_per_length"][0] = len(frontier)
+
+            for length in range(1, self.max_length + 1):
+                frontier = self._extend(frontier)
+                self._store_level(frontier, bucket_counts, grid)
+                stats["paths_per_length"][length] = len(frontier)
+
+        stats["build_seconds"] = timer.elapsed
+        self.store.flush()
+        histograms = {
+            seq: make_histogram(grid, counts)
+            for seq, counts in bucket_counts.items()
+        }
+        return PathIndex(
+            store=self.store,
+            max_length=self.max_length,
+            beta=self.beta,
+            gamma=self.gamma,
+            histograms=histograms,
+            build_stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _extend(self, frontier: list) -> list:
+        """Extend every directed path by one edge at its tail."""
+        peg = self.peg
+        beta = self.beta
+        comp_shared = self._comp_shared
+        extended = []
+        for ids, labels, prle, prn in frontier:
+            tail = ids[-1]
+            tail_label = labels[-1]
+            id_set = set(ids)
+            for neighbor in peg.neighbor_ids(tail):
+                if neighbor in id_set:
+                    continue
+                if comp_shared[neighbor] and any(
+                    peg.shares_references_id(neighbor, node) for node in ids
+                ):
+                    continue
+                new_prn = self._extended_prn(ids, prn, neighbor)
+                if new_prn <= 0.0:
+                    continue
+                for label in peg.possible_labels_id(neighbor):
+                    p_edge = peg.edge_probability_id(
+                        tail, neighbor, tail_label, label
+                    )
+                    if p_edge <= 0.0:
+                        continue
+                    p_label = peg.label_probability_id(neighbor, label)
+                    new_prle = prle * p_edge * p_label
+                    if new_prle * new_prn < beta:
+                        continue
+                    extended.append(
+                        (
+                            ids + (neighbor,),
+                            labels + (label,),
+                            new_prle,
+                            new_prn,
+                        )
+                    )
+        return extended
+
+    def _extended_prn(self, ids: tuple, prn: float, neighbor: int) -> float:
+        """``Prn`` after adding ``neighbor`` to a path's node set.
+
+        Fast path: across components the marginal multiplies; only when
+        the new node shares a non-trivial component with an existing path
+        node must the joint marginal be recomputed.
+        """
+        peg = self.peg
+        if self._comp_shared[neighbor]:
+            comp = peg.component_index_id(neighbor)
+            if any(peg.component_index_id(node) == comp for node in ids):
+                return peg.existence_marginal_ids(ids + (neighbor,))
+        return prn * peg.existence_probability_id(neighbor)
+
+    # ------------------------------------------------------------------
+
+    def _store_level(
+        self, frontier: list, bucket_counts: dict, grid: Sequence[int]
+    ) -> None:
+        """Bucket and persist the canonical orientation of a level's paths."""
+        per_key: dict = {}
+        for ids, labels, prle, prn in frontier:
+            if not _is_canonical(ids, labels):
+                continue
+            prob = prle * prn
+            bucket = _bucket_for(prob, grid)
+            per_key.setdefault(labels, {}).setdefault(bucket, []).append(
+                IndexedPath(ids, prle, prn)
+            )
+        for labels, buckets in per_key.items():
+            counts = bucket_counts.setdefault(labels, {})
+            for bucket, paths in buckets.items():
+                counts[bucket] = counts.get(bucket, 0) + len(paths)
+
+        def store_sequence(item):
+            labels, buckets = item
+            for bucket, paths in buckets.items():
+                existing = self.store.get_bucket(labels, bucket)
+                if existing:
+                    # Append to a previously written bucket (only happens
+                    # if a caller builds incrementally; levels write
+                    # disjoint key spaces otherwise).
+                    from repro.index.paths import decode_paths
+
+                    paths = decode_paths(existing) + paths
+                self.store.put_bucket(labels, bucket, encode_paths(paths))
+
+        if self.num_threads > 1 and len(per_key) > 1:
+            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                list(pool.map(store_sequence, per_key.items()))
+        else:
+            for item in per_key.items():
+                store_sequence(item)
+
+
+def build_path_index(
+    peg: ProbabilisticEntityGraph,
+    max_length: int = 3,
+    beta: float = 0.1,
+    gamma: float = 0.1,
+    store: PathStore | None = None,
+    num_threads: int = 1,
+) -> PathIndex:
+    """One-call façade over :class:`PathIndexBuilder`."""
+    builder = PathIndexBuilder(
+        peg,
+        max_length=max_length,
+        beta=beta,
+        gamma=gamma,
+        store=store,
+        num_threads=num_threads,
+    )
+    return builder.build()
+
+
+def enumerate_paths_for_sequence(
+    peg: ProbabilisticEntityGraph, label_seq: Sequence, alpha: float
+) -> list:
+    """On-demand path enumeration for thresholds below the index's β.
+
+    The paper's footnote: "paths with smaller probability are computed on
+    demand". Performs a pruned DFS aligned to ``label_seq`` and returns
+    :class:`IndexedPath` objects oriented to the requested sequence, the
+    same contract as :meth:`PathIndex.lookup`.
+    """
+    seq = tuple(label_seq)
+    if not seq:
+        return []
+    counts: dict = {}
+    for node in peg.node_ids():
+        comp = peg.component_index_id(node)
+        counts[comp] = counts.get(comp, 0) + 1
+
+    results = []
+
+    def extend(ids: tuple, prle: float, prn: float, position: int) -> None:
+        if position == len(seq):
+            results.append(IndexedPath(ids, prle, prn))
+            return
+        label = seq[position]
+        tail = ids[-1]
+        tail_label = seq[position - 1]
+        id_set = set(ids)
+        for neighbor in peg.neighbor_ids(tail):
+            if neighbor in id_set:
+                continue
+            if counts[peg.component_index_id(neighbor)] > 1 and any(
+                peg.shares_references_id(neighbor, node) for node in ids
+            ):
+                continue
+            p_label = peg.label_probability_id(neighbor, label)
+            if p_label <= 0.0:
+                continue
+            p_edge = peg.edge_probability_id(tail, neighbor, tail_label, label)
+            if p_edge <= 0.0:
+                continue
+            new_prle = prle * p_label * p_edge
+            new_prn = _joint_prn(peg, counts, ids, prn, neighbor)
+            if new_prle * new_prn < alpha or new_prn <= 0.0:
+                continue
+            extend(ids + (neighbor,), new_prle, new_prn, position + 1)
+
+    first = seq[0]
+    for node in peg.node_ids():
+        p_label = peg.label_probability_id(node, first)
+        prn = peg.existence_probability_id(node)
+        if p_label <= 0.0 or prn <= 0.0 or p_label * prn < alpha:
+            continue
+        extend((node,), p_label, prn, 1)
+    return results
+
+
+def _joint_prn(peg, comp_counts, ids, prn, neighbor) -> float:
+    comp = peg.component_index_id(neighbor)
+    if comp_counts[comp] > 1 and any(
+        peg.component_index_id(node) == comp for node in ids
+    ):
+        return peg.existence_marginal_ids(ids + (neighbor,))
+    return prn * peg.existence_probability_id(neighbor)
+
+
+def _grid_milli(beta: float, gamma: float) -> tuple:
+    start = int(round(beta * 1000))
+    step = max(1, int(round(gamma * 1000)))
+    points = list(range(start, 1001, step))
+    if points[-1] != 1000:
+        points.append(1000)
+    return tuple(points)
+
+
+def _bucket_for(prob: float, grid: Sequence[int]) -> int:
+    milli = int(prob * 1000)
+    bucket = grid[0]
+    for point in grid:
+        if point <= milli:
+            bucket = point
+        else:
+            break
+    return bucket
+
+
+def _is_canonical(ids: tuple, labels: tuple) -> bool:
+    """True when the directed path is in its canonical orientation.
+
+    The canonical orientation is the lexicographically smaller of
+    ``(labels, ids)`` and its reverse (labels compared through repr);
+    ties (palindromic single nodes) count as canonical.
+    """
+    if len(ids) == 1:
+        return True
+    fwd = (tuple(map(repr, labels)), ids)
+    rev = (tuple(map(repr, reversed(labels))), tuple(reversed(ids)))
+    return fwd <= rev

@@ -1,0 +1,99 @@
+"""Persistence of the offline phase: index + context as one bundle.
+
+The paper's system builds its disk-based index once and serves many
+online queries. This module gives the reproduction the same lifecycle:
+:func:`save_offline` writes a directory containing the path store
+(B+ tree + record log + hash directory), the index metadata (L, β, γ,
+histograms, build statistics) and the context tables;
+:func:`load_offline` reopens it without recomputation, and
+:meth:`repro.query.engine.QueryEngine.from_saved` builds a queryable
+engine from it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.index.context import ContextInformation
+from repro.index.path_index import PathIndex
+from repro.storage.kvstore import DiskPathStore
+from repro.utils.errors import IndexError_
+
+#: Bundle format version; bump when the pickled layout changes.
+FORMAT_VERSION = 1
+_META_FILE = "offline.meta"
+
+
+def save_offline(
+    index: PathIndex, context: ContextInformation, directory: str
+) -> None:
+    """Write the offline phase's artifacts into ``directory``.
+
+    If the index is already backed by a :class:`DiskPathStore` in another
+    location (or by an in-memory store), its buckets are copied into a
+    fresh store under ``directory``; a store already living there is
+    flushed in place.
+    """
+    os.makedirs(directory, exist_ok=True)
+    store = index.store
+    if isinstance(store, DiskPathStore) and os.path.samefile(
+        store.directory, directory
+    ):
+        store.flush()
+    else:
+        target = DiskPathStore(directory)
+        for sequence in store.label_sequences():
+            for bucket, payload in store.scan_buckets(sequence, 0):
+                target.put_bucket(sequence, bucket, payload)
+        target.close()
+    meta = {
+        "version": FORMAT_VERSION,
+        "max_length": index.max_length,
+        "beta": index.beta,
+        "gamma": index.gamma,
+        "histograms": index.histograms,
+        "build_stats": index.build_stats,
+        "context": {
+            "sigma": context.sigma,
+            "cardinality": context._cardinality,
+            "partial_upper": context._partial_upper,
+            "full_upper": context._full_upper,
+        },
+    }
+    with open(os.path.join(directory, _META_FILE), "wb") as handle:
+        pickle.dump(meta, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_offline(directory: str) -> tuple:
+    """Reopen a bundle written by :func:`save_offline`.
+
+    Returns ``(PathIndex, ContextInformation)``; raises
+    :class:`IndexError_` for missing or incompatible bundles.
+    """
+    meta_path = os.path.join(directory, _META_FILE)
+    if not os.path.exists(meta_path):
+        raise IndexError_(f"no offline bundle at {directory!r}")
+    with open(meta_path, "rb") as handle:
+        meta = pickle.load(handle)
+    if not isinstance(meta, dict) or meta.get("version") != FORMAT_VERSION:
+        raise IndexError_(
+            f"unsupported offline bundle version in {directory!r}"
+        )
+    store = DiskPathStore(directory)
+    index = PathIndex(
+        store=store,
+        max_length=meta["max_length"],
+        beta=meta["beta"],
+        gamma=meta["gamma"],
+        histograms=meta["histograms"],
+        build_stats=meta["build_stats"],
+    )
+    raw = meta["context"]
+    context = ContextInformation(
+        sigma=raw["sigma"],
+        cardinality=raw["cardinality"],
+        partial_upper=raw["partial_upper"],
+        full_upper=raw["full_upper"],
+    )
+    return index, context

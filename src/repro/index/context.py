@@ -1,0 +1,103 @@
+"""Per-node context information (Section 5.1, "Context Information").
+
+For every node ``v`` of ``G_U`` and label ``σ``, with
+``N(v, σ) = {v' ∈ Γ(v) | σ ∈ L(v'), refs(v) ∩ refs(v') = ∅}``:
+
+* cardinality       ``c(v, σ)   = |N(v, σ)|``
+* partial upperbound ``ppu(v, σ) = max Pr((v, v').e = T)``
+* full upperbound    ``fpu(v, σ) = max Pr(v'.l = σ) · Pr((v, v').e = T)``
+
+For the label-correlated model (Section 5.3), the edge probability needs
+``v``'s own label, which is unknown here; per the paper we maximize over
+all possible labels of ``v``, keeping ``ppu``/``fpu`` valid upper bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+
+
+class ContextInformation:
+    """Dense per-(node, label) context tables for online pruning."""
+
+    def __init__(
+        self,
+        sigma: tuple,
+        cardinality: list,
+        partial_upper: list,
+        full_upper: list,
+    ) -> None:
+        self.sigma = tuple(sigma)
+        self._label_pos = {label: i for i, label in enumerate(self.sigma)}
+        self._cardinality = cardinality
+        self._partial_upper = partial_upper
+        self._full_upper = full_upper
+
+    def cardinality(self, node_id: int, label) -> int:
+        """``c(v, σ)``: neighbors of ``v`` that can carry label ``σ``."""
+        pos = self._label_pos.get(label)
+        if pos is None:
+            return 0
+        return self._cardinality[node_id][pos]
+
+    def partial_upperbound(self, node_id: int, label) -> float:
+        """``ppu(v, σ)``: best edge probability into ``N(v, σ)``."""
+        pos = self._label_pos.get(label)
+        if pos is None:
+            return 0.0
+        return self._partial_upper[node_id][pos]
+
+    def full_upperbound(self, node_id: int, label) -> float:
+        """``fpu(v, σ)``: best label-times-edge probability into ``N(v, σ)``."""
+        pos = self._label_pos.get(label)
+        if pos is None:
+            return 0.0
+        return self._full_upper[node_id][pos]
+
+    def as_rows(self, node_id: int) -> Mapping:
+        """All three measures of one node keyed by label (for reports)."""
+        return {
+            label: {
+                "c": self.cardinality(node_id, label),
+                "ppu": self.partial_upperbound(node_id, label),
+                "fpu": self.full_upperbound(node_id, label),
+            }
+            for label in self.sigma
+        }
+
+
+def build_context(peg: ProbabilisticEntityGraph) -> ContextInformation:
+    """Compute the context tables for every node of ``G_U``."""
+    sigma = tuple(sorted(peg.sigma, key=repr))
+    label_pos = {label: i for i, label in enumerate(sigma)}
+    num_labels = len(sigma)
+    cardinality = []
+    partial_upper = []
+    full_upper = []
+    for node in peg.node_ids():
+        counts = [0] * num_labels
+        ppu = [0.0] * num_labels
+        fpu = [0.0] * num_labels
+        for neighbor in peg.neighbor_ids(node):
+            if peg.shares_references_id(node, neighbor):
+                continue
+            for label in peg.possible_labels_id(neighbor):
+                pos = label_pos[label]
+                counts[pos] += 1
+                # Edge probability upper bound: v's own label is unknown
+                # here, so maximize over it (exact for the independent
+                # model, an upper bound for the conditional one).
+                p_edge = peg.edge_max_probability_id(
+                    node, neighbor, None, label
+                )
+                if p_edge > ppu[pos]:
+                    ppu[pos] = p_edge
+                p_full = peg.label_probability_id(neighbor, label) * p_edge
+                if p_full > fpu[pos]:
+                    fpu[pos] = p_full
+        cardinality.append(counts)
+        partial_upper.append(ppu)
+        full_upper.append(fpu)
+    return ContextInformation(sigma, cardinality, partial_upper, full_upper)

@@ -1,0 +1,91 @@
+"""Cardinality histograms with exponential curve fitting (Section 5.2.1).
+
+For every label sequence ``X`` the offline phase records
+``hist(X, α_i) = |PIndex(X, α_i)|`` — the number of indexed paths with
+probability at least ``α_i`` — at the index's probability grid points.
+At query time, the cardinality at an arbitrary threshold ``α`` is
+estimated by fitting an exponential curve through the two surrounding
+grid points, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.utils.errors import IndexError_
+
+
+class CardinalityHistogram:
+    """Cumulative path counts of one label sequence at grid thresholds."""
+
+    def __init__(self, thresholds: Sequence[float], counts: Sequence[int]) -> None:
+        if len(thresholds) != len(counts):
+            raise IndexError_("histogram thresholds and counts length mismatch")
+        if len(thresholds) < 1:
+            raise IndexError_("histogram needs at least one grid point")
+        pairs = sorted(zip(thresholds, counts))
+        self.thresholds = tuple(t for t, _ in pairs)
+        self.counts = tuple(int(c) for _, c in pairs)
+        for earlier, later in zip(self.counts, self.counts[1:]):
+            if later > earlier:
+                raise IndexError_(
+                    "cumulative histogram counts must be non-increasing "
+                    "in the threshold"
+                )
+
+    @classmethod
+    def from_bucket_counts(
+        cls, bucket_probs: Sequence[float], bucket_counts: Sequence[int]
+    ) -> "CardinalityHistogram":
+        """Build from per-bucket counts: cumulative sums from the top down."""
+        pairs = sorted(zip(bucket_probs, bucket_counts))
+        thresholds = [p for p, _ in pairs]
+        counts = [c for _, c in pairs]
+        cumulative = []
+        running = 0
+        for count in reversed(counts):
+            running += count
+            cumulative.append(running)
+        cumulative.reverse()
+        return cls(thresholds, cumulative)
+
+    def estimate(self, alpha: float) -> float:
+        """Estimated ``|PIndex(X, alpha)|`` via exponential interpolation.
+
+        Between grid points ``(α_i, h_i)`` and ``(α_{i+1}, h_{i+1})`` the
+        estimate is ``h_i * (h_{i+1}/h_i) ** ((α - α_i)/(α_{i+1} - α_i))``
+        — an exponential through both points. Zero counts short-circuit
+        (the exponential model degenerates); thresholds outside the grid
+        clamp to the nearest grid value.
+        """
+        thresholds = self.thresholds
+        if alpha <= thresholds[0]:
+            return float(self.counts[0])
+        if alpha >= thresholds[-1]:
+            return float(self.counts[-1])
+        # Locate the surrounding grid interval.
+        lo = 0
+        hi = len(thresholds) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if thresholds[mid] <= alpha:
+                lo = mid
+            else:
+                hi = mid
+        h_lo, h_hi = self.counts[lo], self.counts[hi]
+        if h_lo <= 0:
+            return 0.0
+        if h_hi <= 0:
+            # Exponential fit impossible with a zero endpoint; fall back
+            # to linear decay toward zero.
+            span = thresholds[hi] - thresholds[lo]
+            frac = (alpha - thresholds[lo]) / span
+            return h_lo * (1.0 - frac)
+        span = thresholds[hi] - thresholds[lo]
+        frac = (alpha - thresholds[lo]) / span
+        return h_lo * math.exp(frac * math.log(h_hi / h_lo))
+
+    def total(self) -> int:
+        """Count of all indexed paths of the sequence (lowest threshold)."""
+        return self.counts[0]

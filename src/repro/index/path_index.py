@@ -1,0 +1,188 @@
+"""The queryable context-aware path index (Section 5.1).
+
+Entries are keyed by ``(X, π)`` where ``X`` is a node-label sequence and
+``π`` a probability bucket on the grid ``{β, β+γ, ..., 1}``; values are
+the paths whose probability under ``X`` falls in ``[π, π+γ)``, each with
+its ``Prle`` and ``Prn`` components. For undirected graphs, ``X`` and its
+reverse share one stored entry (symmetry optimisation); lookups
+transparently orient results to the requested sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.index.histogram import CardinalityHistogram
+from repro.index.paths import IndexedPath, decode_paths
+from repro.storage.kvstore import PathStore
+from repro.utils.errors import IndexError_
+
+
+def canonical_sequence(label_seq: tuple) -> tuple:
+    """Canonical orientation of a label sequence (min of itself/reverse).
+
+    Labels are compared through ``repr`` so heterogeneous label types
+    cannot break ordering.
+    """
+    seq = tuple(label_seq)
+    rev = tuple(reversed(seq))
+    return seq if tuple(map(repr, seq)) <= tuple(map(repr, rev)) else rev
+
+
+def is_palindrome(label_seq: tuple) -> bool:
+    """True when a label sequence reads the same in both directions."""
+    seq = tuple(label_seq)
+    return seq == tuple(reversed(seq))
+
+
+class PathIndex:
+    """Two-level context-aware path index over a PEG.
+
+    Constructed by :class:`~repro.index.builder.PathIndexBuilder`; query
+    processing uses :meth:`lookup` and :meth:`estimate_cardinality`.
+    """
+
+    def __init__(
+        self,
+        store: PathStore,
+        max_length: int,
+        beta: float,
+        gamma: float,
+        histograms: dict,
+        build_stats: dict | None = None,
+    ) -> None:
+        if not 0.0 < beta <= 1.0:
+            raise IndexError_(f"beta must be in (0, 1], got {beta}")
+        if not 0.0 < gamma <= 1.0:
+            raise IndexError_(f"gamma must be in (0, 1], got {gamma}")
+        if max_length < 1:
+            raise IndexError_(f"max_length must be >= 1, got {max_length}")
+        self.store = store
+        self.max_length = int(max_length)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.histograms = dict(histograms)
+        self.build_stats = dict(build_stats or {})
+        self._beta_milli = int(round(beta * 1000))
+        self._gamma_milli = max(1, int(round(gamma * 1000)))
+
+    # ------------------------------------------------------------------
+    # Bucket grid
+    # ------------------------------------------------------------------
+
+    def bucket_for(self, probability: float) -> int:
+        """Grid bucket (milli-units) containing ``probability``.
+
+        The largest grid point not exceeding the probability; the grid
+        always ends with a 1000 point (probability exactly 1), matching
+        the builder's bucketing.
+        """
+        milli = int(probability * 1000)
+        if milli < self._beta_milli:
+            raise IndexError_(
+                f"probability {probability} below index lower bound {self.beta}"
+            )
+        if milli >= 1000:
+            return 1000
+        steps = (milli - self._beta_milli) // self._gamma_milli
+        return self._beta_milli + steps * self._gamma_milli
+
+    def grid(self) -> tuple:
+        """All bucket grid points in milli-units, ascending."""
+        points = list(range(self._beta_milli, 1001, self._gamma_milli))
+        if points[-1] != 1000:
+            points.append(1000)
+        return tuple(points)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, label_seq: Sequence, alpha: float) -> list:
+        """All indexed paths matching ``label_seq`` with probability >= alpha.
+
+        Results are oriented so that ``result.nodes[i]`` carries
+        ``label_seq[i]``. For palindromic sequences, both alignments of
+        each stored path are returned (they are distinct embeddings).
+
+        Raises :class:`IndexError_` when ``alpha < beta`` — such paths are
+        not indexed; callers fall back to on-demand enumeration
+        (:func:`repro.index.builder.enumerate_paths_for_sequence`).
+        """
+        seq = tuple(label_seq)
+        if len(seq) - 1 > self.max_length:
+            raise IndexError_(
+                f"label sequence of length {len(seq) - 1} exceeds index "
+                f"max path length {self.max_length}"
+            )
+        if alpha < self.beta:
+            raise IndexError_(
+                f"alpha {alpha} below index lower bound beta {self.beta}; "
+                "compute paths on demand"
+            )
+        canonical = canonical_sequence(seq)
+        reverse_needed = canonical != seq
+        palindrome = is_palindrome(seq)
+        min_bucket = self.bucket_for(alpha)
+        results = []
+        for _, payload in self.store.scan_buckets(canonical, min_bucket):
+            for path in decode_paths(payload):
+                if path.probability < alpha:
+                    continue
+                oriented = path.reversed() if reverse_needed else path
+                results.append(oriented)
+                if palindrome and len(oriented.nodes) > 1:
+                    results.append(oriented.reversed())
+        return results
+
+    def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:
+        """Histogram estimate of ``|PIndex(label_seq, alpha)|``.
+
+        Uses the per-sequence cumulative histogram with exponential curve
+        fitting; returns 0 for sequences never indexed. Palindromic
+        sequences double the estimate, mirroring :meth:`lookup`.
+        """
+        seq = tuple(label_seq)
+        histogram = self.histograms.get(canonical_sequence(seq))
+        if histogram is None:
+            return 0.0
+        estimate = histogram.estimate(max(alpha, self.beta))
+        if is_palindrome(seq) and len(seq) > 1:
+            estimate *= 2.0
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Approximate index footprint in bytes."""
+        return self.store.size_bytes()
+
+    def num_sequences(self) -> int:
+        """Number of distinct canonical label sequences indexed."""
+        return len(self.histograms)
+
+    def num_paths(self) -> int:
+        """Total number of stored (canonical) paths."""
+        return sum(h.total() for h in self.histograms.values())
+
+    def stats(self) -> dict:
+        """Summary including builder statistics."""
+        info = {
+            "max_length": self.max_length,
+            "beta": self.beta,
+            "gamma": self.gamma,
+            "sequences": self.num_sequences(),
+            "paths": self.num_paths(),
+            "size_bytes": self.size_bytes(),
+        }
+        info.update(self.build_stats)
+        return info
+
+
+def make_histogram(grid_milli: Sequence[int], bucket_counts: dict) -> CardinalityHistogram:
+    """Build a cumulative histogram from per-bucket counts of one sequence."""
+    probs = [b / 1000.0 for b in grid_milli]
+    counts = [bucket_counts.get(b, 0) for b in grid_milli]
+    return CardinalityHistogram.from_bucket_counts(probs, counts)

@@ -1,0 +1,82 @@
+"""Compact binary serialization of indexed paths.
+
+A bucket payload is a sequence of paths sharing the same label sequence
+and probability bucket. Each path stores its node ids and the two
+probability components ``Prle`` and ``Prn`` (the label sequence lives in
+the key, so it is not repeated per path).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.utils.errors import IndexError_
+
+_COUNT = struct.Struct(">I")
+_PATH_HEADER = struct.Struct(">B")
+_NODE = struct.Struct(">I")
+_PROBS = struct.Struct(">dd")
+
+
+@dataclass(frozen=True)
+class IndexedPath:
+    """One indexed path under a fixed node-label assignment.
+
+    Attributes
+    ----------
+    nodes:
+        Node ids along the path (length = path length + 1).
+    prle:
+        Label-and-edge probability component under the key's label
+        assignment.
+    prn:
+        Node-existence probability component of the path's node set.
+    """
+
+    nodes: Tuple[int, ...]
+    prle: float
+    prn: float
+
+    @property
+    def probability(self) -> float:
+        """Full path probability ``Prle * Prn``."""
+        return self.prle * self.prn
+
+    def reversed(self) -> "IndexedPath":
+        """The same path traversed from the other end."""
+        return IndexedPath(tuple(reversed(self.nodes)), self.prle, self.prn)
+
+
+def encode_paths(paths: Iterable[IndexedPath]) -> bytes:
+    """Serialize a sequence of paths into a bucket payload."""
+    paths = list(paths)
+    parts = [_COUNT.pack(len(paths))]
+    for path in paths:
+        if len(path.nodes) > 255:
+            raise IndexError_("path too long to serialize (max 255 nodes)")
+        parts.append(_PATH_HEADER.pack(len(path.nodes)))
+        parts.extend(_NODE.pack(node) for node in path.nodes)
+        parts.append(_PROBS.pack(path.prle, path.prn))
+    return b"".join(parts)
+
+
+def decode_paths(payload: bytes) -> list:
+    """Deserialize a bucket payload back into :class:`IndexedPath` objects."""
+    (count,) = _COUNT.unpack_from(payload, 0)
+    pos = _COUNT.size
+    paths = []
+    for _ in range(count):
+        (num_nodes,) = _PATH_HEADER.unpack_from(payload, pos)
+        pos += _PATH_HEADER.size
+        nodes = struct.unpack_from(f">{num_nodes}I", payload, pos)
+        pos += _NODE.size * num_nodes
+        prle, prn = _PROBS.unpack_from(payload, pos)
+        pos += _PROBS.size
+        paths.append(IndexedPath(nodes, prle, prn))
+    if pos != len(payload):
+        raise IndexError_(
+            f"corrupt bucket payload: {len(payload) - pos} trailing bytes"
+        )
+    return paths

@@ -1,0 +1,395 @@
+"""The probabilistic entity graph ``G_U`` and match probability services.
+
+``G_U`` (Section 4, "Finding Matches") has one node per reference set
+``s`` with positive existence probability, labeled with the set ``L(s)``
+of labels of non-zero probability, and an edge wherever the merged edge
+existence probability is positive. All query processing operates on this
+single graph; probabilities are computed from the attached component
+distributions and merged label/edge distributions:
+
+``Pr(M) = Prn(M) * Prle(M)``  (Eq. 11)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Tuple
+
+from repro.pgd.distributions import LabelDistribution
+from repro.peg.components import IdentityComponent
+from repro.utils.errors import ModelError, QueryError
+
+#: An entity is identified by its underlying frozen set of references.
+Entity = FrozenSet
+
+
+@dataclass(frozen=True)
+class Match:
+    """A probabilistic match: labeled entity nodes plus required edges.
+
+    Attributes
+    ----------
+    nodes:
+        Mapping ``entity -> matched label`` (stored as a sorted tuple of
+        pairs so the match is hashable).
+    edges:
+        Frozenset of entity pairs (each a frozenset of two entities).
+    mapping:
+        A representative embedding ``query node -> entity`` (informational;
+        two embeddings producing the same labeled subgraph are the same
+        match).
+    probability:
+        ``Pr(M)`` per Eq. 11.
+    """
+
+    nodes: Tuple[Tuple[Entity, object], ...]
+    edges: FrozenSet[FrozenSet[Entity]]
+    mapping: Tuple[Tuple[object, Entity], ...]
+    probability: float
+
+    @property
+    def label_of(self) -> dict:
+        """Mapping ``entity -> label`` for this match."""
+        return dict(self.nodes)
+
+    def canonical_key(self) -> tuple:
+        """Key identifying the labeled subgraph independent of embedding."""
+        return (self.nodes, tuple(sorted(map(sorted, self.edges), key=repr)))
+
+
+class ProbabilisticEntityGraph:
+    """Entity-level uncertain graph with probability services.
+
+    Built by :func:`repro.peg.construct.build_peg`; not constructed
+    directly by applications.
+    """
+
+    def __init__(
+        self,
+        labels: Mapping[Entity, LabelDistribution],
+        edges: Mapping[FrozenSet[Entity], object],
+        components: Iterable[IdentityComponent],
+        conditional: bool,
+    ) -> None:
+        self._labels = dict(labels)
+        self._edges = dict(edges)
+        self.components = tuple(components)
+        self.conditional = conditional
+        self._component_of: dict = {}
+        for component in self.components:
+            for entity in component.entities:
+                if entity in self._labels:
+                    self._component_of[entity] = component
+        missing = [e for e in self._labels if e not in self._component_of]
+        if missing:
+            raise ModelError(
+                f"{len(missing)} entities lack an identity component"
+            )
+        self._adjacency: dict = {entity: set() for entity in self._labels}
+        for pair in self._edges:
+            entity_a, entity_b = tuple(pair)
+            self._adjacency[entity_a].add(entity_b)
+            self._adjacency[entity_b].add(entity_a)
+        self._build_id_view()
+
+    def _build_id_view(self) -> None:
+        """Build the integer-id fast path used by the index and query engine.
+
+        Entities are frozensets (hashing them is expensive); the offline
+        index and all online hot loops address nodes through dense integer
+        ids instead.
+        """
+        self._entity_list = list(self._labels)
+        self._id_of = {e: i for i, e in enumerate(self._entity_list)}
+        self._component_index = [
+            self._component_of[e].index for e in self._entity_list
+        ]
+        self._adj_ids = [
+            tuple(sorted(self._id_of[n] for n in self._adjacency[e]))
+            for e in self._entity_list
+        ]
+        self._edge_dist_by_id = {}
+        for pair, dist in self._edges.items():
+            entity_a, entity_b = tuple(pair)
+            ida, idb = self._id_of[entity_a], self._id_of[entity_b]
+            key = (ida, idb) if ida < idb else (idb, ida)
+            self._edge_dist_by_id[key] = dist
+        self._existence_by_id = [
+            self._component_of[e].existence_probability(e)
+            for e in self._entity_list
+        ]
+        self._label_dist_by_id = [self._labels[e] for e in self._entity_list]
+
+    # ------------------------------------------------------------------
+    # Integer-id fast path
+    # ------------------------------------------------------------------
+
+    def id_of(self, entity: Entity) -> int:
+        """Dense integer id of an entity node."""
+        return self._id_of[entity]
+
+    def entity_of(self, node_id: int) -> Entity:
+        """Entity (frozenset of references) for a node id."""
+        return self._entity_list[node_id]
+
+    def node_ids(self) -> range:
+        """All node ids."""
+        return range(len(self._entity_list))
+
+    def neighbor_ids(self, node_id: int) -> tuple:
+        """Sorted neighbor ids of ``node_id``."""
+        return self._adj_ids[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Number of neighbors of ``node_id`` in ``G_U``."""
+        return len(self._adj_ids[node_id])
+
+    def possible_labels_id(self, node_id: int) -> tuple:
+        """``L(v)`` for a node id."""
+        return self._label_dist_by_id[node_id].support
+
+    def label_probability_id(self, node_id: int, label) -> float:
+        """``Pr(v.l = label)`` by node id."""
+        return self._label_dist_by_id[node_id].probability(label)
+
+    def existence_probability_id(self, node_id: int) -> float:
+        """``Pr(v.n = T)`` by node id."""
+        return self._existence_by_id[node_id]
+
+    def component_index_id(self, node_id: int) -> int:
+        """Identity-component index of a node id."""
+        return self._component_index[node_id]
+
+    def edge_distribution_id(self, id_a: int, id_b: int):
+        """Merged edge distribution between two node ids, or ``None``."""
+        key = (id_a, id_b) if id_a < id_b else (id_b, id_a)
+        return self._edge_dist_by_id.get(key)
+
+    def edge_probability_id(self, id_a: int, id_b: int, label_a=None, label_b=None) -> float:
+        """``Pr((a, b).e = T)`` by node ids (labels required when conditional)."""
+        dist = self.edge_distribution_id(id_a, id_b)
+        if dist is None:
+            return 0.0
+        if dist.conditional:
+            if label_a is None or label_b is None:
+                raise QueryError(
+                    "conditional PEG requires endpoint labels for edge "
+                    "probabilities; use edge_max_probability_id for bounds"
+                )
+            return dist.probability(label_a, label_b)
+        return dist.probability()
+
+    def edge_max_probability_id(self, id_a: int, id_b: int, label_a=None, label_b=None) -> float:
+        """Upper bound of the edge probability, maximizing unknown labels."""
+        dist = self.edge_distribution_id(id_a, id_b)
+        if dist is None:
+            return 0.0
+        if dist.conditional:
+            return dist.max_probability(label_a, label_b)
+        return dist.probability()
+
+    def shares_references_id(self, id_a: int, id_b: int) -> bool:
+        """True if the two nodes' reference sets intersect.
+
+        Nodes in different identity components never share references, so
+        the common case is answered by an integer comparison.
+        """
+        if self._component_index[id_a] != self._component_index[id_b]:
+            return False
+        return bool(self._entity_list[id_a] & self._entity_list[id_b])
+
+    def existence_marginal_ids(self, node_ids: Iterable[int]) -> float:
+        """``Prn`` over node ids (grouped by component, exact within each)."""
+        return self.existence_marginal(
+            [self._entity_list[i] for i in node_ids]
+        )
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+
+    @property
+    def entities(self) -> tuple:
+        """All entity nodes (frozensets of references), insertion order."""
+        return tuple(self._labels)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of entity nodes in ``G_U``."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of entity edges with positive probability."""
+        return len(self._edges)
+
+    @property
+    def sigma(self) -> frozenset:
+        """Label alphabet observed across all entity label distributions."""
+        labels: set = set()
+        for dist in self._labels.values():
+            labels |= set(dist.support)
+        return frozenset(labels)
+
+    def neighbors(self, entity: Entity) -> frozenset:
+        """Adjacent entities of ``entity`` in ``G_U``."""
+        try:
+            return frozenset(self._adjacency[entity])
+        except KeyError:
+            raise ModelError(f"unknown entity {sorted(entity, key=repr)}") from None
+
+    def refs(self, entity: Entity) -> frozenset:
+        """Underlying references of an entity node (the set itself)."""
+        return frozenset(entity)
+
+    def share_references(self, entity_a: Entity, entity_b: Entity) -> bool:
+        """True if the two entities have a reference in common."""
+        return bool(entity_a & entity_b)
+
+    def has_edge(self, entity_a: Entity, entity_b: Entity) -> bool:
+        """True when ``G_U`` has an edge between the two entities."""
+        return frozenset((entity_a, entity_b)) in self._edges
+
+    def edges(self):
+        """Iterate over ``(frozenset({e1, e2}), merged distribution)``."""
+        return self._edges.items()
+
+    def possible_labels(self, entity: Entity) -> tuple:
+        """``L(entity)`` — labels with non-zero merged probability."""
+        return self._labels[entity].support
+
+    def label_distribution(self, entity: Entity) -> LabelDistribution:
+        """The merged label distribution of an entity node."""
+        return self._labels[entity]
+
+    def component_of(self, entity: Entity) -> IdentityComponent:
+        """The identity component containing ``entity``."""
+        return self._component_of[entity]
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+
+    def label_probability(self, entity: Entity, label) -> float:
+        """``Pr(entity.l = label)`` (merged node-label factor, Eq. 2)."""
+        return self._labels[entity].probability(label)
+
+    def edge_probability(
+        self, entity_a: Entity, entity_b: Entity, label_a=None, label_b=None
+    ) -> float:
+        """``Pr((a, b).e = T)``, conditioned on labels when the model is conditional.
+
+        For the independent model the labels are ignored. For the
+        conditional model (Section 5.3) both endpoint labels must be
+        given; raises :class:`QueryError` otherwise.
+        """
+        dist = self._edges.get(frozenset((entity_a, entity_b)))
+        if dist is None:
+            return 0.0
+        if dist.conditional:
+            if label_a is None or label_b is None:
+                raise QueryError(
+                    "conditional PEG requires endpoint labels for edge "
+                    "probabilities; use edge_max_probability for bounds"
+                )
+            return dist.probability(label_a, label_b)
+        return dist.probability()
+
+    def edge_max_probability(
+        self, entity_a: Entity, entity_b: Entity, label_a=None, label_b=None
+    ) -> float:
+        """Upper bound of the edge probability over unknown endpoint labels.
+
+        Implements the Section 5.3 adjustment used by ``ppu``/``fpu``:
+        maximize the CPT over any label argument passed as ``None``.
+        """
+        dist = self._edges.get(frozenset((entity_a, entity_b)))
+        if dist is None:
+            return 0.0
+        if dist.conditional:
+            return dist.max_probability(label_a, label_b)
+        return dist.probability()
+
+    def existence_probability(self, entity: Entity) -> float:
+        """``Pr(entity.n = T)`` — single-entity marginal of its component."""
+        return self._component_of[entity].existence_probability(entity)
+
+    def existence_marginal(self, entities: Iterable[Entity]) -> float:
+        """``Prn`` for a set of entities: product of component marginals (Eq. 12).
+
+        Entities are grouped by identity component; within a component the
+        exact joint marginal is used, across components independence holds
+        (Eq. 7). Returns zero when two entities share a reference.
+        """
+        by_component: dict = {}
+        for entity in entities:
+            component = self._component_of.get(entity)
+            if component is None:
+                raise ModelError(
+                    f"unknown entity {sorted(entity, key=repr)}"
+                )
+            by_component.setdefault(component.index, (component, []))[1].append(
+                entity
+            )
+        prob = 1.0
+        for component, members in by_component.values():
+            prob *= component.existence_marginal(members)
+            if prob == 0.0:
+                return 0.0
+        return prob
+
+    def match_probability(
+        self,
+        node_labels: Mapping[Entity, object],
+        edges: Iterable[FrozenSet[Entity]],
+    ) -> float:
+        """``Pr(M) = Prn(M) * Prle(M)`` for a labeled subgraph (Eq. 11-13)."""
+        prle = self.prle(node_labels, edges)
+        if prle == 0.0:
+            return 0.0
+        return prle * self.existence_marginal(node_labels.keys())
+
+    def prle(
+        self,
+        node_labels: Mapping[Entity, object],
+        edges: Iterable[FrozenSet[Entity]],
+    ) -> float:
+        """Label-and-edge probability component ``Prle`` (Eq. 13)."""
+        prob = 1.0
+        for entity, label in node_labels.items():
+            prob *= self.label_probability(entity, label)
+            if prob == 0.0:
+                return 0.0
+        for pair in edges:
+            entity_a, entity_b = tuple(pair)
+            prob *= self.edge_probability(
+                entity_a,
+                entity_b,
+                node_labels.get(entity_a),
+                node_labels.get(entity_b),
+            )
+            if prob == 0.0:
+                return 0.0
+        return prob
+
+    def stats(self) -> dict:
+        """Summary counts for reports and tests."""
+        nontrivial = [c for c in self.components if not c.is_trivial]
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "labels": len(self.sigma),
+            "components": len(self.components),
+            "nontrivial_components": len(nontrivial),
+            "max_component_refs": max(
+                (len(c.references) for c in self.components), default=0
+            ),
+            "conditional": self.conditional,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"ProbabilisticEntityGraph(nodes={s['nodes']}, edges={s['edges']}, "
+            f"components={s['components']}, conditional={s['conditional']})"
+        )

@@ -1,0 +1,54 @@
+"""Interoperability: export ``G_U`` as a networkx graph.
+
+Downstream users often want to run off-the-shelf graph analytics
+(centrality, communities, visualization) on the entity graph. This
+module renders a PEG into a :class:`networkx.Graph` carrying the
+probabilistic annotations as node/edge attributes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+
+
+def to_networkx(peg: ProbabilisticEntityGraph) -> "nx.Graph":
+    """Convert the PEG's ``G_U`` into a networkx graph.
+
+    Node keys are the entity frozensets. Node attributes:
+
+    * ``labels`` — ``{label: probability}`` merged distribution,
+    * ``existence`` — ``Pr(v.n = T)``,
+    * ``component`` — identity-component index,
+    * ``references`` — sorted list of underlying references.
+
+    Edge attributes:
+
+    * ``probability`` — ``Pr(e = T)`` for the independent model,
+    * ``max_probability`` — the CPT maximum for the conditional model
+      (plus ``cpt``, the full table, when conditional).
+    """
+    graph = nx.Graph()
+    for entity in peg.entities:
+        graph.add_node(
+            entity,
+            labels=peg.label_distribution(entity).as_dict(),
+            existence=peg.existence_probability(entity),
+            component=peg.component_of(entity).index,
+            references=sorted(entity, key=repr),
+        )
+    for pair, dist in peg.edges():
+        entity_a, entity_b = tuple(pair)
+        if dist.conditional:
+            graph.add_edge(
+                entity_a,
+                entity_b,
+                max_probability=dist.max_probability(),
+                cpt={labels: prob for labels, prob in dist.items()},
+            )
+        else:
+            graph.add_edge(
+                entity_a, entity_b, probability=dist.probability()
+            )
+    return graph

@@ -1,0 +1,172 @@
+"""Possible-world enumeration — the exact semantics of Eq. 8.
+
+Only feasible for small PEGs (the world count is exponential in the
+number of uncertain elements), but invaluable as a ground-truth oracle:
+integration and property tests validate both ``match_probability`` and
+the entire optimized query engine against results computed here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from repro.peg.entity_graph import Entity, ProbabilisticEntityGraph
+from repro.utils.errors import ModelError
+
+#: Safety cap on the number of worlds enumerate_worlds may generate.
+DEFAULT_WORLD_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class PossibleWorld:
+    """One labeled possible world graph with its probability."""
+
+    labels: Tuple[Tuple[Entity, object], ...]
+    edges: FrozenSet[FrozenSet[Entity]]
+    probability: float
+
+    @property
+    def entities(self) -> frozenset:
+        """Entities existing in this world."""
+        return frozenset(entity for entity, _ in self.labels)
+
+    @property
+    def label_of(self) -> dict:
+        """Mapping ``entity -> label`` of this world."""
+        return dict(self.labels)
+
+
+def enumerate_worlds(
+    peg: ProbabilisticEntityGraph,
+    limit: int = DEFAULT_WORLD_LIMIT,
+) -> Iterator[PossibleWorld]:
+    """Yield every possible world graph of ``peg`` with positive probability.
+
+    Worlds are produced by composing, in order:
+
+    1. one configuration per identity component (node existence),
+    2. one label per existing entity (node labels),
+    3. one existence decision per candidate edge between existing
+       entities (edge existence, conditioned on labels when the PEG is
+       conditional).
+
+    Raises :class:`ModelError` when the world count would exceed ``limit``.
+    """
+    _check_world_budget(peg, limit)
+    config_lists = [component.configurations for component in peg.components]
+    entity_set = set(peg.entities)
+    for chosen_configs in itertools.product(*config_lists):
+        prob_n = 1.0
+        existing = []
+        for cfg in chosen_configs:
+            prob_n *= cfg.probability
+            existing.extend(e for e in cfg.chosen if e in entity_set)
+        if prob_n == 0.0:
+            continue
+        existing.sort(key=repr)
+        yield from _expand_labels_and_edges(peg, existing, prob_n)
+
+
+def _expand_labels_and_edges(
+    peg: ProbabilisticEntityGraph, existing: list, prob_n: float
+) -> Iterator[PossibleWorld]:
+    label_options = [
+        [(entity, label, peg.label_probability(entity, label))
+         for label in peg.possible_labels(entity)]
+        for entity in existing
+    ]
+    candidate_edges = [
+        pair for pair, _ in peg.edges() if pair <= set(existing)
+    ]
+    for labeling in itertools.product(*label_options):
+        prob_l = prob_n
+        label_of = {}
+        for entity, label, p in labeling:
+            prob_l *= p
+            label_of[entity] = label
+        if prob_l == 0.0:
+            continue
+        edge_options = []
+        for pair in candidate_edges:
+            entity_a, entity_b = tuple(pair)
+            p_edge = peg.edge_probability(
+                entity_a, entity_b, label_of[entity_a], label_of[entity_b]
+            )
+            options = []
+            if p_edge > 0.0:
+                options.append((pair, True, p_edge))
+            if p_edge < 1.0:
+                options.append((pair, False, 1.0 - p_edge))
+            edge_options.append(options)
+        labels_tuple = tuple(
+            sorted(label_of.items(), key=lambda kv: repr(kv[0]))
+        )
+        for decisions in itertools.product(*edge_options):
+            prob = prob_l
+            present = set()
+            for pair, exists, p in decisions:
+                prob *= p
+                if exists:
+                    present.add(pair)
+            if prob > 0.0:
+                yield PossibleWorld(
+                    labels=labels_tuple,
+                    edges=frozenset(present),
+                    probability=prob,
+                )
+
+
+def _check_world_budget(peg: ProbabilisticEntityGraph, limit: int) -> None:
+    estimate = 1
+    for component in peg.components:
+        if component.configurations is None:
+            raise ModelError(
+                "possible worlds cannot be enumerated: component "
+                f"{component.index} uses approximate marginals"
+            )
+        estimate *= max(1, len(component.configurations))
+        if estimate > limit:
+            raise ModelError(
+                f"possible-world count exceeds limit {limit}; "
+                "enumerate_worlds is only intended for small PEGs"
+            )
+    for entity in peg.entities:
+        estimate *= max(1, len(peg.possible_labels(entity)))
+        if estimate > limit:
+            raise ModelError(
+                f"possible-world count exceeds limit {limit}; "
+                "enumerate_worlds is only intended for small PEGs"
+            )
+    estimate *= 2 ** peg.num_edges
+    if estimate > limit:
+        raise ModelError(
+            f"possible-world count exceeds limit {limit}; "
+            "enumerate_worlds is only intended for small PEGs"
+        )
+
+
+def world_match_probability(
+    peg: ProbabilisticEntityGraph,
+    node_labels: Mapping[Entity, object],
+    edges: Iterable[FrozenSet[Entity]],
+    limit: int = DEFAULT_WORLD_LIMIT,
+) -> float:
+    """Exact ``Pr(M)`` by summing over all worlds containing the match.
+
+    This is the literal Definition 4: the sum of the probabilities of all
+    possible worlds in which every match node exists with its required
+    label and every match edge is present. Used by tests to validate
+    :meth:`ProbabilisticEntityGraph.match_probability`.
+    """
+    required_edges = {frozenset(pair) for pair in edges}
+    total = 0.0
+    for world in enumerate_worlds(peg, limit=limit):
+        label_of = world.label_of
+        if all(
+            entity in label_of and label_of[entity] == label
+            for entity, label in node_labels.items()
+        ) and required_edges <= world.edges:
+            total += world.probability
+    return total

@@ -1,0 +1,69 @@
+"""Probabilistic Graph Description (PGD) — the reference-level input model.
+
+A PGD (Definition 1 of the paper) specifies:
+
+* a set of references ``R`` with a label distribution each,
+* edge-existence distributions over pairs of references (independent
+  Bernoulli, or label-conditioned CPTs for the correlated variant of
+  Section 5.3),
+* a set ``S`` of reference sets (potential entities) with existence
+  potentials, always including all singletons,
+* merge functions ``m_Sigma`` and ``m_{T,F}`` used to aggregate reference
+  distributions into entity distributions.
+"""
+
+from repro.pgd.distributions import (
+    LabelDistribution,
+    BernoulliEdge,
+    ConditionalEdge,
+)
+from repro.pgd.merge import (
+    MergeFunctions,
+    average_labels,
+    average_edges,
+    disjunct_edges,
+    max_edges,
+    get_merge_functions,
+    register_merge_functions,
+)
+from repro.pgd.model import PGD
+from repro.pgd.builders import (
+    pgd_from_edge_list,
+    pair_merge_potentials,
+    reference_sets_from_similarity,
+)
+from repro.pgd.closure import (
+    add_transitive_closure,
+    transitive_closure_sets,
+    geometric_mean_combiner,
+)
+from repro.pgd.io import (
+    load_pgd_json,
+    save_pgd_json,
+    pgd_to_dict,
+    pgd_from_dict,
+)
+
+__all__ = [
+    "LabelDistribution",
+    "BernoulliEdge",
+    "ConditionalEdge",
+    "MergeFunctions",
+    "average_labels",
+    "average_edges",
+    "disjunct_edges",
+    "max_edges",
+    "get_merge_functions",
+    "register_merge_functions",
+    "PGD",
+    "pgd_from_edge_list",
+    "pair_merge_potentials",
+    "reference_sets_from_similarity",
+    "add_transitive_closure",
+    "transitive_closure_sets",
+    "geometric_mean_combiner",
+    "load_pgd_json",
+    "save_pgd_json",
+    "pgd_to_dict",
+    "pgd_from_dict",
+]

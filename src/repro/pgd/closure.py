@@ -1,0 +1,160 @@
+"""Transitive-closure merging constraints (the paper's future work).
+
+Section 8 names "other types of entity merging constraints such as
+transitive closure" as future work. This module implements it: when the
+pair sets {a, b} and {b, c} are declared, transitivity of identity
+suggests {a, b, c} should be a candidate entity too — all three mentions
+may refer to one real-world object.
+
+:func:`transitive_closure_sets` expands a collection of seed reference
+sets into all connected unions reachable by overlap chaining, assigning
+potentials through a combiner (geometric mean of the member pair
+potentials by default, damped by an optional decay per extra member).
+:func:`add_transitive_closure` applies the expansion to a PGD in place.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Mapping, Tuple
+
+from repro.pgd.model import PGD
+from repro.utils.errors import ModelError
+
+#: Safety cap on the number of reference sets one closure may produce.
+DEFAULT_CLOSURE_LIMIT = 64
+
+
+def geometric_mean_combiner(pair_potentials: Iterable[float]) -> float:
+    """Default potential combiner: geometric mean of the pair evidence."""
+    values = [float(p) for p in pair_potentials]
+    if not values:
+        raise ModelError("combiner needs at least one pair potential")
+    if any(v <= 0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def transitive_closure_sets(
+    seed_sets: Mapping[frozenset, float],
+    combiner=geometric_mean_combiner,
+    decay: float = 1.0,
+    limit: int = DEFAULT_CLOSURE_LIMIT,
+) -> dict:
+    """Expand seed reference sets into their overlap-closure.
+
+    Parameters
+    ----------
+    seed_sets:
+        ``{frozenset of references: potential}`` — typically pair sets
+        from an entity-resolution pass.
+    combiner:
+        Combines the potentials of the seed sets *contained in* a closure
+        union into the union's potential.
+    decay:
+        Multiplicative damping applied per member beyond two — larger
+        merged entities demand more evidence. ``1.0`` disables damping.
+    limit:
+        Maximum number of derived sets per connected overlap component
+        (identity components must stay small for exact inference).
+
+    Returns
+    -------
+    ``{frozenset: potential}`` containing every union of two or more
+    overlapping seed sets (the seeds themselves are *not* included).
+    """
+    if not 0.0 < decay <= 1.0:
+        raise ModelError(f"decay must be in (0, 1], got {decay}")
+    seeds = {frozenset(s): float(p) for s, p in seed_sets.items()}
+    components = _overlap_components(list(seeds))
+    derived: dict = {}
+    for component in components:
+        if len(component) < 2:
+            continue
+        unions: dict = {}
+        for count in range(2, len(component) + 1):
+            for subset in itertools.combinations(component, count):
+                if not _is_connected(subset):
+                    continue
+                union = frozenset().union(*subset)
+                if union in seeds or union in unions:
+                    continue
+                supporting = [p for s, p in seeds.items() if s <= union]
+                potential = combiner(supporting)
+                potential *= decay ** max(0, len(union) - 2)
+                unions[union] = potential
+                if len(unions) > limit:
+                    raise ModelError(
+                        f"transitive closure produced more than {limit} "
+                        "sets in one component; cap the seed overlap or "
+                        "raise the limit"
+                    )
+        derived.update(unions)
+    return derived
+
+
+def add_transitive_closure(
+    pgd: PGD,
+    combiner=geometric_mean_combiner,
+    decay: float = 0.9,
+) -> Tuple[frozenset, ...]:
+    """Add closure sets for the PGD's declared reference sets, in place.
+
+    Returns the tuple of newly added reference sets. Potentials are
+    combined from the contained seed sets and damped by ``decay`` per
+    member beyond two.
+    """
+    derived = transitive_closure_sets(
+        pgd.declared_sets(), combiner=combiner, decay=decay
+    )
+    added = []
+    for refs, potential in sorted(derived.items(), key=lambda kv: repr(kv[0])):
+        if potential <= 0.0:
+            continue
+        pgd.add_reference_set(refs, min(potential, 1.0))
+        added.append(refs)
+    return tuple(added)
+
+
+def _overlap_components(sets: list) -> list:
+    """Group sets into connected components by member overlap."""
+    parent = list(range(len(sets)))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    member_index: dict = {}
+    for i, refs in enumerate(sets):
+        for ref in refs:
+            if ref in member_index:
+                ra, rb = find(member_index[ref]), find(i)
+                if ra != rb:
+                    parent[rb] = ra
+            else:
+                member_index[ref] = i
+    groups: dict = {}
+    for i, refs in enumerate(sets):
+        groups.setdefault(find(i), []).append(refs)
+    return list(groups.values())
+
+
+def _is_connected(subset: tuple) -> bool:
+    """True when the chosen seed sets chain together by overlap."""
+    remaining = list(subset)
+    frontier = [remaining.pop()]
+    covered = set(frontier[0])
+    while remaining:
+        extended = False
+        for i, candidate in enumerate(remaining):
+            if candidate & covered:
+                covered |= candidate
+                remaining.pop(i)
+                extended = True
+                break
+        if not extended:
+            return False
+    return True

@@ -1,0 +1,144 @@
+"""PGD interchange: JSON import/export.
+
+A PGD round-trips through a plain JSON document so uncertain graphs can
+be produced by external pipelines (extractors, entity-resolution jobs)
+and versioned alongside code. The format::
+
+    {
+      "format": "repro-pgd",
+      "version": 1,
+      "merge": "average",
+      "references": {"r1": {"a": 0.75, "r": 0.25}, "r2": {"a": 1.0}},
+      "edges": [
+        {"refs": ["r1", "r2"], "probability": 0.9},
+        {"refs": ["r1", "r3"],
+         "cpt": [{"labels": ["a", "a"], "probability": 0.9}],
+         "default": 0.1}
+      ],
+      "reference_sets": [
+        {"refs": ["r3", "r4"], "potential": 0.8}
+      ],
+      "singleton_potentials": {"r3": 0.6}
+    }
+
+Reference names are JSON strings; non-string reference objects are
+stringified on export (a warning-free, lossy-by-design choice — JSON has
+no richer key type).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.pgd.distributions import ConditionalEdge
+from repro.pgd.model import PGD
+from repro.utils.errors import ModelError
+
+FORMAT_NAME = "repro-pgd"
+FORMAT_VERSION = 1
+
+
+def pgd_to_dict(pgd: PGD) -> dict:
+    """Serialize a PGD into the JSON-ready dictionary format."""
+    references = {
+        str(ref): {
+            str(label): prob
+            for label, prob in pgd.label_distribution(ref).items()
+        }
+        for ref in pgd.references
+    }
+    edges = []
+    for pair, dist in pgd.edges():
+        ref_a, ref_b = sorted(pair, key=str)
+        entry: dict = {"refs": [str(ref_a), str(ref_b)]}
+        if dist.conditional:
+            entry["cpt"] = [
+                {"labels": [str(l1), str(l2)], "probability": prob}
+                for (l1, l2), prob in sorted(dist.items(), key=repr)
+            ]
+            entry["default"] = dist.default
+        else:
+            entry["probability"] = dist.probability()
+        edges.append(entry)
+    reference_sets = [
+        {"refs": sorted(map(str, refs)), "potential": potential}
+        for refs, potential in sorted(
+            pgd.declared_sets().items(), key=lambda kv: repr(kv[0])
+        )
+    ]
+    singleton_potentials = {
+        str(ref): potential
+        for ref, potential in sorted(
+            pgd._singleton_overrides.items(), key=lambda kv: repr(kv[0])
+        )
+    }
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "merge": pgd.merge.name,
+        "references": references,
+        "edges": edges,
+        "reference_sets": reference_sets,
+        "singleton_potentials": singleton_potentials,
+    }
+
+
+def pgd_from_dict(document: Mapping) -> PGD:
+    """Deserialize the dictionary format back into a PGD."""
+    if not isinstance(document, Mapping):
+        raise ModelError("PGD document must be a JSON object")
+    if document.get("format") != FORMAT_NAME:
+        raise ModelError(
+            f"not a {FORMAT_NAME} document (format={document.get('format')!r})"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported PGD document version {document.get('version')!r}"
+        )
+    pgd = PGD(merge=document.get("merge", "average"))
+    references = document.get("references")
+    if not isinstance(references, Mapping) or not references:
+        raise ModelError("PGD document needs a non-empty 'references' object")
+    for ref, labels in references.items():
+        pgd.add_reference(ref, labels)
+    for entry in document.get("edges", ()):
+        refs = entry.get("refs")
+        if not isinstance(refs, (list, tuple)) or len(refs) != 2:
+            raise ModelError(f"edge entry {entry!r} needs two refs")
+        if "cpt" in entry:
+            cpt = {
+                tuple(row["labels"]): row["probability"]
+                for row in entry["cpt"]
+            }
+            dist = ConditionalEdge(cpt, default=entry.get("default", 0.0))
+            pgd.add_edge(refs[0], refs[1], dist)
+        elif "probability" in entry:
+            pgd.add_edge(refs[0], refs[1], entry["probability"])
+        else:
+            raise ModelError(
+                f"edge entry {entry!r} needs 'probability' or 'cpt'"
+            )
+    for entry in document.get("reference_sets", ()):
+        pgd.add_reference_set(entry["refs"], entry["potential"])
+    for ref, potential in document.get("singleton_potentials", {}).items():
+        pgd.set_singleton_potential(ref, potential)
+    pgd.validate()
+    return pgd
+
+
+def save_pgd_json(pgd: PGD, path: str) -> None:
+    """Write a PGD to ``path`` as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(pgd_to_dict(pgd), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_pgd_json(path: str) -> PGD:
+    """Read a PGD previously written by :func:`save_pgd_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"{path!r} is not valid JSON: {exc}") from exc
+    return pgd_from_dict(document)

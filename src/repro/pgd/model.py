@@ -1,0 +1,223 @@
+"""The Probabilistic Graph Description (PGD) container — Definition 1.
+
+A :class:`PGD` collects the reference-level uncertain data:
+
+* references with label distributions (attribute uncertainty),
+* reference-pair edge distributions (edge existence uncertainty),
+* reference sets with existence potentials (identity uncertainty),
+* the merge functions used to lift reference data to entity data.
+
+``S`` always contains all singletons. Singleton potentials default to
+``1.0`` and can be overridden — lowering them shifts probability mass
+toward merged configurations of the components they participate in
+(see :mod:`repro.pgm.configurations` for the exact semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.pgd.distributions import (
+    BernoulliEdge,
+    ConditionalEdge,
+    LabelDistribution,
+)
+from repro.pgd.merge import MergeFunctions, get_merge_functions
+from repro.utils.errors import ModelError
+from repro.utils.validation import check_probability
+
+
+def _as_label_distribution(value) -> LabelDistribution:
+    if isinstance(value, LabelDistribution):
+        return value
+    if isinstance(value, Mapping):
+        return LabelDistribution(value)
+    return LabelDistribution.certain(value)
+
+
+def _as_edge_distribution(value):
+    if isinstance(value, (BernoulliEdge, ConditionalEdge)):
+        return value
+    if isinstance(value, Mapping):
+        return ConditionalEdge(value)
+    return BernoulliEdge(value)
+
+
+class PGD:
+    """Reference-level probabilistic graph description.
+
+    Parameters
+    ----------
+    merge:
+        Either a :class:`~repro.pgd.merge.MergeFunctions` instance or the
+        name of a registered pair (``"average"``, ``"disjunct"``, ``"max"``).
+    """
+
+    def __init__(self, merge="average") -> None:
+        if isinstance(merge, MergeFunctions):
+            self.merge = merge
+        else:
+            self.merge = get_merge_functions(merge)
+        self._labels: dict = {}
+        self._edges: dict = {}
+        self._set_potentials: dict = {}
+        self._singleton_overrides: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_reference(self, reference, labels) -> None:
+        """Declare ``reference`` with a label distribution.
+
+        ``labels`` may be a :class:`LabelDistribution`, a mapping
+        ``{label: probability}``, or a bare label (certain attribute).
+        """
+        if reference in self._labels:
+            raise ModelError(f"reference {reference!r} already declared")
+        self._labels[reference] = _as_label_distribution(labels)
+
+    def add_edge(self, ref_1, ref_2, distribution) -> None:
+        """Declare an edge-existence distribution between two references.
+
+        ``distribution`` may be a probability (independent Bernoulli), a
+        mapping ``{(label_1, label_2): probability}`` (conditional CPT), or
+        a prebuilt distribution object. Edges are undirected; redeclaring a
+        pair is an error.
+        """
+        if ref_1 == ref_2:
+            raise ModelError(f"self-loop edge on reference {ref_1!r}")
+        for ref in (ref_1, ref_2):
+            if ref not in self._labels:
+                raise ModelError(
+                    f"edge endpoint {ref!r} is not a declared reference"
+                )
+        key = frozenset((ref_1, ref_2))
+        if key in self._edges:
+            raise ModelError(
+                f"edge between {ref_1!r} and {ref_2!r} already declared"
+            )
+        self._edges[key] = _as_edge_distribution(distribution)
+
+    def add_reference_set(self, references: Iterable, potential: float) -> None:
+        """Declare a non-singleton reference set with existence potential.
+
+        The potential is the factor value ``p_s(s.x = T)`` used by the
+        node-existence factors; configuration probabilities are obtained
+        by normalizing over all exact covers of the component.
+        """
+        refs = frozenset(references)
+        if len(refs) < 2:
+            raise ModelError(
+                "reference sets added explicitly must contain at least two "
+                "references; singletons are implicit"
+            )
+        missing = [r for r in refs if r not in self._labels]
+        if missing:
+            raise ModelError(f"reference set contains undeclared references: {missing}")
+        if refs in self._set_potentials:
+            raise ModelError(f"reference set {sorted(refs, key=repr)} already declared")
+        self._set_potentials[refs] = check_probability(
+            potential, "reference-set potential"
+        )
+
+    def set_singleton_potential(self, reference, potential: float) -> None:
+        """Override the existence potential of ``reference``'s singleton set."""
+        if reference not in self._labels:
+            raise ModelError(f"unknown reference {reference!r}")
+        self._singleton_overrides[reference] = check_probability(
+            potential, "singleton potential"
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def references(self) -> tuple:
+        """All declared references, in insertion order."""
+        return tuple(self._labels)
+
+    @property
+    def sigma(self) -> frozenset:
+        """The label alphabet: union of all label-distribution supports."""
+        labels: set = set()
+        for dist in self._labels.values():
+            labels |= set(dist.support)
+        return frozenset(labels)
+
+    def label_distribution(self, reference) -> LabelDistribution:
+        """The label distribution of a declared reference."""
+        try:
+            return self._labels[reference]
+        except KeyError:
+            raise ModelError(f"unknown reference {reference!r}") from None
+
+    def edge_distribution(self, ref_1, ref_2):
+        """The edge distribution of a declared pair, or ``None`` if absent."""
+        return self._edges.get(frozenset((ref_1, ref_2)))
+
+    def edges(self):
+        """Iterate over ``(frozenset({r1, r2}), distribution)`` pairs."""
+        return self._edges.items()
+
+    def reference_sets(self) -> dict:
+        """All of ``S`` with potentials: declared sets plus all singletons."""
+        sets = {
+            frozenset((ref,)): self._singleton_overrides.get(ref, 1.0)
+            for ref in self._labels
+        }
+        sets.update(self._set_potentials)
+        return sets
+
+    def declared_sets(self) -> dict:
+        """Only the explicitly declared (non-singleton) reference sets."""
+        return dict(self._set_potentials)
+
+    @property
+    def has_conditional_edges(self) -> bool:
+        """True if any edge uses a label-conditioned CPT (Section 5.3 mode)."""
+        return any(dist.conditional for dist in self._edges.values())
+
+    # ------------------------------------------------------------------
+    # Validation / stats
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check global consistency; raises :class:`ModelError` on problems.
+
+        Verifies that every reference participating in a multi-reference
+        set can still be covered (trivially true since singletons are
+        implicit) and that conditional CPT labels are drawn from Sigma.
+        """
+        if not self._labels:
+            raise ModelError("PGD has no references")
+        sigma = self.sigma
+        for key, dist in self._edges.items():
+            if dist.conditional:
+                for (l1, l2), _ in dist.items():
+                    for label in (l1, l2):
+                        if label not in sigma:
+                            raise ModelError(
+                                f"edge {sorted(key, key=repr)} CPT uses label "
+                                f"{label!r} outside the alphabet {sorted(sigma, key=repr)}"
+                            )
+
+    def stats(self) -> dict:
+        """Summary counts used by dataset reports and tests."""
+        return {
+            "references": len(self._labels),
+            "edges": len(self._edges),
+            "reference_sets": len(self._set_potentials),
+            "labels": len(self.sigma),
+            "conditional_edges": sum(
+                1 for d in self._edges.values() if d.conditional
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"PGD(references={s['references']}, edges={s['edges']}, "
+            f"reference_sets={s['reference_sets']}, merge={self.merge.name!r})"
+        )

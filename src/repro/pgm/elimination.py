@@ -1,0 +1,120 @@
+"""Exact inference by variable elimination.
+
+Used to compute marginals over small factor sets — in particular the
+node-existence marginals of identity-uncertainty components when the
+caller prefers generic inference over the specialised exact-cover
+enumeration in :mod:`repro.pgm.configurations`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.pgm.factor import Factor, product
+from repro.utils.errors import ModelError
+
+
+def _min_degree_order(factors: Sequence[Factor], keep: set) -> list:
+    """Greedy min-degree elimination order over variables not in ``keep``."""
+    adjacency: dict = {}
+    for factor in factors:
+        for var in factor.variables:
+            adjacency.setdefault(var, set())
+        for var_a in factor.variables:
+            for var_b in factor.variables:
+                if var_a != var_b:
+                    adjacency[var_a].add(var_b)
+    to_eliminate = set(adjacency) - keep
+    order = []
+    while to_eliminate:
+        var = min(
+            to_eliminate,
+            key=lambda v: (len(adjacency[v] & to_eliminate), str(v)),
+        )
+        order.append(var)
+        neighbors = adjacency[var]
+        for nbr in neighbors:
+            adjacency[nbr] |= neighbors - {nbr} - {var}
+            adjacency[nbr].discard(var)
+        to_eliminate.remove(var)
+    return order
+
+
+def variable_elimination(
+    factors: Iterable[Factor],
+    query_variables: Sequence,
+    evidence: Mapping | None = None,
+    normalize: bool = True,
+) -> Factor:
+    """Compute the (optionally normalized) marginal over ``query_variables``.
+
+    Parameters
+    ----------
+    factors:
+        The factors of the model.
+    query_variables:
+        Variables to keep; all others are summed out.
+    evidence:
+        Optional partial assignment to condition on before elimination.
+    normalize:
+        If true (default), the returned factor is normalized to a
+        probability distribution; otherwise raw marginal mass is returned,
+        which callers can use to compute partition functions.
+    """
+    factors = [f for f in factors]
+    if not factors:
+        raise ModelError("variable_elimination requires at least one factor")
+    if evidence:
+        factors = [f.reduce(evidence) for f in factors]
+    query = list(query_variables)
+    all_vars = set()
+    for factor in factors:
+        all_vars |= set(factor.variables)
+    missing = [v for v in query if v not in all_vars]
+    if missing:
+        raise ModelError(f"query variables not in model: {missing}")
+
+    order = _min_degree_order(factors, keep=set(query))
+    work = list(factors)
+    for var in order:
+        involved = [f for f in work if var in f.variables]
+        if not involved:
+            continue
+        remaining = [f for f in work if var not in f.variables]
+        combined = product(involved)
+        if set(combined.variables) == {var}:
+            # Summing out the only variable would leave no axes; fold the
+            # mass into a constant factor instead.
+            mass = combined.partition
+            reduced = Factor(("__const__",), {"__const__": (0,)}, [mass])
+        else:
+            reduced = combined.marginalize([var])
+        work = remaining + [reduced]
+
+    result = product(work)
+    # Drop helper constant axes introduced by full reductions.
+    extra = [v for v in result.variables if v not in query]
+    for var in extra:
+        if len(result.variables) == 1:
+            break
+        result = result.marginalize([var])
+    if normalize:
+        result = result.normalize()
+    return result
+
+
+def joint_probability(factors: Iterable[Factor], assignment: Mapping) -> float:
+    """Normalized probability of a full ``assignment`` under the factor product.
+
+    Computes ``(1/Z) * prod_f f(assignment_f)`` where ``Z`` is obtained by
+    summing the factor product over all assignments (exact, so intended
+    for small models and tests).
+    """
+    factors = list(factors)
+    if not factors:
+        raise ModelError("joint_probability requires at least one factor")
+    joint = product(factors)
+    z = joint.partition
+    if z <= 0:
+        raise ModelError("model has zero total probability mass")
+    return joint.get(assignment) / z

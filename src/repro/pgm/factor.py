@@ -1,0 +1,214 @@
+"""Discrete factors over named random variables.
+
+A :class:`Factor` maps joint assignments of a tuple of variables to
+non-negative real values. Factors are the building block of the PEG's
+graphical model: node-existence factors (Eq. 1), node-label factors
+(Eq. 2) and edge-existence factors (Eq. 3) are all instances.
+
+The implementation stores values densely in a numpy array with one axis
+per variable, which keeps products and marginalizations simple and exact
+for the small factors that arise in identity-uncertainty components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.errors import ModelError
+
+
+class Factor:
+    """A discrete factor ``f(X_1, ..., X_k) -> value >= 0``.
+
+    Parameters
+    ----------
+    variables:
+        Ordered variable names. Must be unique.
+    domains:
+        Mapping from variable name to an ordered sequence of outcomes.
+    values:
+        Array-like of shape ``tuple(len(domains[v]) for v in variables)``.
+        All entries must be non-negative and finite.
+    """
+
+    def __init__(self, variables: Sequence, domains: Mapping, values) -> None:
+        variables = tuple(variables)
+        if len(set(variables)) != len(variables):
+            raise ModelError(f"duplicate variables in factor: {variables}")
+        for var in variables:
+            if var not in domains:
+                raise ModelError(f"missing domain for variable {var!r}")
+            if len(domains[var]) == 0:
+                raise ModelError(f"empty domain for variable {var!r}")
+        self.variables = variables
+        self.domains = {var: tuple(domains[var]) for var in variables}
+        array = np.asarray(values, dtype=float)
+        expected = tuple(len(self.domains[var]) for var in variables)
+        if array.shape != expected:
+            raise ModelError(
+                f"factor values shape {array.shape} does not match domain "
+                f"shape {expected} for variables {variables}"
+            )
+        if not np.all(np.isfinite(array)) or np.any(array < 0):
+            raise ModelError("factor values must be finite and non-negative")
+        self.values = array
+        self._index = {
+            var: {outcome: i for i, outcome in enumerate(self.domains[var])}
+            for var in variables
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_distribution(cls, variable, distribution: Mapping) -> "Factor":
+        """Build a single-variable factor from ``{outcome: probability}``."""
+        outcomes = tuple(distribution.keys())
+        values = np.array([distribution[o] for o in outcomes], dtype=float)
+        return cls((variable,), {variable: outcomes}, values)
+
+    @classmethod
+    def from_function(cls, variables, domains, fn) -> "Factor":
+        """Build a factor by evaluating ``fn(assignment_dict)`` on every cell."""
+        variables = tuple(variables)
+        domains = {var: tuple(domains[var]) for var in variables}
+        shape = tuple(len(domains[var]) for var in variables)
+        values = np.empty(shape, dtype=float)
+        for idx in np.ndindex(*shape):
+            assignment = {
+                var: domains[var][i] for var, i in zip(variables, idx)
+            }
+            values[idx] = fn(assignment)
+        return cls(variables, domains, values)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, assignment: Mapping) -> float:
+        """Value of the factor at a full assignment of its variables."""
+        idx = tuple(
+            self._index[var][assignment[var]] for var in self.variables
+        )
+        return float(self.values[idx])
+
+    def assignments(self) -> Iterable[dict]:
+        """Iterate over all joint assignments of the factor's variables."""
+        shape = self.values.shape
+        for idx in np.ndindex(*shape):
+            yield {
+                var: self.domains[var][i]
+                for var, i in zip(self.variables, idx)
+            }
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Factor product ``self * other`` over the union of variables."""
+        merged_vars = list(self.variables)
+        for var in other.variables:
+            if var not in self.domains:
+                merged_vars.append(var)
+            elif self.domains[var] != other.domains[var]:
+                raise ModelError(
+                    f"incompatible domains for variable {var!r}: "
+                    f"{self.domains[var]} vs {other.domains[var]}"
+                )
+        merged_domains = dict(self.domains)
+        merged_domains.update(other.domains)
+        left = self._broadcast(merged_vars, merged_domains)
+        right = other._broadcast(merged_vars, merged_domains)
+        return Factor(merged_vars, merged_domains, left * right)
+
+    def _broadcast(self, variables, domains) -> np.ndarray:
+        """Expand ``self.values`` to the axis layout given by ``variables``."""
+        # Move existing axes into position, then add new axes of size one
+        # and broadcast.
+        src_positions = [variables.index(var) for var in self.variables]
+        shape = [1] * len(variables)
+        for var, pos in zip(self.variables, src_positions):
+            shape[pos] = len(domains[var])
+        array = self.values
+        # Reorder self's axes to the relative order they appear in
+        # `variables`, then reshape with singleton axes elsewhere.
+        order = np.argsort(src_positions)
+        array = np.transpose(array, axes=order)
+        array = array.reshape(shape)
+        full_shape = tuple(len(domains[var]) for var in variables)
+        return np.broadcast_to(array, full_shape)
+
+    def marginalize(self, variables) -> "Factor":
+        """Sum out ``variables`` and return the reduced factor."""
+        to_remove = set(variables)
+        unknown = to_remove - set(self.variables)
+        if unknown:
+            raise ModelError(f"cannot marginalize unknown variables: {unknown}")
+        keep = [var for var in self.variables if var not in to_remove]
+        if not keep:
+            raise ModelError("cannot marginalize all variables of a factor")
+        axes = tuple(
+            i for i, var in enumerate(self.variables) if var in to_remove
+        )
+        values = self.values.sum(axis=axes)
+        domains = {var: self.domains[var] for var in keep}
+        return Factor(keep, domains, values)
+
+    def reduce(self, evidence: Mapping) -> "Factor":
+        """Condition on ``evidence`` (a partial assignment), dropping those axes."""
+        relevant = {
+            var: val for var, val in evidence.items() if var in self._index
+        }
+        if not relevant:
+            return self
+        keep = [var for var in self.variables if var not in relevant]
+        indexer = []
+        for var in self.variables:
+            if var in relevant:
+                value = relevant[var]
+                if value not in self._index[var]:
+                    raise ModelError(
+                        f"evidence value {value!r} not in domain of {var!r}"
+                    )
+                indexer.append(self._index[var][value])
+            else:
+                indexer.append(slice(None))
+        values = self.values[tuple(indexer)]
+        if not keep:
+            # Fully reduced: represent as a constant factor over a dummy
+            # variable so downstream algebra still works.
+            return Factor(
+                ("__const__",), {"__const__": (0,)}, np.array([float(values)])
+            )
+        domains = {var: self.domains[var] for var in keep}
+        return Factor(keep, domains, values)
+
+    def normalize(self) -> "Factor":
+        """Scale values so they sum to one (raises if the total mass is zero)."""
+        total = float(self.values.sum())
+        if total <= 0:
+            raise ModelError("cannot normalize a factor with zero total mass")
+        return Factor(self.variables, self.domains, self.values / total)
+
+    @property
+    def partition(self) -> float:
+        """Total mass of the factor (the partition function if unnormalized)."""
+        return float(self.values.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Factor(variables={self.variables}, shape={self.values.shape})"
+
+
+def product(factors: Iterable[Factor]) -> Factor:
+    """Multiply a non-empty iterable of factors together."""
+    factors = list(factors)
+    if not factors:
+        raise ModelError("product() requires at least one factor")
+    result = factors[0]
+    for factor in factors[1:]:
+        result = result.multiply(factor)
+    return result

@@ -1,0 +1,85 @@
+"""Markov network over the variables of a set of factors.
+
+The Markov network contains one node per random variable and an edge
+between two variables iff they co-occur in some factor. Its connected
+components identify independent sub-models: the PEG uses this to
+factorize the node-existence distribution ``Pr(S.n)`` into per-component
+distributions (Eq. 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.pgm.factor import Factor
+
+
+class MarkovNetwork:
+    """Variable co-occurrence graph of a collection of factors."""
+
+    def __init__(self, factors: Iterable[Factor]) -> None:
+        self.factors = list(factors)
+        self._adjacency: dict = {}
+        self._variable_factors: dict = {}
+        for factor in self.factors:
+            for var in factor.variables:
+                self._adjacency.setdefault(var, set())
+                self._variable_factors.setdefault(var, []).append(factor)
+            for var_a in factor.variables:
+                for var_b in factor.variables:
+                    if var_a != var_b:
+                        self._adjacency[var_a].add(var_b)
+
+    @property
+    def variables(self) -> set:
+        """All random variables appearing in any factor."""
+        return set(self._adjacency)
+
+    def neighbors(self, variable) -> set:
+        """Variables sharing at least one factor with ``variable``."""
+        return set(self._adjacency[variable])
+
+    def factors_of(self, variable) -> list:
+        """All factors in which ``variable`` participates."""
+        return list(self._variable_factors.get(variable, ()))
+
+    def connected_components(self) -> list:
+        """Partition the variables into connected components.
+
+        Returns a list of ``frozenset`` of variables, in deterministic
+        order (sorted by the smallest string representation of a member).
+        """
+        seen: set = set()
+        components = []
+        for start in self._adjacency:
+            if start in seen:
+                continue
+            stack = [start]
+            component = set()
+            while stack:
+                var = stack.pop()
+                if var in component:
+                    continue
+                component.add(var)
+                stack.extend(
+                    nbr for nbr in self._adjacency[var] if nbr not in component
+                )
+            seen |= component
+            components.append(frozenset(component))
+        components.sort(key=lambda comp: min(str(v) for v in comp))
+        return components
+
+    def component_factors(self, component: frozenset) -> list:
+        """All factors whose variables lie inside ``component``.
+
+        Factors never straddle components by construction, so this returns
+        the complete sub-model for the component.
+        """
+        result = []
+        seen_ids = set()
+        for var in component:
+            for factor in self._variable_factors.get(var, ()):
+                if id(factor) not in seen_ids:
+                    seen_ids.add(id(factor))
+                    result.append(factor)
+        return result

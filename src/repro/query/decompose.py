@@ -1,0 +1,337 @@
+"""Query path decomposition (Section 5.2.1).
+
+Splits a query into overlapping paths of length at most ``L`` covering
+every query edge, minimizing the estimated initial search-space size
+
+``SS0(P) = prod_P C(P, α)``, with
+``C(P, α) ∝ |PIndex(l_Q(V_P), α)| / (degree(P) · density(P))``.
+
+The minimization reduces to weighted SET COVER over the query edges and
+is solved with the standard greedy approximation: repeatedly add the
+path with the best efficiency (newly covered edges divided by cost).
+A random strategy is provided as the paper's "Random decomposition"
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.query.query_graph import QueryGraph
+from repro.utils.errors import QueryError
+from repro.utils.rng import ensure_rng
+
+#: Floor applied to degree/density denominators so isolated nodes and
+#: degenerate paths keep a finite cost.
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class QueryPath:
+    """One path of a decomposition: an ordered tuple of query nodes."""
+
+    nodes: tuple
+
+    @property
+    def length(self) -> int:
+        """Number of edges on the path."""
+        return len(self.nodes) - 1
+
+    @property
+    def path_edges(self) -> frozenset:
+        """The query edges traversed by the path."""
+        return frozenset(
+            frozenset(pair) for pair in zip(self.nodes, self.nodes[1:])
+        )
+
+    def position_of(self, node) -> int:
+        """Index of ``node`` on the path."""
+        return self.nodes.index(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryPath({'-'.join(map(str, self.nodes))})"
+
+
+@dataclass
+class Decomposition:
+    """A path decomposition with join structure and coverage assignment.
+
+    Attributes
+    ----------
+    paths:
+        The chosen query paths, in selection order.
+    join_predicates:
+        ``{(i, j): ((pos_in_i, pos_in_j), ...)}`` for every unordered
+        pair of overlapping paths (stored for ``i < j``): shared query
+        nodes expressed as position equalities.
+    joins_with:
+        ``{i: frozenset of j}`` — partitions path ``i`` must join with.
+    covered_nodes / covered_edges:
+        ``{i: (...)}`` — exclusive assignment of every query node/edge to
+        exactly one covering path (used for the w1 weights of Section
+        5.2.4 so no probability is double counted).
+    estimated_cost:
+        The estimated search-space size of this decomposition.
+    """
+
+    query: QueryGraph
+    paths: list
+    join_predicates: dict = field(default_factory=dict)
+    joins_with: dict = field(default_factory=dict)
+    covered_nodes: dict = field(default_factory=dict)
+    covered_edges: dict = field(default_factory=dict)
+    estimated_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._derive_join_structure()
+        self._assign_exclusive_coverage()
+
+    def _derive_join_structure(self) -> None:
+        predicates = {}
+        joins: dict = {i: set() for i in range(len(self.paths))}
+        for i, path_i in enumerate(self.paths):
+            nodes_i = {n: p for p, n in enumerate(path_i.nodes)}
+            for j in range(i + 1, len(self.paths)):
+                path_j = self.paths[j]
+                shared = []
+                for pos_j, node in enumerate(path_j.nodes):
+                    pos_i = nodes_i.get(node)
+                    if pos_i is not None:
+                        shared.append((pos_i, pos_j))
+                if shared:
+                    predicates[(i, j)] = tuple(shared)
+                    joins[i].add(j)
+                    joins[j].add(i)
+        self.join_predicates = predicates
+        self.joins_with = {i: frozenset(js) for i, js in joins.items()}
+
+    def _assign_exclusive_coverage(self) -> None:
+        assigned_nodes: set = set()
+        assigned_edges: set = set()
+        covered_nodes = {}
+        covered_edges = {}
+        for i, path in enumerate(self.paths):
+            own_nodes = tuple(
+                n for n in path.nodes if n not in assigned_nodes
+            )
+            assigned_nodes.update(own_nodes)
+            own_edges = tuple(
+                e for e in path.path_edges if e not in assigned_edges
+            )
+            assigned_edges.update(own_edges)
+            covered_nodes[i] = own_nodes
+            covered_edges[i] = own_edges
+        missing_nodes = set(self.query.nodes) - assigned_nodes
+        if missing_nodes:
+            raise QueryError(
+                f"decomposition does not cover query nodes {missing_nodes}"
+            )
+        missing_edges = set(self.query.edges) - assigned_edges
+        if missing_edges:
+            raise QueryError(
+                f"decomposition does not cover query edges "
+                f"{[tuple(e) for e in missing_edges]}"
+            )
+        self.covered_nodes = covered_nodes
+        self.covered_edges = covered_edges
+
+    def predicates_between(self, i: int, j: int) -> tuple:
+        """Join predicates between partitions ``i`` and ``j`` as
+        ``((pos_in_i, pos_in_j), ...)`` regardless of argument order."""
+        if i < j:
+            return self.join_predicates.get((i, j), ())
+        return tuple(
+            (pi, pj) for pj, pi in self.join_predicates.get((j, i), ())
+        )
+
+
+# ----------------------------------------------------------------------
+# Candidate path enumeration and cost model
+# ----------------------------------------------------------------------
+
+
+def enumerate_candidate_paths(query: QueryGraph, max_length: int) -> list:
+    """All simple paths of the query with 1..max_length edges.
+
+    Single-node paths are added for isolated query nodes (they cannot be
+    covered by any edge path). Each undirected path is returned once, in
+    canonical orientation.
+    """
+    if max_length < 1:
+        raise QueryError(f"max_length must be >= 1, got {max_length}")
+    paths: set = set()
+
+    def extend(nodes: tuple) -> None:
+        if len(nodes) - 1 >= 1:
+            fwd = nodes
+            rev = tuple(reversed(nodes))
+            paths.add(fwd if repr(fwd) <= repr(rev) else rev)
+        if len(nodes) - 1 >= max_length:
+            return
+        tail = nodes[-1]
+        for neighbor in query.neighbors(tail):
+            if neighbor not in nodes:
+                extend(nodes + (neighbor,))
+
+    for node in query.nodes:
+        extend((node,))
+    result = [QueryPath(nodes) for nodes in sorted(paths, key=repr)]
+    for node in query.nodes:
+        if query.degree(node) == 0:
+            result.append(QueryPath((node,)))
+    return result
+
+
+def path_degree(query: QueryGraph, path: QueryPath) -> int:
+    """``degree(P) = sum of node degrees - 2 * length(P)`` (Section 5.2.1)."""
+    return sum(query.degree(n) for n in path.nodes) - 2 * path.length
+
+
+def path_density(query: QueryGraph, path: QueryPath) -> float:
+    """``density(P) = 2K / (M(M-1))`` with ``K`` query edges among path nodes.
+
+    Counts edges by probing the O(M²) node pairs on the path rather than
+    scanning all query edges — paths are short (M <= L+1) while dense
+    queries have many edges.
+    """
+    nodes = path.nodes
+    m = len(nodes)
+    if m <= 1:
+        return 1.0
+    k = 0
+    for i, node_a in enumerate(nodes):
+        for node_b in nodes[i + 1:]:
+            if query.has_edge(node_a, node_b):
+                k += 1
+    return 2.0 * k / (m * (m - 1))
+
+
+def path_cost(
+    query: QueryGraph, path: QueryPath, cardinality_estimate: float
+) -> float:
+    """``C(P, α) ∝ |PIndex| / (degree(P) · density(P))``."""
+    denominator = max(
+        path_degree(query, path) * path_density(query, path), _EPSILON
+    )
+    return max(cardinality_estimate, _EPSILON) / denominator
+
+
+# ----------------------------------------------------------------------
+# Decomposition strategies
+# ----------------------------------------------------------------------
+
+
+def decompose_query(
+    query: QueryGraph,
+    estimator,
+    alpha: float,
+    max_length: int,
+    strategy: str = "greedy",
+    seed=None,
+) -> Decomposition:
+    """Decompose ``query`` into covering paths.
+
+    Parameters
+    ----------
+    estimator:
+        Callable ``(label_sequence, alpha) -> float`` estimating
+        ``|PIndex(X, alpha)|`` (normally the path index's histogram
+        estimator).
+    alpha:
+        Query probability threshold.
+    max_length:
+        Maximum path length ``L`` (must match the index).
+    strategy:
+        ``"greedy"`` (paper's SET COVER approximation) or ``"random"``
+        (the Random-decomposition baseline).
+    seed:
+        RNG seed for the random strategy.
+    """
+    candidates = enumerate_candidate_paths(query, max_length)
+    if not candidates:
+        raise QueryError("query has no candidate decomposition paths")
+    if strategy == "greedy":
+        chosen, cost = _greedy_cover(query, candidates, estimator, alpha)
+    elif strategy == "random":
+        chosen, cost = _random_cover(query, candidates, estimator, alpha, seed)
+    else:
+        raise QueryError(f"unknown decomposition strategy {strategy!r}")
+    return Decomposition(query=query, paths=chosen, estimated_cost=cost)
+
+
+def _greedy_cover(
+    query: QueryGraph,
+    candidates: Sequence[QueryPath],
+    estimator,
+    alpha: float,
+) -> tuple:
+    costs = [
+        path_cost(
+            query, path, estimator(query.label_sequence(path.nodes), alpha)
+        )
+        for path in candidates
+    ]
+    edge_sets = [path.path_edges for path in candidates]
+    node_sets = [set(path.nodes) for path in candidates]
+    uncovered_edges = set(query.edges)
+    uncovered_nodes = {n for n in query.nodes if query.degree(n) == 0}
+    chosen_indexes: set = set()
+    chosen: list = []
+    total_cost = 1.0
+    while uncovered_edges or uncovered_nodes:
+        best = None
+        best_efficiency = -1.0
+        for index, path in enumerate(candidates):
+            if index in chosen_indexes:
+                continue
+            gain = len(edge_sets[index] & uncovered_edges)
+            if uncovered_nodes:
+                gain += len(node_sets[index] & uncovered_nodes)
+            if gain == 0:
+                continue
+            efficiency = gain / costs[index]
+            if efficiency > best_efficiency:
+                best_efficiency = efficiency
+                best = index
+        if best is None:
+            raise QueryError("greedy cover failed to cover the query")
+        chosen_indexes.add(best)
+        chosen.append(candidates[best])
+        total_cost *= costs[best]
+        uncovered_edges -= edge_sets[best]
+        uncovered_nodes -= node_sets[best]
+    return chosen, total_cost
+
+
+def _random_cover(
+    query: QueryGraph,
+    candidates: Sequence[QueryPath],
+    estimator,
+    alpha: float,
+    seed,
+) -> tuple:
+    rng = ensure_rng(seed)
+    order = list(candidates)
+    rng.shuffle(order)
+    uncovered_edges = set(query.edges)
+    uncovered_nodes = {n for n in query.nodes if query.degree(n) == 0}
+    chosen: list = []
+    total_cost = 1.0
+    for path in order:
+        gain = bool(path.path_edges & uncovered_edges) or bool(
+            set(path.nodes) & uncovered_nodes
+        )
+        if not gain:
+            continue
+        chosen.append(path)
+        total_cost *= path_cost(
+            query, path, estimator(query.label_sequence(path.nodes), alpha)
+        )
+        uncovered_edges -= path.path_edges
+        uncovered_nodes -= set(path.nodes)
+        if not uncovered_edges and not uncovered_nodes:
+            break
+    if uncovered_edges or uncovered_nodes:
+        raise QueryError("random cover failed to cover the query")
+    return chosen, total_cost

@@ -1,0 +1,248 @@
+"""The query engine: offline phase + online phase orchestration.
+
+:class:`QueryEngine` performs the offline phase at construction time
+(component probabilities are already embedded in the PEG; the engine
+builds the context-aware path index and the context tables) and answers
+probabilistic subgraph pattern matching queries online, producing both
+the matches and detailed statistics (timings, search-space progression)
+that the benchmark harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.builder import build_path_index
+from repro.index.context import ContextInformation, build_context
+from repro.index.path_index import PathIndex
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+from repro.query.candidates import CandidateFinder
+from repro.query.decompose import decompose_query
+from repro.query.kpartite import CandidateKPartiteGraph
+from repro.query.matcher import generate_matches
+from repro.query.query_graph import QueryGraph
+from repro.storage.kvstore import PathStore
+from repro.utils.errors import QueryError
+from repro.utils.timing import StageTimings, Timer
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Knobs for the online phase (all paper baselines are expressible).
+
+    ``decomposition="random"`` gives the Random-decomposition baseline;
+    ``use_structure_reduction=use_upperbound_reduction=False`` gives the
+    No-search-space-reduction baseline; ``use_context_pruning=False``
+    ablates Section 5.2.2's context tests.
+    """
+
+    decomposition: str = "greedy"
+    use_context_pruning: bool = True
+    use_structure_reduction: bool = True
+    use_upperbound_reduction: bool = True
+    parallel_reduction: bool = False
+    num_threads: int = 4
+    seed: int | None = None
+
+
+@dataclass
+class QueryResult:
+    """Matches plus per-stage statistics of one query evaluation."""
+
+    matches: list
+    search_space_path: float = 0.0
+    search_space_context: float = 0.0
+    search_space_final: float = 0.0
+    candidate_counts: dict = field(default_factory=dict)
+    reduction: object = None
+    timings: dict = field(default_factory=dict)
+    decomposition_paths: tuple = ()
+
+    @property
+    def total_seconds(self) -> float:
+        """Total online-phase wall-clock seconds across all stages."""
+        return sum(self.timings.values())
+
+
+class QueryEngine:
+    """Answers probabilistic subgraph pattern matching queries on a PEG.
+
+    Parameters
+    ----------
+    peg:
+        The probabilistic entity graph (already carries precomputed
+        component probabilities).
+    max_length:
+        Index maximum path length ``L``.
+    beta / gamma:
+        Index threshold and resolution.
+    store:
+        Optional :class:`~repro.storage.kvstore.PathStore` for the index
+        (defaults to in-memory).
+    index_threads:
+        Worker threads for index construction.
+    """
+
+    def __init__(
+        self,
+        peg: ProbabilisticEntityGraph,
+        max_length: int = 3,
+        beta: float = 0.1,
+        gamma: float = 0.1,
+        store: PathStore | None = None,
+        index_threads: int = 1,
+        _precomputed: tuple | None = None,
+    ) -> None:
+        self.peg = peg
+        self.offline_timings = StageTimings()
+        if _precomputed is not None:
+            self.index, self.context = _precomputed
+            return
+        with self.offline_timings.time("path_index"):
+            self.index: PathIndex = build_path_index(
+                peg,
+                max_length=max_length,
+                beta=beta,
+                gamma=gamma,
+                store=store,
+                num_threads=index_threads,
+            )
+        with self.offline_timings.time("context"):
+            self.context: ContextInformation = build_context(peg)
+
+    # ------------------------------------------------------------------
+    # Offline-bundle persistence
+    # ------------------------------------------------------------------
+
+    def save_offline(self, directory: str) -> None:
+        """Persist this engine's offline artifacts (index + context)."""
+        from repro.index.bundle import save_offline
+
+        save_offline(self.index, self.context, directory)
+
+    @classmethod
+    def from_saved(
+        cls, peg: ProbabilisticEntityGraph, directory: str
+    ) -> "QueryEngine":
+        """Open an engine from a bundle written by :meth:`save_offline`.
+
+        The PEG must be the same graph the bundle was built from (node
+        ids are positional); loading a bundle against a different PEG
+        yields undefined results.
+        """
+        from repro.index.bundle import load_offline
+
+        index, context = load_offline(directory)
+        return cls(peg, _precomputed=(index, context))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def max_length(self) -> int:
+        """The index's maximum path length L."""
+        return self.index.max_length
+
+    def offline_stats(self) -> dict:
+        """Offline-phase statistics: timings plus index size/shape."""
+        stats = dict(self.index.stats())
+        stats["offline_seconds"] = self.offline_timings.total
+        stats["offline_timings"] = self.offline_timings.as_dict()
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        query: QueryGraph,
+        alpha: float,
+        options: QueryOptions | None = None,
+    ) -> QueryResult:
+        """Find all matches of ``query`` with probability >= ``alpha``."""
+        if not 0.0 < alpha <= 1.0:
+            raise QueryError(f"alpha must be in (0, 1], got {alpha}")
+        options = options or QueryOptions()
+        timings = StageTimings()
+
+        # 1. Path decomposition.
+        with timings.time("decompose"):
+            decomposition = decompose_query(
+                query,
+                estimator=self.index.estimate_cardinality,
+                alpha=alpha,
+                max_length=self.max_length,
+                strategy=options.decomposition,
+                seed=options.seed,
+            )
+
+        # 2. Path candidates (index lookup + context pruning).
+        finder = CandidateFinder(
+            self.peg,
+            query,
+            alpha,
+            index=self.index,
+            context=self.context,
+            use_context=options.use_context_pruning,
+        )
+        candidates: dict = {}
+        raw_counts: dict = {}
+        with timings.time("candidates"):
+            for i, path in enumerate(decomposition.paths):
+                pruned, raw = finder.find(path)
+                candidates[i] = pruned
+                raw_counts[i] = raw
+
+        search_space_path = _product(raw_counts.values())
+        search_space_context = _product(len(c) for c in candidates.values())
+
+        if any(not c for c in candidates.values()):
+            return QueryResult(
+                matches=[],
+                search_space_path=search_space_path,
+                search_space_context=search_space_context,
+                search_space_final=0.0,
+                candidate_counts={i: len(c) for i, c in candidates.items()},
+                timings=timings.as_dict(),
+                decomposition_paths=tuple(
+                    p.nodes for p in decomposition.paths
+                ),
+            )
+
+        # 3 & 4. Join candidates and joint search-space reduction.
+        with timings.time("kpartite"):
+            kpartite = CandidateKPartiteGraph(
+                self.peg,
+                decomposition,
+                candidates,
+                alpha,
+                parallel=options.parallel_reduction,
+                num_threads=options.num_threads,
+            )
+        with timings.time("reduction"):
+            reduction = kpartite.reduce(
+                use_structure=options.use_structure_reduction,
+                use_upperbounds=options.use_upperbound_reduction,
+            )
+
+        # 5. Full match generation.
+        with timings.time("matching"):
+            matches = generate_matches(
+                self.peg, decomposition, kpartite, alpha
+            )
+
+        return QueryResult(
+            matches=matches,
+            search_space_path=search_space_path,
+            search_space_context=search_space_context,
+            search_space_final=reduction.final_search_space,
+            candidate_counts={i: len(c) for i, c in candidates.items()},
+            reduction=reduction,
+            timings=timings.as_dict(),
+            decomposition_paths=tuple(p.nodes for p in decomposition.paths),
+        )
+
+
+def _product(values) -> float:
+    result = 1.0
+    for value in values:
+        result *= value
+    return result

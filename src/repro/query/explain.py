@@ -1,0 +1,50 @@
+"""Human-readable explanations of query evaluations.
+
+``explain`` renders a :class:`~repro.query.engine.QueryResult` the way a
+database EXPLAIN ANALYZE would: the chosen decomposition, per-stage
+search-space sizes, reduction statistics, timings, and the top matches.
+Useful when tuning β/γ/L or debugging why a query returns nothing.
+"""
+
+from __future__ import annotations
+
+from repro.query.engine import QueryResult
+
+
+def explain(result: QueryResult, max_matches: int = 5) -> str:
+    """Render a query result as a readable multi-line report."""
+    lines = ["query evaluation"]
+    lines.append("  decomposition:")
+    for i, nodes in enumerate(result.decomposition_paths):
+        rendered = " - ".join(str(n) for n in nodes)
+        count = result.candidate_counts.get(i)
+        suffix = f"  ({count} candidates)" if count is not None else ""
+        lines.append(f"    P{i}: {rendered}{suffix}")
+    lines.append("  search space:")
+    lines.append(f"    after index lookup:   {result.search_space_path:.4g}")
+    lines.append(f"    after context pruning:{result.search_space_context:.4g}")
+    lines.append(f"    after joint reduction:{result.search_space_final:.4g}")
+    if result.reduction is not None:
+        reduction = result.reduction
+        lines.append(
+            "  reduction: "
+            f"structure removed {reduction.structure_removed}, "
+            f"upperbounds removed {reduction.upperbound_removed}, "
+            f"{reduction.rounds} message rounds"
+        )
+    if result.timings:
+        lines.append("  timings (ms):")
+        for stage, seconds in result.timings.items():
+            lines.append(f"    {stage:<12s}{seconds * 1000:8.2f}")
+        lines.append(f"    {'total':<12s}{result.total_seconds * 1000:8.2f}")
+    lines.append(f"  matches: {len(result.matches)}")
+    for match in result.matches[:max_matches]:
+        rendered = ", ".join(
+            "{" + ",".join(str(r) for r in sorted(entity, key=str)) + "}"
+            f":{label}"
+            for entity, label in match.nodes
+        )
+        lines.append(f"    Pr={match.probability:.4f}  {rendered}")
+    if len(result.matches) > max_matches:
+        lines.append(f"    ... {len(result.matches) - max_matches} more")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Join-candidate lookup tables (Section 5.2.3).
+
+For every ordered pair of joining query paths ``(P, P_i)`` the engine
+builds a hash table ``T(P, P_i)`` keyed by the nodes a candidate of
+``P`` exposes at the join positions; given a candidate of ``P_i``, its
+joinable candidates in ``P`` are fetched with one lookup. Links are
+further filtered by the joined-subgraph probability and the reference
+disjointness constraint before entering the k-partite graph.
+"""
+
+from __future__ import annotations
+
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+from repro.query.decompose import Decomposition
+
+
+class JoinCandidateTables:
+    """Hash tables for join-candidate retrieval between partitions."""
+
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        candidates: dict,
+    ) -> None:
+        self.decomposition = decomposition
+        self.candidates = candidates
+        # table[(i, j)]: for partitions i, j that join, a dict mapping the
+        # tuple of partition-i candidate nodes at i's join positions to
+        # the list of candidate indices exposing those nodes.
+        self._tables: dict = {}
+        for i, joined in decomposition.joins_with.items():
+            for j in joined:
+                predicates = decomposition.predicates_between(i, j)
+                positions_i = tuple(pos_i for pos_i, _ in predicates)
+                table: dict = {}
+                for index, candidate in enumerate(candidates[i]):
+                    key = tuple(candidate.nodes[pos] for pos in positions_i)
+                    table.setdefault(key, []).append(index)
+                self._tables[(i, j)] = (positions_i, table)
+
+    def joinable(self, i: int, candidate_index: int, j: int) -> list:
+        """Indices of partition-``j`` candidates joinable with candidate
+        ``candidate_index`` of partition ``i`` (predicate equality only;
+        probability and reference filters are applied by the caller).
+
+        Table ``(j, i)`` is keyed by the partition-``j`` nodes at ``j``'s
+        join positions; ``predicates_between`` preserves predicate order
+        between the two argument orders, so the partition-``i`` key built
+        here aligns with it component-wise.
+        """
+        entry = self._tables.get((j, i))
+        if entry is None:
+            return []
+        _, table = entry
+        predicates = self.decomposition.predicates_between(i, j)
+        candidate = self.candidates[i][candidate_index]
+        key = tuple(candidate.nodes[pos_i] for pos_i, _ in predicates)
+        return table.get(key, [])
+
+
+def joined_probability(
+    peg: ProbabilisticEntityGraph,
+    decomposition: Decomposition,
+    i: int,
+    candidate_i,
+    j: int,
+    candidate_j,
+) -> float:
+    """Exact probability of the subgraph ``P^u_i ∘ P^u_j`` (both paths).
+
+    Returns 0 when the combination is inconsistent: two distinct query
+    nodes mapped to the same entity, or entities sharing references.
+    """
+    query = decomposition.query
+    path_i = decomposition.paths[i]
+    path_j = decomposition.paths[j]
+    node_labels: dict = {}
+    assigned: dict = {}
+    for path, candidate in ((path_i, candidate_i), (path_j, candidate_j)):
+        for query_node, peg_node in zip(path.nodes, candidate.nodes):
+            previous = assigned.get(query_node)
+            if previous is not None and previous != peg_node:
+                return 0.0
+            assigned[query_node] = peg_node
+    # Injectivity: distinct query nodes need distinct entities.
+    if len(set(assigned.values())) != len(assigned):
+        return 0.0
+    peg_nodes = list(assigned.values())
+    for a_index, node_a in enumerate(peg_nodes):
+        for node_b in peg_nodes[a_index + 1:]:
+            if peg.shares_references_id(node_a, node_b):
+                return 0.0
+    for query_node, peg_node in assigned.items():
+        node_labels[peg.entity_of(peg_node)] = query.label(query_node)
+    edges = set()
+    for path in (path_i, path_j):
+        for edge in path.path_edges:
+            node_a, node_b = tuple(edge)
+            edges.add(
+                frozenset(
+                    (
+                        peg.entity_of(assigned[node_a]),
+                        peg.entity_of(assigned[node_b]),
+                    )
+                )
+            )
+    return peg.match_probability(node_labels, edges)

@@ -1,0 +1,188 @@
+"""Join ordering and full match generation (Section 5.2.5).
+
+Paths are joined one at a time following the paper's heuristic order
+(most node overlap, then most join predicates, then smallest candidate
+count); each partial match is extended through the reduced k-partite
+graph's links, with injectivity, reference-disjointness and an exact
+partial-probability bound enforced as soon as possible.
+"""
+
+from __future__ import annotations
+
+from repro.peg.entity_graph import Match, ProbabilisticEntityGraph
+from repro.query.decompose import Decomposition
+from repro.query.kpartite import CandidateKPartiteGraph
+
+
+def determine_join_order(
+    decomposition: Decomposition, cardinalities: dict
+) -> list:
+    """Order partitions for the progressive join (paper's heuristic).
+
+    1. most nodes overlapping the already-ordered paths,
+    2. ties: most join predicates with them,
+    3. ties: smallest cardinality.
+    The first path is picked by cardinality alone.
+    """
+    remaining = set(range(len(decomposition.paths)))
+    ordered: list = []
+    placed_nodes: set = set()
+    while remaining:
+        if not ordered:
+            best = min(
+                remaining,
+                key=lambda i: (cardinalities.get(i, 0), i),
+            )
+        else:
+            def sort_key(i: int) -> tuple:
+                path_nodes = set(decomposition.paths[i].nodes)
+                overlap = len(path_nodes & placed_nodes)
+                predicates = sum(
+                    len(decomposition.predicates_between(i, j))
+                    for j in ordered
+                )
+                return (-overlap, -predicates, cardinalities.get(i, 0), i)
+
+            best = min(remaining, key=sort_key)
+        ordered.append(best)
+        placed_nodes |= set(decomposition.paths[best].nodes)
+        remaining.discard(best)
+    return ordered
+
+
+def generate_matches(
+    peg: ProbabilisticEntityGraph,
+    decomposition: Decomposition,
+    kpartite: CandidateKPartiteGraph,
+    alpha: float,
+) -> list:
+    """Enumerate all full query matches with probability >= alpha.
+
+    Returns deduplicated :class:`~repro.peg.entity_graph.Match` objects:
+    two embeddings inducing the same labeled subgraph are one match.
+    """
+    query = decomposition.query
+    order = determine_join_order(
+        decomposition,
+        {i: count for i, count in enumerate(kpartite.alive_counts())},
+    )
+    matches: dict = {}
+
+    # Partial state: mapping query node -> peg node id, and the chosen
+    # vertex id per processed partition (for link checks).
+    def extend(step: int, mapping: dict, chosen: dict) -> None:
+        if step == len(order):
+            _emit(mapping)
+            return
+        partition = order[step]
+        path = decomposition.paths[partition]
+        joined_before = [
+            j for j in decomposition.joins_with.get(partition, frozenset())
+            if j in chosen
+        ]
+        candidate_ids = _candidate_vertices(
+            kpartite, partition, joined_before, chosen
+        )
+        for vid in candidate_ids:
+            vertex = kpartite.partitions[partition][vid]
+            if not vertex.alive:
+                continue
+            new_mapping = _try_extend(mapping, path, vertex.candidate)
+            if new_mapping is None:
+                continue
+            if _partial_probability(new_mapping) < alpha:
+                continue
+            new_chosen = dict(chosen)
+            new_chosen[partition] = vid
+            extend(step + 1, new_mapping, new_chosen)
+
+    def _candidate_vertices(kpartite, partition, joined_before, chosen):
+        if not joined_before:
+            return [vid for vid, _ in kpartite.alive_vertices(partition)]
+        sets = [
+            kpartite.linked(j, chosen[j], partition) for j in joined_before
+        ]
+        result = set(sets[0])
+        for other in sets[1:]:
+            result &= other
+        return sorted(result)
+
+    def _try_extend(mapping: dict, path, candidate) -> dict | None:
+        new_mapping = dict(mapping)
+        used = set(mapping.values())
+        for query_node, peg_node in zip(path.nodes, candidate.nodes):
+            previous = new_mapping.get(query_node)
+            if previous is not None:
+                if previous != peg_node:
+                    return None
+                continue
+            if peg_node in used:
+                return None  # injectivity across distinct query nodes
+            for existing in new_mapping.values():
+                if peg.shares_references_id(existing, peg_node):
+                    return None
+            new_mapping[query_node] = peg_node
+            used.add(peg_node)
+        return new_mapping
+
+    def _partial_probability(mapping: dict) -> float:
+        node_labels = {
+            peg.entity_of(peg_node): query.label(query_node)
+            for query_node, peg_node in mapping.items()
+        }
+        edges = set()
+        for edge in query.edges:
+            node_a, node_b = tuple(edge)
+            if node_a in mapping and node_b in mapping:
+                edges.add(
+                    frozenset(
+                        (
+                            peg.entity_of(mapping[node_a]),
+                            peg.entity_of(mapping[node_b]),
+                        )
+                    )
+                )
+        return peg.match_probability(node_labels, edges)
+
+    def _emit(mapping: dict) -> None:
+        node_labels = {
+            peg.entity_of(peg_node): query.label(query_node)
+            for query_node, peg_node in mapping.items()
+        }
+        edges = set()
+        for edge in query.edges:
+            node_a, node_b = tuple(edge)
+            edges.add(
+                frozenset(
+                    (
+                        peg.entity_of(mapping[node_a]),
+                        peg.entity_of(mapping[node_b]),
+                    )
+                )
+            )
+        probability = peg.match_probability(node_labels, edges)
+        if probability < alpha:
+            return
+        nodes_key = tuple(
+            sorted(node_labels.items(), key=lambda kv: repr(kv[0]))
+        )
+        key = (nodes_key, frozenset(edges))
+        if key in matches:
+            return
+        entity_mapping = tuple(
+            sorted(
+                ((q, peg.entity_of(n)) for q, n in mapping.items()),
+                key=lambda kv: repr(kv[0]),
+            )
+        )
+        matches[key] = Match(
+            nodes=nodes_key,
+            edges=frozenset(edges),
+            mapping=entity_mapping,
+            probability=probability,
+        )
+
+    extend(0, {}, {})
+    return sorted(
+        matches.values(), key=lambda m: (-m.probability, repr(m.nodes))
+    )

@@ -1,0 +1,108 @@
+"""A tiny textual pattern language for query graphs.
+
+Grammar (whitespace-insensitive)::
+
+    pattern  :=  clause ( ';' clause )*
+    clause   :=  node ( '-' node )*          # a path of query nodes
+    node     :=  '(' name ( ':' label )? ')'
+
+Every node must carry its label on at least one mention; later mentions
+may omit it. Example — a triangle with a pendant node::
+
+    (a:DB)-(b:ML)-(c:DB)-(a); (c)-(d:SE)
+
+parses to a :class:`~repro.query.query_graph.QueryGraph` with nodes
+``a, b, c, d`` and edges ``a-b, b-c, c-a, c-d``. Used by the CLI and
+handy in notebooks and tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.query.query_graph import QueryGraph
+from repro.utils.errors import QueryError
+
+_NODE = re.compile(
+    r"\(\s*(?P<name>[A-Za-z0-9_]+)\s*(?::\s*(?P<label>[^)\s]+)\s*)?\)"
+)
+
+
+def parse_pattern(text: str) -> QueryGraph:
+    """Parse the pattern language into a :class:`QueryGraph`.
+
+    Raises :class:`QueryError` with a position-specific message on
+    malformed input, unknown syntax, missing labels, or conflicting
+    label redeclarations.
+    """
+    if not text or not text.strip():
+        raise QueryError("empty pattern")
+    labels: dict = {}
+    edges: list = []
+    seen_edges: set = set()
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        nodes = _parse_clause(clause, labels)
+        for left, right in zip(nodes, nodes[1:]):
+            if left == right:
+                raise QueryError(
+                    f"self-loop on node {left!r} in clause {clause!r}"
+                )
+            key = frozenset((left, right))
+            if key not in seen_edges:
+                seen_edges.add(key)
+                edges.append((left, right))
+    unlabeled = [name for name, label in labels.items() if label is None]
+    if unlabeled:
+        raise QueryError(
+            f"nodes {unlabeled} never received a label; write "
+            "(name:label) on at least one mention"
+        )
+    return QueryGraph(labels, edges)
+
+
+def _parse_clause(clause: str, labels: dict) -> list:
+    nodes = []
+    position = 0
+    expect_node = True
+    while position < len(clause):
+        if clause[position].isspace():
+            position += 1
+            continue
+        if expect_node:
+            match = _NODE.match(clause, position)
+            if not match:
+                raise QueryError(
+                    f"expected a node '(name[:label])' at position "
+                    f"{position} of clause {clause!r}"
+                )
+            name = match.group("name")
+            label = match.group("label")
+            previous = labels.get(name)
+            if label is not None:
+                if previous is not None and previous != label:
+                    raise QueryError(
+                        f"node {name!r} declared with conflicting labels "
+                        f"{previous!r} and {label!r}"
+                    )
+                labels[name] = label
+            elif name not in labels:
+                labels[name] = None
+            nodes.append(name)
+            position = match.end()
+            expect_node = False
+        else:
+            if clause[position] != "-":
+                raise QueryError(
+                    f"expected '-' between nodes at position {position} "
+                    f"of clause {clause!r}"
+                )
+            position += 1
+            expect_node = True
+    if expect_node and nodes:
+        raise QueryError(f"clause {clause!r} ends with a dangling '-'")
+    if not nodes:
+        raise QueryError(f"clause {clause!r} contains no nodes")
+    return nodes

@@ -1,0 +1,133 @@
+"""Query graphs: labeled undirected patterns (Section 4).
+
+A query graph ``Q = (V_Q, E_Q, l_Q)`` assigns exactly one label from the
+alphabet to every node. Matches must map every query node to a distinct
+entity whose label set contains the query label, with every query edge
+present (Definition 3, generalized to multi-label entity nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Tuple
+
+from repro.utils.errors import QueryError
+
+
+class QueryGraph:
+    """Labeled undirected query pattern.
+
+    Parameters
+    ----------
+    labels:
+        ``{query node: label}`` — every node carries exactly one label.
+    edges:
+        Iterable of node pairs; undirected, no self loops, no duplicates.
+    """
+
+    def __init__(self, labels: Mapping, edges: Iterable[Tuple]) -> None:
+        if not labels:
+            raise QueryError("query graph needs at least one node")
+        self._labels = dict(labels)
+        self._edges: set = set()
+        self._adjacency: dict = {node: set() for node in self._labels}
+        for edge in edges:
+            try:
+                node_a, node_b = edge
+            except (TypeError, ValueError):
+                raise QueryError(f"edge {edge!r} is not a node pair") from None
+            if node_a == node_b:
+                raise QueryError(f"self-loop on query node {node_a!r}")
+            for node in (node_a, node_b):
+                if node not in self._labels:
+                    raise QueryError(f"edge endpoint {node!r} is not a query node")
+            key = frozenset((node_a, node_b))
+            if key in self._edges:
+                raise QueryError(
+                    f"duplicate query edge between {node_a!r} and {node_b!r}"
+                )
+            self._edges.add(key)
+            self._adjacency[node_a].add(node_b)
+            self._adjacency[node_b].add(node_a)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple:
+        """Query nodes in insertion order."""
+        return tuple(self._labels)
+
+    @property
+    def edges(self) -> frozenset:
+        """Query edges as frozensets of node pairs."""
+        return frozenset(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of query nodes."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of query edges."""
+        return len(self._edges)
+
+    def label(self, node) -> object:
+        """The label of a query node."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise QueryError(f"unknown query node {node!r}") from None
+
+    def neighbors(self, node) -> frozenset:
+        """Adjacent query nodes."""
+        try:
+            return frozenset(self._adjacency[node])
+        except KeyError:
+            raise QueryError(f"unknown query node {node!r}") from None
+
+    def degree(self, node) -> int:
+        """Number of query neighbors of ``node``."""
+        return len(self._adjacency[node])
+
+    def has_edge(self, node_a, node_b) -> bool:
+        """True when the query contains the undirected edge."""
+        return frozenset((node_a, node_b)) in self._edges
+
+    def label_sequence(self, nodes: Iterable) -> tuple:
+        """Labels of a node sequence (e.g. of a decomposition path)."""
+        return tuple(self._labels[node] for node in nodes)
+
+    def neighbor_label_count(self, node, label) -> int:
+        """``c(n, σ)``: neighbors of ``node`` labeled ``σ`` in the query."""
+        return sum(
+            1 for nbr in self._adjacency[node] if self._labels[nbr] == label
+        )
+
+    def connected_components(self) -> list:
+        """Node sets of the query's connected components."""
+        seen: set = set()
+        components = []
+        for start in self._labels:
+            if start in seen:
+                continue
+            stack = [start]
+            component = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._adjacency[node] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def density(self) -> float:
+        """Edge density ``2|E| / (|V| (|V|-1))`` (1.0 for single nodes)."""
+        n = self.num_nodes
+        if n <= 1:
+            return 1.0
+        return 2.0 * self.num_edges / (n * (n - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryGraph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,66 @@
+"""Top-k probabilistic matching — a threshold-free query mode.
+
+The paper's queries require a probability threshold α. In exploratory
+use one often wants "the k most probable matches" instead. This module
+answers top-k by adaptive threshold descent: start optimistic, reuse the
+engine's α-threshold machinery, and geometrically lower α until at
+least ``k`` matches are found (or a floor is hit). Every probe is a
+sound-and-complete α-query, so the returned prefix is exact.
+"""
+
+from __future__ import annotations
+
+from repro.query.engine import QueryEngine, QueryOptions
+from repro.query.query_graph import QueryGraph
+from repro.utils.errors import QueryError
+
+
+def top_k_matches(
+    engine: QueryEngine,
+    query: QueryGraph,
+    k: int,
+    start_alpha: float = 0.5,
+    floor: float = 1e-4,
+    shrink: float = 0.25,
+    options: QueryOptions | None = None,
+) -> list:
+    """The ``k`` most probable matches of ``query``.
+
+    Parameters
+    ----------
+    engine:
+        A constructed :class:`~repro.query.engine.QueryEngine`.
+    k:
+        Number of matches wanted (fewer are returned if fewer exist
+        above ``floor``).
+    start_alpha:
+        First probed threshold.
+    floor:
+        Lowest threshold probed; matches below it are not discovered.
+    shrink:
+        Geometric factor applied to α between probes (0 < shrink < 1).
+
+    Notes
+    -----
+    The probe sequence is monotone decreasing, so the final α-query's
+    result is a superset of all earlier ones; matches are globally
+    sorted by probability and truncated to ``k``. The k-th match is
+    exact whenever it lies above ``floor``.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not 0.0 < shrink < 1.0:
+        raise QueryError(f"shrink must be in (0, 1), got {shrink}")
+    if not 0.0 < floor <= start_alpha <= 1.0:
+        raise QueryError(
+            f"need 0 < floor <= start_alpha <= 1, got "
+            f"floor={floor}, start_alpha={start_alpha}"
+        )
+    alpha = start_alpha
+    matches = []
+    while True:
+        matches = engine.query(query, alpha, options).matches
+        if len(matches) >= k or alpha <= floor:
+            break
+        alpha = max(alpha * shrink, floor)
+    return matches[:k]

@@ -1,0 +1,37 @@
+"""Minimal relational engine — the substrate for the SQL baseline.
+
+The paper compares against a MySQL implementation of subgraph matching
+(a chain of self-joins over an edge relation with a final threshold
+filter) and reports that it "never finishes in a month". We reproduce
+that baseline on a small but honest relational engine: tables,
+selections, projections, nested-loop and hash joins, and a query
+compiler (:func:`~repro.relational.engine.sql_baseline_matches`) that
+evaluates subgraph queries the way the SQL formulation does — all joins
+first, probability threshold last.
+"""
+
+from repro.relational.table import Table
+from repro.relational.operators import (
+    select,
+    project,
+    hash_join,
+    nested_loop_join,
+    distinct,
+)
+from repro.relational.engine import (
+    sql_baseline_matches,
+    build_relations,
+    RowLimitExceeded,
+)
+
+__all__ = [
+    "Table",
+    "select",
+    "project",
+    "hash_join",
+    "nested_loop_join",
+    "distinct",
+    "sql_baseline_matches",
+    "build_relations",
+    "RowLimitExceeded",
+]

@@ -1,0 +1,253 @@
+"""The SQL baseline: subgraph matching as a chain of relational joins.
+
+Mirrors the paper's MySQL implementation (Section 6.2.1, baseline 4):
+one self-join of the edge relation per query edge, node-label relations
+joined in for the label probabilities, all probability factors
+multiplied in the projection, and the threshold applied only at the very
+end — no pruning, no index, no search-space reduction. On anything but
+tiny graphs the intermediate results explode, which is exactly the
+behaviour the paper reports ("SQL never finishes in a month").
+
+``row_limit`` plays the role of the paper's query timeout: plans whose
+intermediate results outgrow it abort with :class:`RowLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+from repro.peg.entity_graph import Match, ProbabilisticEntityGraph
+from repro.query.query_graph import QueryGraph
+from repro.relational.operators import hash_join, project
+from repro.relational.table import Table
+from repro.utils.errors import ReproError
+
+
+class RowLimitExceeded(ReproError):
+    """A relational plan outgrew the configured intermediate-row budget."""
+
+
+def build_relations(peg: ProbabilisticEntityGraph, query: QueryGraph) -> dict:
+    """Materialize the base relations the SQL formulation needs.
+
+    * ``node_<label>``: ``(id, label_prob, exist_prob)`` for every PEG
+      node that can carry ``label``,
+    * ``edge_<u>_<v>`` per query edge: ``(src, dst, edge_prob)`` in both
+      directions, with the probability conditioned on the query labels
+      (the CPT lookup a SQL implementation would bake into the table).
+    """
+    relations: dict = {}
+    for label in {query.label(n) for n in query.nodes}:
+        rows = []
+        for node in peg.node_ids():
+            p_label = peg.label_probability_id(node, label)
+            if p_label > 0.0:
+                rows.append(
+                    (node, p_label, peg.existence_probability_id(node))
+                )
+        relations[("node", label)] = Table(
+            ("id", "label_prob", "exist_prob"), rows
+        )
+    for edge in query.edges:
+        node_u, node_v = tuple(edge)
+        label_u, label_v = query.label(node_u), query.label(node_v)
+        rows = []
+        for pair, _ in peg.edges():
+            entity_a, entity_b = tuple(pair)
+            id_a, id_b = peg.id_of(entity_a), peg.id_of(entity_b)
+            prob = peg.edge_probability_id(id_a, id_b, label_u, label_v)
+            if prob > 0.0:
+                rows.append((id_a, id_b, prob))
+            prob_rev = peg.edge_probability_id(id_b, id_a, label_u, label_v)
+            if prob_rev > 0.0:
+                rows.append((id_b, id_a, prob_rev))
+        relations[("edge", node_u, node_v)] = Table(
+            ("src", "dst", "edge_prob"), rows
+        )
+    return relations
+
+
+def sql_baseline_matches(
+    peg: ProbabilisticEntityGraph,
+    query: QueryGraph,
+    alpha: float,
+    row_limit: int = 2_000_000,
+) -> list:
+    """Evaluate the query the way the paper's SQL baseline does.
+
+    Join order follows the query edges in a connected order (as a SQL
+    author would write the FROM clause); every intermediate result keeps
+    all bound node columns plus the running probability product. The
+    identity constraint (no two nodes sharing a reference) and the exact
+    ``Prn`` marginal are applied in the final filter — SQL has no way to
+    push them down.
+
+    Raises :class:`RowLimitExceeded` when any intermediate relation
+    exceeds ``row_limit`` rows.
+    """
+    relations = build_relations(peg, query)
+
+    def guard(count: int) -> None:
+        if count > row_limit:
+            raise RowLimitExceeded(
+                f"intermediate result exceeded {row_limit} rows"
+            )
+
+    # Join the edge relations in a connected order over query nodes.
+    edge_order = _connected_edge_order(query)
+    bound: list = []
+    current: Table | None = None
+    for node_u, node_v in edge_order:
+        edge_table = relations[("edge", node_u, node_v)]
+        # Endpoints already bound get temporary column names so the
+        # equi-join keys do not collide with the accumulated schema.
+        name_u = f"tmp_{node_u}" if node_u in bound else f"n_{node_u}"
+        name_v = f"tmp_{node_v}" if node_v in bound else f"n_{node_v}"
+        renamed = project(
+            edge_table,
+            (),
+            {
+                name_u: lambda row: row[0],
+                name_v: lambda row: row[1],
+                f"p_{node_u}_{node_v}": lambda row: row[2],
+            },
+        )
+        if current is None:
+            current = renamed
+        else:
+            left_keys = [f"n_{n}" for n in (node_u, node_v) if n in bound]
+            right_keys = [f"tmp_{n}" for n in (node_u, node_v) if n in bound]
+            if left_keys:
+                current = hash_join(
+                    current, renamed, left_keys, right_keys, on_rows=guard
+                )
+                keep = [c for c in current.columns if not c.startswith("tmp_")]
+                current = project(current, keep)
+            else:
+                current = _cross(current, renamed, guard)
+        for node in (node_u, node_v):
+            if node not in bound:
+                bound.append(node)
+    if current is None:
+        # Edgeless query: a single node relation.
+        only = query.nodes[0]
+        current = project(
+            relations[("node", query.label(only))],
+            (),
+            {f"n_{only}": lambda row: row[0]},
+        )
+        bound = [only]
+
+    # Join in the node-label relations for label and existence factors.
+    for node in bound:
+        node_table = relations[("node", query.label(node))]
+        renamed = project(
+            node_table,
+            (),
+            {
+                f"nid_{node}": lambda row: row[0],
+                f"lp_{node}": lambda row: row[1],
+                f"xp_{node}": lambda row: row[2],
+            },
+        )
+        current = hash_join(
+            current, renamed, [f"n_{node}"], [f"nid_{node}"], on_rows=guard
+        )
+
+    # Final WHERE clause: distinct nodes, no shared references, exact
+    # probability above the threshold.
+    node_positions = {n: current.position(f"n_{n}") for n in bound}
+    edge_prob_positions = [
+        current.position(f"p_{u}_{v}") for u, v in edge_order
+    ]
+    label_prob_positions = {n: current.position(f"lp_{n}") for n in bound}
+
+    def row_probability(row: tuple) -> float:
+        node_labels = {
+            peg.entity_of(row[node_positions[n]]): query.label(n)
+            for n in bound
+        }
+        edges = {
+            frozenset(
+                (
+                    peg.entity_of(row[node_positions[u]]),
+                    peg.entity_of(row[node_positions[v]]),
+                )
+            )
+            for u, v in edge_order
+        }
+        return peg.match_probability(node_labels, edges)
+
+    matches: dict = {}
+    for row in current.rows:
+        ids = [row[node_positions[n]] for n in bound]
+        if len(set(ids)) != len(ids):
+            continue
+        if any(
+            peg.shares_references_id(a, b)
+            for i, a in enumerate(ids)
+            for b in ids[i + 1:]
+        ):
+            continue
+        # Quick SQL-expressible upper bound before the exact marginal.
+        rough = 1.0
+        for pos in edge_prob_positions:
+            rough *= row[pos]
+        for n in bound:
+            rough *= row[label_prob_positions[n]]
+        if rough < alpha:
+            continue
+        probability = row_probability(row)
+        if probability < alpha:
+            continue
+        mapping = {n: peg.entity_of(row[node_positions[n]]) for n in bound}
+        node_labels = {
+            entity: query.label(n) for n, entity in mapping.items()
+        }
+        nodes_key = tuple(
+            sorted(node_labels.items(), key=lambda kv: repr(kv[0]))
+        )
+        edges = frozenset(
+            frozenset((mapping[u], mapping[v])) for u, v in edge_order
+        )
+        key = (nodes_key, edges)
+        if key not in matches:
+            matches[key] = Match(
+                nodes=nodes_key,
+                edges=edges,
+                mapping=tuple(
+                    sorted(mapping.items(), key=lambda kv: repr(kv[0]))
+                ),
+                probability=probability,
+            )
+    return sorted(
+        matches.values(), key=lambda m: (-m.probability, repr(m.nodes))
+    )
+
+
+def _cross(left: Table, right: Table, guard) -> Table:
+    """Cartesian product (disconnected query components)."""
+    columns = left.columns + right.columns
+    rows = []
+    for left_row in left.rows:
+        for right_row in right.rows:
+            rows.append(left_row + right_row)
+            guard(len(rows))
+    return Table(columns, rows)
+
+
+def _connected_edge_order(query: QueryGraph) -> list:
+    """Query edges ordered so each (when possible) touches a bound node."""
+    remaining = {tuple(edge) for edge in query.edges}
+    ordered: list = []
+    bound: set = set()
+    while remaining:
+        pick = None
+        for edge in sorted(remaining, key=repr):
+            if not bound or bound & set(edge):
+                pick = edge
+                break
+        if pick is None:
+            pick = sorted(remaining, key=repr)[0]
+        ordered.append(pick)
+        bound |= set(pick)
+        remaining.discard(pick)
+    return ordered

@@ -1,0 +1,122 @@
+"""Physical relational operators: selection, projection, joins, distinct."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.relational.table import Table
+from repro.utils.errors import QueryError
+
+
+def select(table: Table, predicate: Callable[[tuple], bool]) -> Table:
+    """Filter rows by a row-level predicate."""
+    return Table(table.columns, (row for row in table.rows if predicate(row)))
+
+
+def project(
+    table: Table,
+    columns: Sequence[str],
+    computed: dict | None = None,
+) -> Table:
+    """Keep ``columns`` and optionally add computed columns.
+
+    ``computed`` maps new column names to functions of the input row.
+    """
+    positions = [table.position(c) for c in columns]
+    computed = computed or {}
+    out_columns = tuple(columns) + tuple(computed)
+    rows = []
+    for row in table.rows:
+        base = tuple(row[p] for p in positions)
+        extras = tuple(fn(row) for fn in computed.values())
+        rows.append(base + extras)
+    return Table(out_columns, rows)
+
+
+def nested_loop_join(
+    left: Table,
+    right: Table,
+    predicate: Callable[[tuple, tuple], bool],
+    row_limit: int | None = None,
+    on_rows: Callable[[int], None] | None = None,
+) -> Table:
+    """Theta join with an arbitrary predicate (quadratic).
+
+    ``row_limit`` bounds the output cardinality; exceeding it raises
+    :class:`~repro.relational.engine.RowLimitExceeded` via the callback
+    installed by the engine (``on_rows`` is invoked with the running
+    output size so the engine can abort runaway plans).
+    """
+    columns = _joined_columns(left, right)
+    rows = []
+    for left_row in left.rows:
+        for right_row in right.rows:
+            if predicate(left_row, right_row):
+                rows.append(left_row + right_row)
+                if on_rows is not None:
+                    on_rows(len(rows))
+                if row_limit is not None and len(rows) > row_limit:
+                    raise QueryError(
+                        f"nested-loop join exceeded row limit {row_limit}"
+                    )
+    return Table(columns, rows)
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    row_limit: int | None = None,
+    on_rows: Callable[[int], None] | None = None,
+) -> Table:
+    """Equi-join on key column lists (hash build on the smaller input)."""
+    if len(left_keys) != len(right_keys):
+        raise QueryError("hash_join needs equally many keys on both sides")
+    build_on_left = len(left) <= len(right)
+    build, probe = (left, right) if build_on_left else (right, left)
+    build_keys = left_keys if build_on_left else right_keys
+    probe_keys = right_keys if build_on_left else left_keys
+    build_positions = [build.position(k) for k in build_keys]
+    probe_positions = [probe.position(k) for k in probe_keys]
+    buckets: dict = {}
+    for row in build.rows:
+        key = tuple(row[p] for p in build_positions)
+        buckets.setdefault(key, []).append(row)
+    columns = _joined_columns(left, right)
+    rows = []
+    for probe_row in probe.rows:
+        key = tuple(probe_row[p] for p in probe_positions)
+        for build_row in buckets.get(key, ()):
+            joined = (
+                build_row + probe_row if build_on_left else probe_row + build_row
+            )
+            rows.append(joined)
+            if on_rows is not None:
+                on_rows(len(rows))
+            if row_limit is not None and len(rows) > row_limit:
+                raise QueryError(
+                    f"hash join exceeded row limit {row_limit}"
+                )
+    return Table(columns, rows)
+
+
+def distinct(table: Table) -> Table:
+    """Remove duplicate rows, preserving first occurrence order."""
+    seen: set = set()
+    rows = []
+    for row in table.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Table(table.columns, rows)
+
+
+def _joined_columns(left: Table, right: Table) -> tuple:
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise QueryError(
+            f"join inputs share column names {sorted(overlap)}; "
+            "rename via project() first"
+        )
+    return left.columns + right.columns

@@ -1,0 +1,61 @@
+"""Relational tables: named columns over tuple rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.utils.errors import QueryError
+
+
+class Table:
+    """An in-memory relation with a fixed column schema.
+
+    Rows are stored as tuples aligned with ``columns``. The class is
+    deliberately simple — the SQL baseline needs faithful relational
+    semantics, not sophistication.
+    """
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[tuple] = ()) -> None:
+        self.columns = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise QueryError(f"duplicate column names: {self.columns}")
+        self._position = {name: i for i, name in enumerate(self.columns)}
+        self.rows = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise QueryError(
+                    f"row arity {len(row)} does not match schema "
+                    f"{self.columns}"
+                )
+
+    def position(self, column: str) -> int:
+        """Index of a column in each row tuple."""
+        try:
+            return self._position[column]
+        except KeyError:
+            raise QueryError(
+                f"unknown column {column!r}; schema is {self.columns}"
+            ) from None
+
+    def column_values(self, column: str) -> list:
+        """All values of one column, in row order."""
+        pos = self.position(column)
+        return [row[pos] for row in self.rows]
+
+    def append(self, row: tuple) -> None:
+        """Add one row (arity-checked)."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise QueryError(
+                f"row arity {len(row)} does not match schema {self.columns}"
+            )
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table(columns={self.columns}, rows={len(self.rows)})"

@@ -1,0 +1,313 @@
+"""Disk-backed B+ tree over byte-string keys.
+
+The second level of the paper's two-level index: supports exact lookup
+and ascending range scans over probability buckets. Keys and values are
+byte strings; values are expected to be small fixed-size pointers into a
+:class:`~repro.storage.recordlog.RecordLog` (large payloads should not
+be inlined).
+
+Implementation notes
+--------------------
+* Nodes are serialized into fixed 4 KiB pages (see
+  :mod:`repro.storage.pager`); a node splits when its serialization no
+  longer fits in a page.
+* Leaves are chained for range scans.
+* Inserting an existing key replaces its value; deletion is not
+  supported (the path index is write-once, read-many).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Tuple
+
+from repro.storage.pager import PAGE_SIZE, Pager
+from repro.utils.errors import StorageError
+
+_LEAF, _INTERNAL = 1, 2
+_NODE_HEADER = struct.Struct(">BHI")  # type, count, next_leaf/child0
+_TREE_HEADER = struct.Struct(">4sIQ")  # magic, root page, entry count
+_MAGIC = b"BPT1"
+
+#: Largest key+value size a node entry may have; guarantees that a node
+#: with a single entry always fits in a page.
+MAX_ENTRY_SIZE = PAGE_SIZE // 4
+
+
+class _Node:
+    __slots__ = ("kind", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.keys: list = []
+        self.values: list = []      # leaves only
+        self.children: list = []    # internals only: len(keys) + 1 children
+        self.next_leaf = 0
+
+    # -- serialization -------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        parts = []
+        if self.kind == _LEAF:
+            parts.append(_NODE_HEADER.pack(_LEAF, len(self.keys), self.next_leaf))
+            for key, value in zip(self.keys, self.values):
+                parts.append(struct.pack(">H", len(key)))
+                parts.append(key)
+                parts.append(struct.pack(">H", len(value)))
+                parts.append(value)
+        else:
+            parts.append(
+                _NODE_HEADER.pack(_INTERNAL, len(self.keys), self.children[0])
+            )
+            for key, child in zip(self.keys, self.children[1:]):
+                parts.append(struct.pack(">H", len(key)))
+                parts.append(key)
+                parts.append(struct.pack(">I", child))
+        data = b"".join(parts)
+        if len(data) > PAGE_SIZE:
+            raise StorageError("internal error: node serialized over page size")
+        return data + b"\x00" * (PAGE_SIZE - len(data))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "_Node":
+        kind, count, extra = _NODE_HEADER.unpack_from(data, 0)
+        node = cls(kind)
+        pos = _NODE_HEADER.size
+        if kind == _LEAF:
+            node.next_leaf = extra
+            for _ in range(count):
+                (klen,) = struct.unpack_from(">H", data, pos)
+                pos += 2
+                key = data[pos:pos + klen]
+                pos += klen
+                (vlen,) = struct.unpack_from(">H", data, pos)
+                pos += 2
+                value = data[pos:pos + vlen]
+                pos += vlen
+                node.keys.append(key)
+                node.values.append(value)
+        elif kind == _INTERNAL:
+            node.children.append(extra)
+            for _ in range(count):
+                (klen,) = struct.unpack_from(">H", data, pos)
+                pos += 2
+                key = data[pos:pos + klen]
+                pos += klen
+                (child,) = struct.unpack_from(">I", data, pos)
+                pos += 4
+                node.keys.append(key)
+                node.children.append(child)
+        else:
+            raise StorageError(f"corrupt node page (kind={kind})")
+        return node
+
+    def serialized_size(self) -> int:
+        size = _NODE_HEADER.size
+        if self.kind == _LEAF:
+            for key, value in zip(self.keys, self.values):
+                size += 4 + len(key) + len(value)
+        else:
+            for key in self.keys:
+                size += 6 + len(key)
+        return size
+
+
+class BPlusTree:
+    """Ordered mapping ``bytes -> bytes`` stored in a page file."""
+
+    def __init__(self, path: str) -> None:
+        self._pager = Pager(path)
+        header = self._pager.read(0)
+        magic, root, count = _TREE_HEADER.unpack_from(header, 0)
+        if magic == _MAGIC:
+            self._root = root
+            self._count = count
+        elif magic == b"\x00\x00\x00\x00":
+            root_node = _Node(_LEAF)
+            self._root = self._pager.allocate()
+            self._pager.write(self._root, root_node.to_bytes())
+            self._count = 0
+            self._write_header()
+        else:
+            raise StorageError(f"not a B+ tree file: {path!r}")
+
+    def _write_header(self) -> None:
+        header = _TREE_HEADER.pack(_MAGIC, self._root, self._count)
+        self._pager.write(0, header + b"\x00" * (PAGE_SIZE - len(header)))
+
+    def _load(self, page_id: int) -> _Node:
+        return _Node.from_bytes(self._pager.read(page_id))
+
+    def _store(self, page_id: int, node: _Node) -> None:
+        self._pager.write(page_id, node.to_bytes())
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert ``key -> value``, replacing any existing value."""
+        if not isinstance(key, (bytes, bytearray)) or not isinstance(
+            value, (bytes, bytearray)
+        ):
+            raise StorageError("B+ tree keys and values must be bytes")
+        if 4 + len(key) + len(value) > MAX_ENTRY_SIZE:
+            raise StorageError(
+                f"entry too large ({len(key)}+{len(value)} bytes); store the "
+                "payload in a RecordLog and index its pointer instead"
+            )
+        split = self._insert(self._root, bytes(key), bytes(value))
+        if split is not None:
+            sep_key, right_page = split
+            new_root = _Node(_INTERNAL)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root, right_page]
+            root_page = self._pager.allocate()
+            self._store(root_page, new_root)
+            self._root = root_page
+        self._write_header()
+
+    def _insert(self, page_id: int, key: bytes, value: bytes):
+        node = self._load(page_id)
+        if node.kind == _LEAF:
+            idx = _lower_bound(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+            else:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, value)
+                self._count += 1
+            if node.serialized_size() > PAGE_SIZE:
+                return self._split_leaf(page_id, node)
+            self._store(page_id, node)
+            return None
+        # internal node: descend into the child whose range covers key
+        child_idx = _upper_bound(node.keys, key)
+        split = self._insert(node.children[child_idx], key, value)
+        if split is None:
+            return None
+        sep_key, right_page = split
+        node.keys.insert(child_idx, sep_key)
+        node.children.insert(child_idx + 1, right_page)
+        if node.serialized_size() > PAGE_SIZE:
+            return self._split_internal(page_id, node)
+        self._store(page_id, node)
+        return None
+
+    def _split_leaf(self, page_id: int, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(_LEAF)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right_page = self._pager.allocate()
+        node.next_leaf = right_page
+        self._store(right_page, right)
+        self._store(page_id, node)
+        return right.keys[0], right_page
+
+    def _split_internal(self, page_id: int, node: _Node):
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(_INTERNAL)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        right_page = self._pager.allocate()
+        self._store(right_page, right)
+        self._store(page_id, node)
+        return sep_key, right_page
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Exact lookup; ``None`` when the key is absent."""
+        key = bytes(key)
+        page_id = self._root
+        while True:
+            node = self._load(page_id)
+            if node.kind == _LEAF:
+                idx = _lower_bound(node.keys, key)
+                if idx < len(node.keys) and node.keys[idx] == key:
+                    return node.values[idx]
+                return None
+            page_id = node.children[_upper_bound(node.keys, key)]
+
+    def range(self, lo: bytes, hi: bytes | None = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` for ``lo <= key < hi`` in ascending order.
+
+        ``hi=None`` scans to the end of the tree.
+        """
+        lo = bytes(lo)
+        page_id = self._root
+        while True:
+            node = self._load(page_id)
+            if node.kind == _LEAF:
+                break
+            page_id = node.children[_upper_bound(node.keys, lo)]
+        idx = _lower_bound(node.keys, lo)
+        while True:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if hi is not None and key >= hi:
+                    return
+                yield key, node.values[idx]
+                idx += 1
+            if not node.next_leaf:
+                return
+            node = self._load(node.next_leaf)
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All entries in ascending key order."""
+        return self.range(b"")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._pager.flush()
+
+    def close(self) -> None:
+        self._pager.close()
+
+    def size_bytes(self) -> int:
+        """Size of the backing page file in bytes."""
+        return self._pager.size_bytes()
+
+    def __enter__(self) -> "BPlusTree":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _lower_bound(keys: list, key: bytes) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _upper_bound(keys: list, key: bytes) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

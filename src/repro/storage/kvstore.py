@@ -1,0 +1,193 @@
+"""The two-level path store: hash directory + B+ tree + record log.
+
+First level: a hash directory mapping a canonical label sequence ``X``
+to a dense integer id (equality access). Second level: a B+ tree over
+composite keys ``(sequence id, probability bucket)`` supporting range
+scans over buckets (range access on π). Payloads are stored in a record
+log and pointed to from the tree.
+
+Two implementations share the :class:`PathStore` interface:
+:class:`InMemoryPathStore` for tests and small workloads, and
+:class:`DiskPathStore` for the paper's disk-based setting.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Tuple
+
+from repro.storage.btree import BPlusTree
+from repro.storage.recordlog import RecordLog
+from repro.utils.errors import StorageError
+
+_COMPOSITE = struct.Struct(">IH")   # (sequence id, bucket in milli-units)
+_POINTER = struct.Struct(">QI")     # (record offset, record length)
+
+
+class PathStore(ABC):
+    """Bucketed key/value store keyed by ``(label sequence, bucket)``.
+
+    Buckets are integers in milli-probability units (``0..1000``);
+    payloads are opaque byte strings (the index builder serializes path
+    lists into them).
+    """
+
+    @abstractmethod
+    def put_bucket(self, label_seq: tuple, bucket: int, payload: bytes) -> None:
+        """Store ``payload`` under ``(label_seq, bucket)`` (replaces)."""
+
+    @abstractmethod
+    def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+        """Fetch the payload of one bucket, or ``None``."""
+
+    @abstractmethod
+    def scan_buckets(
+        self, label_seq: tuple, min_bucket: int = 0
+    ) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(bucket, payload)`` for buckets >= ``min_bucket``, ascending."""
+
+    @abstractmethod
+    def label_sequences(self) -> Iterable[tuple]:
+        """All label sequences with at least one bucket."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate storage footprint in bytes."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Persist any buffered state."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources."""
+
+    def __enter__(self) -> "PathStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _check_bucket(bucket: int) -> int:
+    if not isinstance(bucket, int) or bucket < 0 or bucket > 1000:
+        raise StorageError(f"bucket must be an int in [0, 1000], got {bucket!r}")
+    return bucket
+
+
+class InMemoryPathStore(PathStore):
+    """Dictionary-backed path store for tests and small graphs."""
+
+    def __init__(self) -> None:
+        self._data: dict = {}
+
+    def put_bucket(self, label_seq: tuple, bucket: int, payload: bytes) -> None:
+        _check_bucket(bucket)
+        self._data.setdefault(tuple(label_seq), {})[bucket] = bytes(payload)
+
+    def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+        return self._data.get(tuple(label_seq), {}).get(_check_bucket(bucket))
+
+    def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
+        buckets = self._data.get(tuple(label_seq), {})
+        for bucket in sorted(buckets):
+            if bucket >= min_bucket:
+                yield bucket, buckets[bucket]
+
+    def label_sequences(self):
+        return tuple(self._data)
+
+    def size_bytes(self) -> int:
+        return sum(
+            len(payload)
+            for buckets in self._data.values()
+            for payload in buckets.values()
+        )
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class DiskPathStore(PathStore):
+    """Disk-backed path store: hash directory + B+ tree + record log.
+
+    Creates three files under ``directory``: ``index.btree`` (tree
+    pages), ``index.log`` (payload record log) and ``index.dir``
+    (pickled label-sequence directory, written on flush/close).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._tree = BPlusTree(os.path.join(self.directory, "index.btree"))
+        self._log = RecordLog(os.path.join(self.directory, "index.log"))
+        self._dir_path = os.path.join(self.directory, "index.dir")
+        if os.path.exists(self._dir_path):
+            with open(self._dir_path, "rb") as handle:
+                self._sequence_ids = pickle.load(handle)
+        else:
+            self._sequence_ids = {}
+        self._dirty_directory = False
+
+    def _sequence_id(self, label_seq: tuple, create: bool) -> int | None:
+        label_seq = tuple(label_seq)
+        seq_id = self._sequence_ids.get(label_seq)
+        if seq_id is None and create:
+            seq_id = len(self._sequence_ids)
+            self._sequence_ids[label_seq] = seq_id
+            self._dirty_directory = True
+        return seq_id
+
+    def put_bucket(self, label_seq: tuple, bucket: int, payload: bytes) -> None:
+        _check_bucket(bucket)
+        seq_id = self._sequence_id(label_seq, create=True)
+        offset, length = self._log.append(bytes(payload))
+        key = _COMPOSITE.pack(seq_id, bucket)
+        self._tree.put(key, _POINTER.pack(offset, length))
+
+    def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+        _check_bucket(bucket)
+        seq_id = self._sequence_id(label_seq, create=False)
+        if seq_id is None:
+            return None
+        pointer = self._tree.get(_COMPOSITE.pack(seq_id, bucket))
+        if pointer is None:
+            return None
+        offset, length = _POINTER.unpack(pointer)
+        return self._log.read(offset, length)
+
+    def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
+        seq_id = self._sequence_id(label_seq, create=False)
+        if seq_id is None:
+            return
+        lo = _COMPOSITE.pack(seq_id, _check_bucket(min_bucket))
+        hi = _COMPOSITE.pack(seq_id, 1000) + b"\xff"
+        for key, pointer in self._tree.range(lo, hi):
+            _, bucket = _COMPOSITE.unpack(key)
+            offset, length = _POINTER.unpack(pointer)
+            yield bucket, self._log.read(offset, length)
+
+    def label_sequences(self):
+        return tuple(self._sequence_ids)
+
+    def size_bytes(self) -> int:
+        return self._tree.size_bytes() + self._log.size_bytes()
+
+    def flush(self) -> None:
+        self._tree.flush()
+        self._log.flush()
+        if self._dirty_directory:
+            with open(self._dir_path, "wb") as handle:
+                pickle.dump(self._sequence_ids, handle)
+            self._dirty_directory = False
+
+    def close(self) -> None:
+        self.flush()
+        self._tree.close()
+        self._log.close()

@@ -1,0 +1,135 @@
+"""Fixed-size page file manager.
+
+The B+ tree persists its nodes as 4 KiB pages in a single file through
+this pager. Page 0 is reserved for the owner's metadata (the tree
+header). The pager offers allocation, read, write and an in-memory page
+cache with write-back on flush.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.utils.errors import StorageError
+
+#: Size of every page in bytes.
+PAGE_SIZE = 4096
+
+
+class Pager:
+    """Page-granular access to a single file.
+
+    Parameters
+    ----------
+    path:
+        File path; created (with a zeroed page 0) if absent.
+    cache_pages:
+        Maximum number of pages kept in the write-back cache.
+    """
+
+    def __init__(self, path: str, cache_pages: int = 1024) -> None:
+        self.path = str(path)
+        self._cache: dict = {}
+        self._dirty: set = set()
+        self._cache_limit = max(cache_pages, 8)
+        existed = os.path.exists(self.path)
+        self._file = open(self.path, "r+b" if existed else "w+b")
+        if existed:
+            size = os.path.getsize(self.path)
+            if size % PAGE_SIZE != 0:
+                raise StorageError(
+                    f"file {self.path!r} size {size} is not page aligned"
+                )
+            self._num_pages = size // PAGE_SIZE
+            if self._num_pages == 0:
+                self._bootstrap()
+        else:
+            self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        self._num_pages = 1
+        self._file.seek(0)
+        self._file.write(b"\x00" * PAGE_SIZE)
+        self._file.flush()
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages including the reserved header page."""
+        return self._num_pages
+
+    def allocate(self) -> int:
+        """Allocate a fresh zeroed page and return its id."""
+        page_id = self._num_pages
+        self._num_pages += 1
+        self._cache[page_id] = bytearray(PAGE_SIZE)
+        self._dirty.add(page_id)
+        self._maybe_evict()
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        """Read a page as bytes."""
+        self._check_page(page_id)
+        cached = self._cache.get(page_id)
+        if cached is not None:
+            return bytes(cached)
+        self._file.seek(page_id * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"short read of page {page_id} in {self.path!r}"
+            )
+        self._cache[page_id] = bytearray(data)
+        self._maybe_evict(exclude=page_id)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace a page's contents (must be exactly one page long)."""
+        self._check_page(page_id)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"page write must be {PAGE_SIZE} bytes, got {len(data)}"
+            )
+        self._cache[page_id] = bytearray(data)
+        self._dirty.add(page_id)
+        self._maybe_evict(exclude=page_id)
+
+    def flush(self) -> None:
+        """Write all dirty cached pages back to the file."""
+        for page_id in sorted(self._dirty):
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(bytes(self._cache[page_id]))
+        self._dirty.clear()
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def size_bytes(self) -> int:
+        """Current file size in bytes."""
+        return self._num_pages * PAGE_SIZE
+
+    def _check_page(self, page_id: int) -> None:
+        if page_id < 0 or page_id >= self._num_pages:
+            raise StorageError(
+                f"page {page_id} out of range (file has {self._num_pages})"
+            )
+
+    def _maybe_evict(self, exclude: int | None = None) -> None:
+        if len(self._cache) <= self._cache_limit:
+            return
+        # Evict clean pages first; flush if everything is dirty.
+        clean = [p for p in self._cache if p not in self._dirty and p != exclude]
+        if not clean:
+            self.flush()
+            clean = [p for p in self._cache if p != exclude]
+        for page_id in clean[: len(self._cache) - self._cache_limit]:
+            del self._cache[page_id]
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,73 @@
+"""Append-only blob store for index payloads.
+
+Bucket payloads (serialized path lists) are variable-length and often
+much larger than a page, so the B+ tree stores fixed-size *pointers*
+``(offset, length)`` into this log instead of inlining values — the
+classic indirection KyotoCabinet applies for large records.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.utils.errors import StorageError
+
+_HEADER = struct.Struct(">I")  # record length prefix
+
+
+class RecordLog:
+    """Append-only sequence of length-prefixed binary records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        existed = os.path.exists(self.path)
+        self._file = open(self.path, "r+b" if existed else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        self._end = self._file.tell()
+
+    def append(self, payload: bytes) -> tuple:
+        """Append ``payload`` and return its ``(offset, length)`` pointer."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("record payload must be bytes")
+        offset = self._end
+        self._file.seek(offset)
+        self._file.write(_HEADER.pack(len(payload)))
+        self._file.write(payload)
+        self._end = offset + _HEADER.size + len(payload)
+        return offset, len(payload)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read the record at ``offset`` (its length is also verified)."""
+        if offset < 0 or offset + _HEADER.size > self._end:
+            raise StorageError(f"record offset {offset} out of range")
+        self._file.seek(offset)
+        header = self._file.read(_HEADER.size)
+        (stored_length,) = _HEADER.unpack(header)
+        if stored_length != length:
+            raise StorageError(
+                f"record length mismatch at {offset}: "
+                f"stored {stored_length}, requested {length}"
+            )
+        payload = self._file.read(length)
+        if len(payload) != length:
+            raise StorageError(f"short record read at offset {offset}")
+        return payload
+
+    def size_bytes(self) -> int:
+        """Total bytes written to the log."""
+        return self._end
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "RecordLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,33 @@
+"""Shared infrastructure: errors, RNG plumbing, timing, validation helpers."""
+
+from repro.utils.errors import (
+    ReproError,
+    ModelError,
+    StorageError,
+    IndexError_,
+    QueryError,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, StageTimings
+from repro.utils.validation import (
+    check_probability,
+    check_distribution,
+    check_positive,
+    check_non_negative,
+)
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "StorageError",
+    "IndexError_",
+    "QueryError",
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "StageTimings",
+    "check_probability",
+    "check_distribution",
+    "check_positive",
+    "check_non_negative",
+]

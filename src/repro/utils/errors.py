@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """Invalid probabilistic model input (PGD/PEG construction errors).
+
+    Raised for malformed probability distributions, reference sets that do
+    not include singletons, references used in edges but never declared,
+    and similar modeling mistakes.
+    """
+
+
+class StorageError(ReproError):
+    """Failure in the disk-backed storage substrate (pager, B+ tree)."""
+
+
+class IndexError_(ReproError):
+    """Failure in path-index construction or lookup.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``.
+    """
+
+
+class QueryError(ReproError):
+    """Invalid query input or failure during online query processing."""

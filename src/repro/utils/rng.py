@@ -1,0 +1,43 @@
+"""Deterministic random-number plumbing.
+
+All stochastic code in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalizes it through :func:`ensure_rng`. Experiments spawn independent
+child generators with :func:`spawn_rngs` so that adding a new random
+consumer does not perturb the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed_or_rng=None) -> np.random.Generator:
+    """Normalize ``seed_or_rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed_or_rng:
+        ``None`` for OS entropy, an ``int`` seed for a reproducible stream,
+        or an existing generator which is returned unchanged.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(seed_or_rng, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Uses numpy's ``SeedSequence.spawn`` mechanism so the children are
+    independent of each other and of the parent stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = ensure_rng(seed_or_rng)
+    seq = rng.bit_generator.seed_seq
+    if seq is None:  # pragma: no cover - numpy always sets seed_seq today
+        seq = np.random.SeedSequence()
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

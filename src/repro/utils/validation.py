@@ -1,0 +1,68 @@
+"""Input-validation helpers shared across the model layers.
+
+These helpers raise :class:`repro.utils.errors.ModelError` with precise
+messages; the model classes call them at construction time so malformed
+probabilistic inputs fail fast rather than corrupting downstream inference.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.errors import ModelError
+
+#: Tolerance used when checking that distributions sum to one.
+DISTRIBUTION_TOLERANCE = 1e-9
+
+
+def check_probability(value, name: str = "probability") -> float:
+    """Validate that ``value`` is a finite probability in ``[0, 1]``."""
+    try:
+        p = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ModelError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(p) or math.isinf(p):
+        raise ModelError(f"{name} must be finite, got {p!r}")
+    if p < 0.0 or p > 1.0:
+        raise ModelError(f"{name} must be in [0, 1], got {p!r}")
+    return p
+
+
+def check_distribution(mapping, name: str = "distribution") -> dict:
+    """Validate a discrete distribution given as ``{outcome: probability}``.
+
+    Probabilities must be in ``[0, 1]`` and sum to at most 1 (within
+    tolerance); sub-normalized distributions are rejected unless they sum
+    to exactly 1, because the paper's model always works with normalized
+    label and existence distributions.
+    """
+    if not mapping:
+        raise ModelError(f"{name} must not be empty")
+    cleaned = {}
+    total = 0.0
+    for outcome, prob in mapping.items():
+        p = check_probability(prob, f"{name}[{outcome!r}]")
+        cleaned[outcome] = p
+        total += p
+    if abs(total - 1.0) > DISTRIBUTION_TOLERANCE:
+        raise ModelError(
+            f"{name} must sum to 1.0 (within {DISTRIBUTION_TOLERANCE}), "
+            f"got {total!r}"
+        )
+    return cleaned
+
+
+def check_positive(value, name: str = "value") -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    v = float(value)
+    if math.isnan(v) or math.isinf(v) or v <= 0:
+        raise ModelError(f"{name} must be a positive finite number, got {value!r}")
+    return v
+
+
+def check_non_negative(value, name: str = "value") -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    v = float(value)
+    if math.isnan(v) or math.isinf(v) or v < 0:
+        raise ModelError(f"{name} must be non-negative and finite, got {value!r}")
+    return v

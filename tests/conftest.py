@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's motivating example and small random PEGs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_synthetic_pgd
+from repro.peg import build_peg
+from repro.pgd import pgd_from_edge_list
+
+
+@pytest.fixture
+def figure1_pgd():
+    """The Figure-1 reference network of the paper's Section 2."""
+    return pgd_from_edge_list(
+        node_labels={
+            "r1": {"r": 0.25, "i": 0.75},
+            "r2": "a",
+            "r3": "r",
+            "r4": "i",
+        },
+        edges=[
+            ("r1", "r2", 0.9),
+            ("r2", "r3", 1.0),
+            ("r2", "r4", 0.5),
+            ("r1", "r4", 1.0),
+        ],
+        reference_sets=[(("r3", "r4"), 0.8)],
+    )
+
+
+@pytest.fixture
+def figure1_peg(figure1_pgd):
+    return build_peg(figure1_pgd)
+
+
+def small_random_peg(seed: int, num_references: int = 60, uncertainty: float = 0.4):
+    """A small synthetic PEG for oracle comparisons."""
+    config = SyntheticConfig(
+        num_references=num_references,
+        edges_per_node=2,
+        num_labels=3,
+        uncertainty=uncertainty,
+        groups=3,
+        seed=seed,
+    )
+    return build_peg(generate_synthetic_pgd(config))
+
+
+@pytest.fixture
+def random_peg():
+    return small_random_peg(seed=42)

@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.peg import load_peg
+
+
+@pytest.fixture
+def peg_file(tmp_path):
+    path = str(tmp_path / "tiny.peg")
+    code = main(
+        [
+            "generate", "--kind", "synthetic", "--size", "60",
+            "--seed", "3", "--out", path,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_synthetic(self, peg_file, capsys):
+        peg = load_peg(peg_file)
+        assert peg.num_nodes >= 60
+
+    def test_generate_dblp(self, tmp_path, capsys):
+        path = str(tmp_path / "dblp.peg")
+        assert main(
+            ["generate", "--kind", "dblp", "--size", "60", "--out", path]
+        ) == 0
+        peg = load_peg(path)
+        assert peg.conditional
+        out = capsys.readouterr().out
+        assert "entities" in out
+
+    def test_generate_imdb(self, tmp_path):
+        path = str(tmp_path / "imdb.peg")
+        assert main(
+            ["generate", "--kind", "imdb", "--size", "60", "--out", path]
+        ) == 0
+        assert not load_peg(path).conditional
+
+
+class TestInfo:
+    def test_info_prints_stats(self, peg_file, capsys):
+        assert main(["info", peg_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out
+        assert "label alphabet" in out
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "ghost.peg")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def write_spec(self, tmp_path, nodes, edges):
+        spec = tmp_path / "query.json"
+        spec.write_text(json.dumps({"nodes": nodes, "edges": edges}))
+        return str(spec)
+
+    def test_query_runs(self, peg_file, tmp_path, capsys):
+        spec = self.write_spec(
+            tmp_path, {"a": "L0", "b": "L1"}, [["a", "b"]]
+        )
+        assert main(
+            ["query", peg_file, "--spec", spec, "--alpha", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+
+    def test_query_explain(self, peg_file, tmp_path, capsys):
+        spec = self.write_spec(
+            tmp_path, {"a": "L0", "b": "L1"}, [["a", "b"]]
+        )
+        assert main(
+            ["query", peg_file, "--spec", spec, "--alpha", "0.2", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decomposition:" in out
+        assert "search space:" in out
+
+    def test_query_bad_spec(self, peg_file, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps(["not", "a", "spec"]))
+        assert main(
+            ["query", peg_file, "--spec", str(spec)]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_query_inline_pattern(self, peg_file, capsys):
+        assert main(
+            [
+                "query", peg_file,
+                "--pattern", "(a:L0)-(b:L1)",
+                "--alpha", "0.2",
+            ]
+        ) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_query_bad_pattern(self, peg_file, capsys):
+        assert main(
+            ["query", peg_file, "--pattern", "(a)-(b)"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_query_limit(self, peg_file, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, {"a": "L0"}, [])
+        assert main(
+            [
+                "query", peg_file, "--spec", spec,
+                "--alpha", "0.3", "--limit", "2",
+                "--max-length", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out

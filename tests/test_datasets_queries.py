@@ -1,0 +1,86 @@
+"""Unit tests for repro.datasets.queries."""
+
+import pytest
+
+from repro.datasets.queries import (
+    PATTERN_NAMES,
+    paper_query_series,
+    pattern_query,
+    random_query,
+)
+from repro.utils.errors import QueryError
+
+
+class TestRandomQuery:
+    def test_size(self):
+        q = random_query(6, 9, ("a", "b"), seed=0)
+        assert q.num_nodes == 6
+        assert q.num_edges == 9
+
+    def test_connected(self):
+        for seed in range(5):
+            q = random_query(8, 7, ("a",), seed=seed)  # tree: minimum edges
+            assert len(q.connected_components()) == 1
+
+    def test_labels_from_sigma(self):
+        q = random_query(5, 6, ("a", "b", "c"), seed=1)
+        assert all(q.label(n) in ("a", "b", "c") for n in q.nodes)
+
+    def test_explicit_labels(self):
+        labels = {f"q{i}": "z" for i in range(4)}
+        q = random_query(4, 3, ("a",), seed=2, labels=labels)
+        assert all(q.label(n) == "z" for n in q.nodes)
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(QueryError):
+            random_query(4, 2, ("a",), seed=0)  # below spanning tree
+        with pytest.raises(QueryError):
+            random_query(4, 7, ("a",), seed=0)  # above complete graph
+
+    def test_reproducible(self):
+        a = random_query(7, 10, ("a", "b"), seed=9)
+        b = random_query(7, 10, ("a", "b"), seed=9)
+        assert a.edges == b.edges
+        assert [a.label(n) for n in a.nodes] == [b.label(n) for n in b.nodes]
+
+
+class TestPaperSeries:
+    def test_figure6c_series(self):
+        series = paper_query_series(15)
+        assert series == [
+            (3, 3), (5, 10), (7, 21), (9, 36), (11, 44), (13, 52), (15, 60)
+        ]
+
+
+class TestPatternQueries:
+    def test_all_patterns_build(self):
+        for name in PATTERN_NAMES:
+            q = pattern_query(name, "g")
+            assert q.num_nodes >= 4
+            assert len(q.connected_components()) == 1
+
+    def test_shapes(self):
+        assert pattern_query("GR", "g").num_edges == 6      # 4-clique
+        assert pattern_query("ST", "g").num_edges == 4      # star
+        assert pattern_query("TR", "g").num_edges == 6      # binary tree
+        assert pattern_query("BF1", "g").num_edges == 6     # two triangles
+        assert pattern_query("BF2", "g").num_edges == 8     # two diamonds
+
+    def test_star_has_center(self):
+        q = pattern_query("ST", "g")
+        degrees = sorted(q.degree(n) for n in q.nodes)
+        assert degrees == [1, 1, 1, 1, 4]
+
+    def test_tree_is_acyclic(self):
+        q = pattern_query("TR", "g")
+        assert q.num_edges == q.num_nodes - 1
+
+    def test_label_mapping(self):
+        labels = {f"n{i}": f"L{i}" for i in range(5)}
+        q = pattern_query("ST", labels)
+        assert q.label("n0") == "L0"
+        assert q.label("n4") == "L4"
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(QueryError):
+            pattern_query("XYZ", "g")

@@ -1,0 +1,77 @@
+"""Unit tests for the DBLP-like and IMDB-like generators."""
+
+import pytest
+
+from repro.datasets.dblp import DBLP_AREAS, generate_dblp_pgd
+from repro.datasets.imdb import IMDB_GENRES, generate_imdb_pgd
+from repro.peg import build_peg
+
+
+class TestDblpGenerator:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return generate_dblp_pgd(num_authors=150, seed=0)
+
+    def test_alphabet(self, dblp):
+        assert dblp.sigma == frozenset(DBLP_AREAS)
+
+    def test_edges_are_conditional(self, dblp):
+        assert dblp.has_conditional_edges
+        for _, dist in dblp.edges():
+            assert dist.conditional
+
+    def test_cpt_structure(self, dblp):
+        """Same-area probability p, cross-area 0.8 p, p in [0.5, 1]."""
+        for _, dist in dblp.edges():
+            same = dist.probability("DB", "DB")
+            cross = dist.probability("DB", "ML")
+            assert 0.5 <= same <= 1.0
+            assert cross == pytest.approx(0.8 * same)
+
+    def test_duplicates_create_reference_sets(self, dblp):
+        declared = dblp.declared_sets()
+        assert len(declared) >= 1
+        assert all(len(s) == 2 for s in declared)
+
+    def test_peg_builds(self, dblp):
+        peg = build_peg(dblp)
+        assert peg.conditional
+        assert peg.num_nodes > 150  # originals + duplicates + merged
+
+    def test_reproducible(self):
+        a = generate_dblp_pgd(num_authors=80, seed=3)
+        b = generate_dblp_pgd(num_authors=80, seed=3)
+        assert a.stats() == b.stats()
+
+
+class TestImdbGenerator:
+    @pytest.fixture(scope="class")
+    def imdb(self):
+        return generate_imdb_pgd(num_actors=150, seed=0)
+
+    def test_alphabet(self, imdb):
+        assert imdb.sigma == frozenset(IMDB_GENRES)
+
+    def test_edges_are_independent(self, imdb):
+        assert not imdb.has_conditional_edges
+
+    def test_edge_probability_range(self, imdb):
+        for _, dist in imdb.edges():
+            assert 0.4 <= dist.probability() <= 1.0
+
+    def test_identity_uncertainty_present(self, imdb):
+        declared = imdb.declared_sets()
+        assert len(declared) == int(150 * 0.015)
+
+    def test_genre_distributions_concentrated(self, imdb):
+        dominant_masses = [
+            max(p for _, p in imdb.label_distribution(ref).items())
+            for ref in imdb.references
+        ]
+        assert sum(dominant_masses) / len(dominant_masses) > 0.7
+
+    def test_peg_builds_with_components(self, imdb):
+        peg = build_peg(imdb)
+        stats = peg.stats()
+        assert stats["nontrivial_components"] == len(imdb.declared_sets())
+        assert stats["max_component_refs"] == 2

@@ -1,0 +1,136 @@
+"""Unit tests for repro.datasets.synthetic."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_pgd,
+    preferential_attachment_edges,
+    skewed_edge_probability,
+    zipf_label_distribution,
+)
+from repro.peg import build_peg
+from repro.utils.errors import ModelError
+from repro.utils.rng import ensure_rng
+
+
+class TestPreferentialAttachment:
+    def test_edge_count(self):
+        edges = preferential_attachment_edges(100, 3, ensure_rng(0))
+        # seed clique C(4,2)=6 edges + 96 nodes * 3 edges
+        assert len(edges) == 6 + 96 * 3
+
+    def test_no_duplicates_or_self_loops(self):
+        edges = preferential_attachment_edges(100, 3, ensure_rng(1))
+        seen = set()
+        for a, b in edges:
+            assert a != b
+            key = frozenset((a, b))
+            assert key not in seen
+            seen.add(key)
+
+    def test_skewed_degrees(self):
+        """Preferential attachment produces hubs."""
+        edges = preferential_attachment_edges(500, 2, ensure_rng(2))
+        degree: dict = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        degrees = sorted(degree.values(), reverse=True)
+        assert degrees[0] > 5 * (sum(degrees) / len(degrees))
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ModelError):
+            preferential_attachment_edges(3, 3, ensure_rng(0))
+
+    def test_reproducible(self):
+        assert preferential_attachment_edges(50, 2, ensure_rng(7)) == \
+            preferential_attachment_edges(50, 2, ensure_rng(7))
+
+
+class TestProbabilityGenerators:
+    def test_zipf_label_distribution_normalized(self):
+        labels = ("a", "b", "c", "d")
+        for seed in range(5):
+            dist = zipf_label_distribution(labels, ensure_rng(seed))
+            assert sum(p for _, p in dist.items()) == pytest.approx(1.0)
+
+    def test_zipf_skew_present(self):
+        """Across many draws the largest mass should clearly dominate."""
+        labels = tuple("abcde")
+        rng = ensure_rng(3)
+        maxima = [
+            max(p for _, p in zipf_label_distribution(labels, rng).items())
+            for _ in range(200)
+        ]
+        assert sum(maxima) / len(maxima) > 1.5 / len(labels)
+
+    def test_edge_probability_range_and_skew(self):
+        rng = ensure_rng(4)
+        draws = [skewed_edge_probability(rng) for _ in range(500)]
+        assert all(0.0 < p < 1.0 for p in draws)
+        assert sum(draws) / len(draws) > 0.5  # skewed toward existence
+
+
+class TestGenerateSyntheticPgd:
+    def test_paper_ratios(self):
+        config = SyntheticConfig(num_references=200, seed=0)
+        pgd = generate_synthetic_pgd(config)
+        stats = pgd.stats()
+        assert stats["references"] == 200
+        # relations ~ 5x references (clique seed makes it slightly off)
+        assert stats["edges"] == pytest.approx(1000, rel=0.05)
+
+    def test_uncertainty_fraction(self):
+        config = SyntheticConfig(num_references=400, uncertainty=0.2, seed=1)
+        pgd = generate_synthetic_pgd(config)
+        uncertain_nodes = sum(
+            1
+            for ref in pgd.references
+            if len(pgd.label_distribution(ref).support) > 1
+        )
+        assert uncertain_nodes == pytest.approx(0.2 * 400, rel=0.35)
+
+    def test_fully_certain_graph(self):
+        config = SyntheticConfig(num_references=100, uncertainty=0.0, seed=2)
+        pgd = generate_synthetic_pgd(config)
+        for ref in pgd.references:
+            assert len(pgd.label_distribution(ref).support) == 1
+        for _, dist in pgd.edges():
+            assert dist.probability() == 1.0
+
+    def test_reference_set_shape(self):
+        config = SyntheticConfig(
+            num_references=300, groups=5, group_size=4, pairs_per_group=4,
+            seed=3,
+        )
+        pgd = generate_synthetic_pgd(config)
+        declared = pgd.declared_sets()
+        assert 0 < len(declared) <= 20
+        assert all(len(s) == 2 for s in declared)
+
+    def test_component_size_bounded_by_group_size(self):
+        config = SyntheticConfig(num_references=300, groups=8, seed=4)
+        peg = build_peg(generate_synthetic_pgd(config))
+        assert peg.stats()["max_component_refs"] <= config.group_size
+
+    def test_reproducibility(self):
+        a = generate_synthetic_pgd(SyntheticConfig(num_references=100, seed=9))
+        b = generate_synthetic_pgd(SyntheticConfig(num_references=100, seed=9))
+        assert a.stats() == b.stats()
+        for ref in a.references:
+            assert a.label_distribution(ref) == b.label_distribution(ref)
+
+    def test_config_xor_overrides(self):
+        with pytest.raises(ModelError):
+            generate_synthetic_pgd(
+                SyntheticConfig(num_references=100), num_references=50
+            )
+
+    def test_overrides_form(self):
+        pgd = generate_synthetic_pgd(num_references=100, seed=5)
+        assert pgd.stats()["references"] == 100
+
+    def test_invalid_uncertainty(self):
+        with pytest.raises(ModelError):
+            generate_synthetic_pgd(num_references=100, uncertainty=1.5)

@@ -1,0 +1,178 @@
+"""Edge-case tests for the engine and pipeline components."""
+
+import pytest
+
+from repro.peg import build_peg
+from repro.pgd import PGD, pgd_from_edge_list
+from repro.query import (
+    QueryEngine,
+    QueryGraph,
+    QueryOptions,
+    direct_matches,
+)
+from tests.conftest import small_random_peg
+
+
+def match_keys(matches):
+    return {(m.nodes, m.edges, round(m.probability, 9)) for m in matches}
+
+
+class TestDisconnectedQueries:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        peg = small_random_peg(seed=61, num_references=40)
+        return peg, QueryEngine(peg, max_length=2, beta=0.1)
+
+    def test_two_components(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[2], "d": sigma[0]},
+            [("a", "b"), ("c", "d")],
+        )
+        assert match_keys(engine.query(query, 0.4).matches) == match_keys(
+            direct_matches(peg, query, 0.4)
+        )
+
+    def test_edge_plus_isolated_node(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "x": sigma[2]},
+            [("a", "b")],
+        )
+        assert match_keys(engine.query(query, 0.5).matches) == match_keys(
+            direct_matches(peg, query, 0.5)
+        )
+
+    def test_all_isolated_nodes(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph({"x": sigma[0], "y": sigma[1]}, [])
+        assert match_keys(engine.query(query, 0.6).matches) == match_keys(
+            direct_matches(peg, query, 0.6)
+        )
+
+
+class TestDegenerateInputs:
+    def test_label_absent_from_graph(self):
+        peg = small_random_peg(seed=62, num_references=30)
+        engine = QueryEngine(peg, max_length=1, beta=0.1)
+        query = QueryGraph({"a": "not-a-label", "b": "L0"}, [("a", "b")])
+        result = engine.query(query, 0.3)
+        assert result.matches == []
+        assert result.search_space_final == 0.0
+
+    def test_alpha_one(self):
+        """alpha = 1.0 keeps only fully certain matches."""
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "b", "z": "b"},
+                edges=[("x", "y", 1.0), ("x", "z", 0.9)],
+            )
+        )
+        engine = QueryEngine(peg, max_length=1, beta=0.5)
+        query = QueryGraph({"u": "a", "v": "b"}, [("u", "v")])
+        matches = engine.query(query, 1.0).matches
+        assert len(matches) == 1
+        assert matches[0].probability == 1.0
+
+    def test_query_larger_than_graph(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "a"},
+                edges=[("x", "y", 0.9)],
+            )
+        )
+        engine = QueryEngine(peg, max_length=1, beta=0.1)
+        query = QueryGraph(
+            {"u": "a", "v": "a", "w": "a"},
+            [("u", "v"), ("v", "w")],
+        )
+        assert engine.query(query, 0.1).matches == []
+
+    def test_repeated_labels_automorphism_dedup(self):
+        """Symmetric queries yield each labeled subgraph exactly once."""
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "a", "z": "a"},
+                edges=[("x", "y", 0.9), ("y", "z", 0.9), ("x", "z", 0.9)],
+            )
+        )
+        engine = QueryEngine(peg, max_length=2, beta=0.1)
+        triangle = QueryGraph(
+            {"u": "a", "v": "a", "w": "a"},
+            [("u", "v"), ("v", "w"), ("u", "w")],
+        )
+        matches = engine.query(triangle, 0.5).matches
+        # one triangle exists; 6 automorphic embeddings collapse to 1
+        assert len(matches) == 1
+
+    def test_star_peg_star_query(self):
+        """A hub asked to match a star query with repeated labels."""
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={
+                    "hub": "h", "l1": "x", "l2": "x", "l3": "x"
+                },
+                edges=[
+                    ("hub", "l1", 0.9),
+                    ("hub", "l2", 0.8),
+                    ("hub", "l3", 0.7),
+                ],
+            )
+        )
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        query = QueryGraph(
+            {"c": "h", "a": "x", "b": "x"}, [("c", "a"), ("c", "b")]
+        )
+        matches = engine.query(query, 0.3).matches
+        oracle = direct_matches(peg, query, 0.3)
+        assert match_keys(matches) == match_keys(oracle)
+        # pairs {l1,l2}, {l1,l3}, {l2,l3}: 3 labeled subgraphs
+        assert len(matches) == 3
+
+
+class TestIdentityEdgeCases:
+    def test_query_spanning_one_component(self):
+        """Two query nodes matched into the same identity component."""
+        pgd = PGD()
+        for ref, label in (
+            ("a", "x"), ("b", "y"), ("c", "x"), ("d", "y")
+        ):
+            pgd.add_reference(ref, label)
+        pgd.add_edge("a", "b", 1.0)
+        pgd.add_edge("b", "c", 1.0)
+        pgd.add_edge("c", "d", 1.0)
+        # a and c may be the same entity; matching both singletons in one
+        # match must use the joint (not product) marginal.
+        pgd.add_reference_set(("a", "c"), 0.5)
+        peg = build_peg(pgd)
+        engine = QueryEngine(peg, max_length=2, beta=0.01)
+        query = QueryGraph(
+            {"u": "x", "v": "y", "w": "x"}, [("u", "v"), ("v", "w")]
+        )
+        matches = engine.query(query, 0.01).matches
+        oracle = direct_matches(peg, query, 0.01)
+        assert match_keys(matches) == match_keys(oracle)
+        for match in matches:
+            entities = [entity for entity, _ in match.nodes]
+            for i, left in enumerate(entities):
+                for right in entities[i + 1:]:
+                    assert not (left & right)
+
+    def test_merged_entity_on_path_with_its_neighbor(self):
+        """Merged entities keep edges contributed by either reference."""
+        pgd = pgd_from_edge_list(
+            node_labels={"p": "a", "q": "a", "r": "b"},
+            edges=[("p", "r", 0.8)],
+            reference_sets=[(("p", "q"), 0.6)],
+        )
+        peg = build_peg(pgd)
+        engine = QueryEngine(peg, max_length=1, beta=0.01)
+        query = QueryGraph({"u": "a", "v": "b"}, [("u", "v")])
+        matches = engine.query(query, 0.01).matches
+        nodes_seen = {frozenset(e for e, _ in m.nodes) for m in matches}
+        merged = frozenset({"p", "q"})
+        assert frozenset({frozenset({"p"}), frozenset({"r"})}) in nodes_seen
+        assert frozenset({merged, frozenset({"r"})}) in nodes_seen

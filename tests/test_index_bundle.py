@@ -1,0 +1,97 @@
+"""Unit tests for offline-bundle persistence (index + context)."""
+
+import pytest
+
+from repro.index.bundle import load_offline, save_offline
+from repro.query import QueryEngine, QueryGraph
+from repro.storage import DiskPathStore
+from repro.utils.errors import IndexError_
+from tests.conftest import small_random_peg
+
+
+def match_keys(matches):
+    return {(m.nodes, m.edges, round(m.probability, 9)) for m in matches}
+
+
+@pytest.fixture(scope="module")
+def peg():
+    return small_random_peg(seed=70, num_references=60)
+
+
+class TestSaveLoadRoundtrip:
+    def test_memory_store_engine_roundtrip(self, peg, tmp_path):
+        directory = str(tmp_path / "bundle")
+        engine = QueryEngine(peg, max_length=2, beta=0.1)
+        engine.save_offline(directory)
+        reopened = QueryEngine.from_saved(peg, directory)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[2]},
+            [("a", "b"), ("b", "c")],
+        )
+        assert match_keys(reopened.query(query, 0.3).matches) == \
+            match_keys(engine.query(query, 0.3).matches)
+
+    def test_disk_store_saved_in_place(self, peg, tmp_path):
+        directory = str(tmp_path / "disk-bundle")
+        engine = QueryEngine(
+            peg, max_length=2, beta=0.1, store=DiskPathStore(directory)
+        )
+        engine.save_offline(directory)
+        reopened = QueryEngine.from_saved(peg, directory)
+        assert reopened.index.num_paths() == engine.index.num_paths()
+
+    def test_metadata_preserved(self, peg, tmp_path):
+        directory = str(tmp_path / "meta-bundle")
+        engine = QueryEngine(peg, max_length=2, beta=0.2, gamma=0.05)
+        engine.save_offline(directory)
+        index, context = load_offline(directory)
+        assert index.max_length == 2
+        assert index.beta == 0.2
+        assert index.gamma == 0.05
+        assert index.num_paths() == engine.index.num_paths()
+        assert context.sigma == engine.context.sigma
+
+    def test_histogram_estimates_preserved(self, peg, tmp_path):
+        directory = str(tmp_path / "hist-bundle")
+        engine = QueryEngine(peg, max_length=2, beta=0.2)
+        engine.save_offline(directory)
+        index, _ = load_offline(directory)
+        for seq in list(engine.index.histograms)[:5]:
+            assert index.estimate_cardinality(seq, 0.5) == pytest.approx(
+                engine.index.estimate_cardinality(seq, 0.5)
+            )
+
+    def test_context_tables_preserved(self, peg, tmp_path):
+        directory = str(tmp_path / "ctx-bundle")
+        engine = QueryEngine(peg, max_length=1, beta=0.2)
+        engine.save_offline(directory)
+        _, context = load_offline(directory)
+        for node in list(peg.node_ids())[:10]:
+            for label in context.sigma:
+                assert context.cardinality(node, label) == \
+                    engine.context.cardinality(node, label)
+                assert context.full_upperbound(node, label) == \
+                    engine.context.full_upperbound(node, label)
+
+
+class TestValidation:
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(IndexError_):
+            load_offline(str(tmp_path / "nothing"))
+
+    def test_wrong_version(self, peg, tmp_path):
+        import pickle
+        import os
+
+        directory = str(tmp_path / "versioned")
+        engine = QueryEngine(peg, max_length=1, beta=0.2)
+        engine.save_offline(directory)
+        meta_path = os.path.join(directory, "offline.meta")
+        with open(meta_path, "rb") as handle:
+            meta = pickle.load(handle)
+        meta["version"] = 999
+        with open(meta_path, "wb") as handle:
+            pickle.dump(meta, handle)
+        with pytest.raises(IndexError_):
+            load_offline(directory)

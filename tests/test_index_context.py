@@ -1,0 +1,118 @@
+"""Unit tests for repro.index.context (c, ppu, fpu tables)."""
+
+import pytest
+
+from repro.index.context import build_context
+from repro.peg import build_peg
+from repro.pgd import pgd_from_edge_list
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+@pytest.fixture
+def star_peg():
+    """The Figure-3 style example: a hub v1 with labeled neighbors."""
+    return build_peg(
+        pgd_from_edge_list(
+            node_labels={
+                "v1": "c",
+                "n1": {"a": 0.9, "b": 0.1},
+                "n2": {"a": 0.8, "b": 0.2},
+                "n3": "a",
+                "n4": {"a": 1.0},
+                "n5": "b",
+            },
+            edges=[
+                ("v1", "n1", 0.2),
+                ("v1", "n2", 0.9),
+                ("v1", "n3", 0.2),
+                ("v1", "n4", 0.3),
+                ("v1", "n5", 1.0),
+            ],
+        )
+    )
+
+
+class TestContextTables:
+    def test_cardinality(self, star_peg):
+        context = build_context(star_peg)
+        hub = star_peg.id_of(fs("v1"))
+        # neighbors that can be 'a': n1, n2, n3, n4; 'b': n1, n2, n5
+        assert context.cardinality(hub, "a") == 4
+        assert context.cardinality(hub, "b") == 3
+        assert context.cardinality(hub, "missing") == 0
+
+    def test_partial_upperbound(self, star_peg):
+        context = build_context(star_peg)
+        hub = star_peg.id_of(fs("v1"))
+        # best edge probability into an 'a'-capable neighbor: n2 at 0.9
+        assert context.partial_upperbound(hub, "a") == pytest.approx(0.9)
+        # best into 'b': n5 at 1.0
+        assert context.partial_upperbound(hub, "b") == pytest.approx(1.0)
+
+    def test_full_upperbound(self, star_peg):
+        context = build_context(star_peg)
+        hub = star_peg.id_of(fs("v1"))
+        # full bound weighs the label: max over neighbors of P(l)·P(e):
+        # n1: 0.9*0.2=0.18, n2: 0.8*0.9=0.72, n3: 1*0.2, n4: 1*0.3
+        assert context.full_upperbound(hub, "a") == pytest.approx(0.72)
+        # b: n1 0.1*0.2, n2 0.2*0.9, n5 1*1 -> 1.0
+        assert context.full_upperbound(hub, "b") == pytest.approx(1.0)
+
+    def test_fpu_never_exceeds_ppu(self, star_peg):
+        context = build_context(star_peg)
+        for node in star_peg.node_ids():
+            for label in context.sigma:
+                assert context.full_upperbound(node, label) <= \
+                    context.partial_upperbound(node, label) + 1e-12
+
+    def test_leaf_sees_hub(self, star_peg):
+        context = build_context(star_peg)
+        leaf = star_peg.id_of(fs("n3"))
+        assert context.cardinality(leaf, "c") == 1
+        assert context.partial_upperbound(leaf, "c") == pytest.approx(0.2)
+
+    def test_as_rows(self, star_peg):
+        context = build_context(star_peg)
+        rows = context.as_rows(star_peg.id_of(fs("v1")))
+        assert rows["a"]["c"] == 4
+        assert rows["a"]["ppu"] == pytest.approx(0.9)
+        assert rows["a"]["fpu"] == pytest.approx(0.72)
+
+
+class TestReferenceSharingExcluded:
+    def test_conflicting_neighbors_not_counted(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "b", "z": "b"},
+                edges=[("x", "y", 1.0), ("x", "z", 1.0), ("y", "z", 1.0)],
+                reference_sets=[(("x", "y"), 0.5)],
+            )
+        )
+        context = build_context(peg)
+        # {x, y} merged entity neighbors {z} only; singleton {x}'s
+        # neighborhood excludes nothing it conflicts with ({y} is fine,
+        # the merged {x,y} shares reference x so it is excluded).
+        merged = peg.id_of(frozenset({"x", "y"}))
+        single_x = peg.id_of(frozenset({"x"}))
+        assert context.cardinality(merged, "b") == 1  # only {z}
+        # {x}'s b-neighbors: {y} and {z} but NOT {x,y} (shares x).
+        assert context.cardinality(single_x, "b") == 2
+
+
+class TestConditionalContext:
+    def test_uses_max_over_own_labels(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"u": {"a": 0.5, "b": 0.5}, "w": "c"},
+                edges=[("u", "w", {("a", "c"): 0.9, ("b", "c"): 0.2})],
+            )
+        )
+        context = build_context(peg)
+        node_u = peg.id_of(frozenset({"u"}))
+        # w's edge probability depends on u's (unknown) label; the bound
+        # maximizes over it: 0.9.
+        assert context.partial_upperbound(node_u, "c") == pytest.approx(0.9)
+        assert context.full_upperbound(node_u, "c") == pytest.approx(0.9)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.index.histogram."""
+
+import math
+
+import pytest
+
+from repro.index.histogram import CardinalityHistogram
+from repro.utils.errors import IndexError_
+
+
+class TestConstruction:
+    def test_from_bucket_counts_cumulative(self):
+        hist = CardinalityHistogram.from_bucket_counts(
+            [0.3, 0.5, 0.7, 0.9], [10, 20, 5, 1]
+        )
+        # cumulative from the top: >=0.3: 36, >=0.5: 26, >=0.7: 6, >=0.9: 1
+        assert hist.counts == (36, 26, 6, 1)
+
+    def test_rejects_increasing_counts(self):
+        with pytest.raises(IndexError_):
+            CardinalityHistogram([0.3, 0.5], [5, 10])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(IndexError_):
+            CardinalityHistogram([0.3], [5, 10])
+
+    def test_rejects_empty(self):
+        with pytest.raises(IndexError_):
+            CardinalityHistogram([], [])
+
+
+class TestEstimation:
+    def test_exact_at_grid_points(self):
+        hist = CardinalityHistogram([0.3, 0.6, 0.9], [100, 40, 4])
+        assert hist.estimate(0.3) == 100
+        assert hist.estimate(0.6) == 40
+        assert hist.estimate(0.9) == 4
+
+    def test_clamps_outside_grid(self):
+        hist = CardinalityHistogram([0.3, 0.9], [50, 5])
+        assert hist.estimate(0.1) == 50
+        assert hist.estimate(0.99) == 5
+
+    def test_exponential_interpolation(self):
+        """Midpoint of an exponential through (0.2, 100) and (0.4, 1)."""
+        hist = CardinalityHistogram([0.2, 0.4], [100, 1])
+        assert hist.estimate(0.3) == pytest.approx(10.0)
+
+    def test_interpolation_monotone(self):
+        hist = CardinalityHistogram([0.2, 0.5, 0.8], [1000, 50, 2])
+        values = [hist.estimate(a / 100) for a in range(20, 81, 5)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_zero_upper_endpoint_linear_fallback(self):
+        hist = CardinalityHistogram([0.2, 0.4], [10, 0])
+        assert hist.estimate(0.3) == pytest.approx(5.0)
+        assert hist.estimate(0.39) == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_lower_endpoint(self):
+        hist = CardinalityHistogram([0.2, 0.4], [0, 0])
+        assert hist.estimate(0.3) == 0.0
+
+    def test_exponential_fit_formula(self):
+        """Explicit check of h_i * (h_j/h_i)^((a - a_i)/(a_j - a_i))."""
+        hist = CardinalityHistogram([0.1, 0.5], [80, 20])
+        alpha = 0.2
+        expected = 80 * math.exp((alpha - 0.1) / 0.4 * math.log(20 / 80))
+        assert hist.estimate(alpha) == pytest.approx(expected)
+
+    def test_total(self):
+        hist = CardinalityHistogram([0.3, 0.6], [12, 5])
+        assert hist.total() == 12

@@ -1,0 +1,115 @@
+"""Unit tests for repro.index.path_index (grid, lookup API, estimates)."""
+
+import pytest
+
+from repro.index import build_path_index
+from repro.index.path_index import (
+    PathIndex,
+    canonical_sequence,
+    is_palindrome,
+)
+from repro.storage import InMemoryPathStore
+from repro.utils.errors import IndexError_
+from tests.conftest import small_random_peg
+
+
+class TestCanonicalization:
+    def test_canonical_picks_smaller(self):
+        assert canonical_sequence(("b", "a")) == ("a", "b")
+        assert canonical_sequence(("a", "b")) == ("a", "b")
+
+    def test_palindrome_detection(self):
+        assert is_palindrome(("a",))
+        assert is_palindrome(("a", "b", "a"))
+        assert not is_palindrome(("a", "b"))
+
+    def test_mixed_label_types(self):
+        seq = (("x", 1), ("y", 2))
+        assert canonical_sequence(seq) in (seq, tuple(reversed(seq)))
+
+
+class TestBucketGrid:
+    def make_index(self, beta=0.1, gamma=0.1):
+        return PathIndex(
+            store=InMemoryPathStore(),
+            max_length=2,
+            beta=beta,
+            gamma=gamma,
+            histograms={},
+        )
+
+    def test_grid_points(self):
+        index = self.make_index(beta=0.3, gamma=0.2)
+        assert index.grid() == (300, 500, 700, 900, 1000)
+
+    def test_bucket_for(self):
+        index = self.make_index(beta=0.3, gamma=0.2)
+        assert index.bucket_for(0.3) == 300
+        assert index.bucket_for(0.45) == 300
+        assert index.bucket_for(0.5) == 500
+        assert index.bucket_for(1.0) == 1000
+
+    def test_below_beta_rejected(self):
+        index = self.make_index(beta=0.3)
+        with pytest.raises(IndexError_):
+            index.bucket_for(0.2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IndexError_):
+            self.make_index(beta=0.0)
+        with pytest.raises(IndexError_):
+            self.make_index(gamma=0.0)
+        with pytest.raises(IndexError_):
+            PathIndex(InMemoryPathStore(), 0, 0.1, 0.1, {})
+
+
+class TestLookupValidation:
+    def test_alpha_below_beta_rejected(self):
+        peg = small_random_peg(seed=8, num_references=40)
+        index = build_path_index(peg, max_length=1, beta=0.5)
+        with pytest.raises(IndexError_):
+            index.lookup(("L0", "L1"), 0.2)
+
+    def test_overlong_sequence_rejected(self):
+        peg = small_random_peg(seed=8, num_references=40)
+        index = build_path_index(peg, max_length=1, beta=0.1)
+        with pytest.raises(IndexError_):
+            index.lookup(("L0", "L1", "L2"), 0.5)
+
+    def test_unknown_sequence_empty(self):
+        peg = small_random_peg(seed=8, num_references=40)
+        index = build_path_index(peg, max_length=1, beta=0.1)
+        assert index.lookup(("nope", "nope"), 0.5) == []
+
+
+class TestCardinalityEstimates:
+    def test_estimate_matches_exact_at_beta(self):
+        peg = small_random_peg(seed=9, num_references=40)
+        index = build_path_index(peg, max_length=2, beta=0.2, gamma=0.1)
+        for seq in list(index.store.label_sequences())[:10]:
+            exact = len(index.lookup(seq, 0.2))
+            estimate = index.estimate_cardinality(seq, 0.2)
+            assert estimate == pytest.approx(exact)
+
+    def test_estimate_monotone_in_alpha(self):
+        peg = small_random_peg(seed=9, num_references=40)
+        index = build_path_index(peg, max_length=2, beta=0.2, gamma=0.1)
+        seq = list(index.store.label_sequences())[0]
+        estimates = [
+            index.estimate_cardinality(seq, alpha)
+            for alpha in (0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(estimates, estimates[1:]))
+
+    def test_unknown_sequence_estimates_zero(self):
+        peg = small_random_peg(seed=9, num_references=40)
+        index = build_path_index(peg, max_length=1, beta=0.2)
+        assert index.estimate_cardinality(("nope",), 0.5) == 0.0
+
+    def test_stats_shape(self):
+        peg = small_random_peg(seed=9, num_references=40)
+        index = build_path_index(peg, max_length=1, beta=0.2)
+        stats = index.stats()
+        for key in ("max_length", "beta", "gamma", "sequences", "paths",
+                    "size_bytes"):
+            assert key in stats

@@ -1,0 +1,51 @@
+"""Unit tests for repro.index.paths serialization."""
+
+import pytest
+
+from repro.index.paths import IndexedPath, decode_paths, encode_paths
+from repro.utils.errors import IndexError_
+
+
+class TestIndexedPath:
+    def test_probability(self):
+        path = IndexedPath((1, 2, 3), 0.5, 0.8)
+        assert path.probability == pytest.approx(0.4)
+
+    def test_reversed(self):
+        path = IndexedPath((1, 2, 3), 0.5, 0.8)
+        rev = path.reversed()
+        assert rev.nodes == (3, 2, 1)
+        assert rev.prle == 0.5
+        assert rev.reversed() == path
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        paths = [
+            IndexedPath((0,), 1.0, 1.0),
+            IndexedPath((1, 2), 0.5, 0.9),
+            IndexedPath((3, 4, 5, 6), 0.25, 0.75),
+        ]
+        assert decode_paths(encode_paths(paths)) == paths
+
+    def test_empty(self):
+        assert decode_paths(encode_paths([])) == []
+
+    def test_large_node_ids(self):
+        paths = [IndexedPath((2**31, 2**32 - 1), 0.1, 0.2)]
+        assert decode_paths(encode_paths(paths)) == paths
+
+    def test_probability_precision(self):
+        paths = [IndexedPath((1,), 0.123456789012345, 0.987654321098765)]
+        decoded = decode_paths(encode_paths(paths))[0]
+        assert decoded.prle == pytest.approx(0.123456789012345, abs=1e-15)
+        assert decoded.prn == pytest.approx(0.987654321098765, abs=1e-15)
+
+    def test_too_long_path_rejected(self):
+        with pytest.raises(IndexError_):
+            encode_paths([IndexedPath(tuple(range(300)), 0.5, 0.5)])
+
+    def test_corrupt_payload_detected(self):
+        payload = encode_paths([IndexedPath((1, 2), 0.5, 0.5)])
+        with pytest.raises(IndexError_):
+            decode_paths(payload + b"junk")

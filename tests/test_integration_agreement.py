@@ -1,0 +1,167 @@
+"""Integration tests: all four matchers agree on randomized workloads.
+
+The strongest correctness statement in the suite: the optimized engine
+(every option combination), the direct backtracking matcher, the SQL
+baseline and — where feasible — the exhaustive possible-world oracle
+return exactly the same match sets with exactly the same probabilities.
+"""
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_synthetic_pgd, random_query
+from repro.peg import build_peg
+from repro.query import (
+    QueryEngine,
+    QueryGraph,
+    QueryOptions,
+    direct_matches,
+    exhaustive_matches,
+)
+from repro.relational import sql_baseline_matches
+
+
+def match_keys(matches):
+    return {(m.nodes, m.edges, round(m.probability, 9)) for m in matches}
+
+
+class TestTinyGraphsAgainstExhaustive:
+    """On tiny PEGs the possible-world oracle itself is feasible."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_engine_equals_worlds(self, seed):
+        config = SyntheticConfig(
+            num_references=8,
+            edges_per_node=1,
+            num_labels=2,
+            uncertainty=0.5,
+            groups=1,
+            group_size=2,
+            pairs_per_group=1,
+            seed=seed,
+        )
+        peg = build_peg(generate_synthetic_pgd(config))
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"u": sigma[0], "v": sigma[-1]}, [("u", "v")]
+        )
+        for alpha in (0.1, 0.4):
+            optimized = engine.query(query, alpha).matches
+            oracle = exhaustive_matches(peg, query, alpha)
+            assert match_keys(optimized) == match_keys(oracle), (seed, alpha)
+
+
+class TestMidSizeAgainstDirect:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        config = SyntheticConfig(
+            num_references=150,
+            edges_per_node=3,
+            num_labels=3,
+            uncertainty=0.4,
+            groups=10,
+            seed=77,
+        )
+        peg = build_peg(generate_synthetic_pgd(config))
+        engine = QueryEngine(peg, max_length=3, beta=0.1)
+        return peg, engine
+
+    @pytest.mark.parametrize("query_seed", range(6))
+    def test_random_queries(self, setup, query_seed):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        num_nodes = 3 + query_seed % 3
+        num_edges = min(
+            num_nodes + query_seed % 2, num_nodes * (num_nodes - 1) // 2
+        )
+        query = random_query(num_nodes, num_edges, sigma, seed=query_seed)
+        for alpha in (0.2, 0.5):
+            optimized = engine.query(query, alpha).matches
+            oracle = direct_matches(peg, query, alpha)
+            assert match_keys(optimized) == match_keys(oracle), (
+                query_seed,
+                alpha,
+            )
+
+    def test_all_option_combinations_agree(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = random_query(4, 5, sigma, seed=123)
+        alpha = 0.3
+        reference = match_keys(direct_matches(peg, query, alpha))
+        for decomposition in ("greedy", "random"):
+            for context in (True, False):
+                for structure in (True, False):
+                    for upperbounds in (True, False):
+                        options = QueryOptions(
+                            decomposition=decomposition,
+                            use_context_pruning=context,
+                            use_structure_reduction=structure,
+                            use_upperbound_reduction=upperbounds,
+                            seed=1,
+                        )
+                        result = engine.query(query, alpha, options)
+                        assert match_keys(result.matches) == reference, options
+
+    def test_sql_baseline_agrees(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = random_query(3, 3, sigma, seed=200)
+        alpha = 0.4
+        assert match_keys(sql_baseline_matches(peg, query, alpha)) == \
+            match_keys(engine.query(query, alpha).matches)
+
+    def test_index_length_invariance(self, setup):
+        """The answer set must not depend on the index path length L."""
+        peg, _ = setup
+        sigma = sorted(peg.sigma)
+        query = random_query(4, 5, sigma, seed=321)
+        alpha = 0.3
+        answers = []
+        for max_length in (1, 2, 3):
+            engine = QueryEngine(peg, max_length=max_length, beta=0.1)
+            answers.append(match_keys(engine.query(query, alpha).matches))
+        assert answers[0] == answers[1] == answers[2]
+
+    def test_beta_invariance(self, setup):
+        """The answer set must not depend on the index threshold beta."""
+        peg, _ = setup
+        sigma = sorted(peg.sigma)
+        query = random_query(4, 4, sigma, seed=55)
+        alpha = 0.5
+        answers = []
+        for beta in (0.1, 0.3, 0.5):
+            engine = QueryEngine(peg, max_length=2, beta=beta)
+            answers.append(match_keys(engine.query(query, alpha).matches))
+        assert answers[0] == answers[1] == answers[2]
+
+
+class TestConditionalIntegration:
+    """Correlated-edge PEGs through the full pipeline (Section 5.3)."""
+
+    @pytest.fixture(scope="class")
+    def conditional_setup(self):
+        from repro.datasets import generate_dblp_pgd
+
+        peg = build_peg(generate_dblp_pgd(num_authors=120, seed=5))
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        return peg, engine
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.3])
+    def test_chain_queries(self, conditional_setup, alpha):
+        peg, engine = conditional_setup
+        query = QueryGraph(
+            {"a": "DB", "b": "ML", "c": "DB"},
+            [("a", "b"), ("b", "c")],
+        )
+        assert match_keys(engine.query(query, alpha).matches) == \
+            match_keys(direct_matches(peg, query, alpha))
+
+    def test_triangle_query(self, conditional_setup):
+        peg, engine = conditional_setup
+        query = QueryGraph(
+            {"a": "DB", "b": "DB", "c": "SE"},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        assert match_keys(engine.query(query, 0.1).matches) == \
+            match_keys(direct_matches(peg, query, 0.1))

@@ -1,0 +1,107 @@
+"""Integration tests on high-diameter and clique-shaped queries.
+
+Cycle queries stress the message-passing reduction (the paper uses a
+5-cycle for Figure 7(f)); cliques stress cycle-edge pruning (cpr) and
+join-candidate consistency.
+"""
+
+import pytest
+
+from repro.query import QueryEngine, QueryGraph, QueryOptions, direct_matches
+from tests.conftest import small_random_peg
+
+
+def match_keys(matches):
+    return {(m.nodes, m.edges, round(m.probability, 9)) for m in matches}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    peg = small_random_peg(seed=101, num_references=90, uncertainty=0.3)
+    engine = QueryEngine(peg, max_length=2, beta=0.05)
+    return peg, engine
+
+
+def cycle_query(sigma, length):
+    labels = {f"c{i}": sigma[i % len(sigma)] for i in range(length)}
+    edges = [(f"c{i}", f"c{(i + 1) % length}") for i in range(length)]
+    return QueryGraph(labels, edges)
+
+
+def clique_query(sigma, size):
+    labels = {f"k{i}": sigma[i % len(sigma)] for i in range(size)}
+    edges = [
+        (f"k{i}", f"k{j}") for i in range(size) for j in range(i + 1, size)
+    ]
+    return QueryGraph(labels, edges)
+
+
+class TestCycles:
+    @pytest.mark.parametrize("length", [3, 4, 5, 6])
+    def test_cycle_agreement(self, setup, length):
+        peg, engine = setup
+        query = cycle_query(sorted(peg.sigma), length)
+        for alpha in (0.1, 0.4):
+            assert match_keys(engine.query(query, alpha).matches) == \
+                match_keys(direct_matches(peg, query, alpha)), (length, alpha)
+
+    def test_cycle_under_upperbound_reduction_only(self, setup):
+        """Upperbound-only reduction (no structure) still sound."""
+        peg, engine = setup
+        query = cycle_query(sorted(peg.sigma), 5)
+        options = QueryOptions(use_structure_reduction=False)
+        assert match_keys(engine.query(query, 0.2, options).matches) == \
+            match_keys(direct_matches(peg, query, 0.2))
+
+
+class TestCliques:
+    @pytest.mark.parametrize("size", [3, 4])
+    def test_clique_agreement(self, setup, size):
+        peg, engine = setup
+        query = clique_query(sorted(peg.sigma), size)
+        for alpha in (0.1, 0.3):
+            assert match_keys(engine.query(query, alpha).matches) == \
+                match_keys(direct_matches(peg, query, alpha)), (size, alpha)
+
+    def test_clique_cycle_edges_enforced(self, setup):
+        """Every returned clique match has all its edges present."""
+        peg, engine = setup
+        query = clique_query(sorted(peg.sigma), 4)
+        for match in engine.query(query, 0.05).matches:
+            assert len(match.edges) == query.num_edges
+            for pair in match.edges:
+                entity_a, entity_b = tuple(pair)
+                assert peg.has_edge(entity_a, entity_b)
+
+
+class TestWheelAndBowtie:
+    def test_wheel_query(self, setup):
+        """A 4-cycle with a center connected to all rim nodes."""
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        labels = {"hub": sigma[0]}
+        edges = []
+        for i in range(4):
+            labels[f"r{i}"] = sigma[1 + i % (len(sigma) - 1)]
+            edges.append(("hub", f"r{i}"))
+            edges.append((f"r{i}", f"r{(i + 1) % 4}"))
+        query = QueryGraph(labels, edges)
+        assert match_keys(engine.query(query, 0.1).matches) == \
+            match_keys(direct_matches(peg, query, 0.1))
+
+    def test_bowtie_query(self, setup):
+        """Two triangles sharing one node (Figure 8's BF1 shape)."""
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {
+                "c": sigma[0], "a1": sigma[1], "a2": sigma[2],
+                "b1": sigma[1], "b2": sigma[2],
+            },
+            [
+                ("c", "a1"), ("c", "a2"), ("a1", "a2"),
+                ("c", "b1"), ("c", "b2"), ("b1", "b2"),
+            ],
+        )
+        assert match_keys(engine.query(query, 0.05).matches) == \
+            match_keys(direct_matches(peg, query, 0.05))

@@ -1,0 +1,93 @@
+"""Unit tests for repro.peg.components."""
+
+import pytest
+
+from repro.peg.components import IdentityComponent, partition_into_components
+from repro.utils.errors import ModelError
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestPartition:
+    def test_disjoint_singletons(self):
+        potentials = {fs("a"): 1.0, fs("b"): 1.0}
+        components = partition_into_components(potentials)
+        assert len(components) == 2
+        assert {refs for refs, _ in components} == {fs("a"), fs("b")}
+
+    def test_pair_links_references(self):
+        potentials = {
+            fs("a"): 1.0, fs("b"): 1.0, fs("c"): 1.0, fs("a", "b"): 0.5
+        }
+        components = partition_into_components(potentials)
+        by_refs = {refs: entities for refs, entities in components}
+        assert fs("a", "b") in by_refs
+        assert set(by_refs[fs("a", "b")]) == {fs("a"), fs("b"), fs("a", "b")}
+        assert fs("c") in by_refs
+
+    def test_chained_pairs_form_one_component(self):
+        potentials = {
+            fs("a"): 1.0, fs("b"): 1.0, fs("c"): 1.0,
+            fs("a", "b"): 0.5, fs("b", "c"): 0.5,
+        }
+        components = partition_into_components(potentials)
+        assert len(components) == 1
+        refs, entities = components[0]
+        assert refs == fs("a", "b", "c")
+        assert len(entities) == 5
+
+    def test_deterministic(self):
+        potentials = {fs(i): 1.0 for i in range(20)}
+        potentials[fs(3, 7)] = 0.5
+        assert partition_into_components(potentials) == \
+            partition_into_components(potentials)
+
+
+class TestIdentityComponent:
+    def make_pair_component(self, p_pair=0.6, p_single=0.8):
+        potentials = {
+            fs("a"): p_single, fs("b"): p_single, fs("a", "b"): p_pair
+        }
+        return IdentityComponent(0, fs("a", "b"), potentials.keys(), potentials)
+
+    def test_trivial_detection(self):
+        trivial = IdentityComponent(0, fs("a"), [fs("a")], {fs("a"): 1.0})
+        assert trivial.is_trivial
+        assert trivial.existence_probability(fs("a")) == 1.0
+        assert not self.make_pair_component().is_trivial
+
+    def test_single_marginals_sum_per_reference(self):
+        component = self.make_pair_component()
+        # Reference "a" lives in exactly one chosen set per configuration:
+        p_merged = component.existence_probability(fs("a", "b"))
+        p_a = component.existence_probability(fs("a"))
+        assert p_merged + p_a == pytest.approx(1.0)
+
+    def test_joint_marginal_of_conflicting_entities_is_zero(self):
+        component = self.make_pair_component()
+        assert component.existence_marginal([fs("a"), fs("a", "b")]) == 0.0
+
+    def test_joint_marginal_of_compatible_entities(self):
+        component = self.make_pair_component()
+        both_singles = component.existence_marginal([fs("a"), fs("b")])
+        assert both_singles == pytest.approx(
+            component.existence_probability(fs("a"))
+        )
+
+    def test_empty_marginal_is_one(self):
+        assert self.make_pair_component().existence_marginal([]) == 1.0
+
+    def test_unknown_entity_rejected(self):
+        component = self.make_pair_component()
+        with pytest.raises(ModelError):
+            component.existence_probability(fs("zz"))
+        with pytest.raises(ModelError):
+            component.existence_marginal([fs("zz")])
+
+    def test_marginal_cache_consistency(self):
+        component = self.make_pair_component()
+        first = component.existence_marginal([fs("a"), fs("b")])
+        second = component.existence_marginal([fs("b"), fs("a")])
+        assert first == second

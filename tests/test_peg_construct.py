@@ -1,0 +1,105 @@
+"""Unit tests for repro.peg.construct (PGD -> PEG transformation)."""
+
+import pytest
+
+from repro.peg import build_peg
+from repro.pgd import PGD, pgd_from_edge_list
+from repro.utils.errors import ModelError
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestFigure1(object):
+    """The paper's running example, checked value by value."""
+
+    def test_entity_count(self, figure1_peg):
+        # 4 singletons + the merged {r3, r4} entity.
+        assert figure1_peg.num_nodes == 5
+
+    def test_merged_label_distribution(self, figure1_peg):
+        merged = fs("r3", "r4")
+        assert figure1_peg.label_probability(merged, "r") == pytest.approx(0.5)
+        assert figure1_peg.label_probability(merged, "i") == pytest.approx(0.5)
+
+    def test_merged_edge_probability(self, figure1_peg):
+        # average of (r3, r2) = 1.0 and (r4, r2) = 0.5
+        assert figure1_peg.edge_probability(
+            fs("r3", "r4"), fs("r2")
+        ) == pytest.approx(0.75)
+
+    def test_merge_probability(self, figure1_peg):
+        assert figure1_peg.existence_probability(
+            fs("r3", "r4")
+        ) == pytest.approx(0.8)
+        assert figure1_peg.existence_probability(fs("r3")) == pytest.approx(0.2)
+
+    def test_no_edge_between_conflicting_entities(self, figure1_peg):
+        # {r3} and {r3, r4} share reference r3: no PEG edge between them.
+        assert not figure1_peg.has_edge(fs("r3"), fs("r3", "r4"))
+
+    def test_singleton_entities_exist_with_probability_one(self, figure1_peg):
+        assert figure1_peg.existence_probability(fs("r1")) == 1.0
+        assert figure1_peg.existence_probability(fs("r2")) == 1.0
+
+
+class TestConstructionRules:
+    def test_entity_edges_inherit_reference_edges(self):
+        pgd = pgd_from_edge_list(
+            node_labels={"x": "a", "y": "b", "z": "b"},
+            edges=[("x", "y", 0.5)],
+            reference_sets=[(("y", "z"), 0.5)],
+        )
+        peg = build_peg(pgd)
+        # merged {y, z} has an edge to {x} via the (x, y) reference edge
+        assert peg.edge_probability(fs("y", "z"), fs("x")) == pytest.approx(0.5)
+
+    def test_zero_probability_edges_dropped(self):
+        pgd = pgd_from_edge_list(
+            node_labels={"x": "a", "y": "b"},
+            edges=[("x", "y", 0.0)],
+        )
+        peg = build_peg(pgd)
+        assert peg.num_edges == 0
+
+    def test_impossible_entities_dropped(self):
+        pgd = PGD()
+        pgd.add_reference("x", "a")
+        pgd.add_reference("y", "a")
+        pgd.add_reference_set(("x", "y"), 0.0)
+        peg = build_peg(pgd)
+        assert fs("x", "y") not in peg.entities
+
+    def test_conditional_flag_propagates(self):
+        pgd = pgd_from_edge_list(
+            node_labels={"x": "a", "y": "b"},
+            edges=[("x", "y", {("a", "b"): 0.5})],
+        )
+        assert build_peg(pgd).conditional
+
+    def test_merged_conditional_edges(self):
+        pgd = PGD()
+        for ref, label in (("x", "a"), ("y", "b"), ("z", "b")):
+            pgd.add_reference(ref, label)
+        pgd.add_edge("x", "y", {("a", "b"): 0.8})
+        pgd.add_edge("x", "z", {("a", "b"): 0.4})
+        pgd.add_reference_set(("y", "z"), 0.5)
+        peg = build_peg(pgd)
+        assert peg.edge_probability(
+            fs("y", "z"), fs("x"), "b", "a"
+        ) == pytest.approx(0.6)
+
+    def test_empty_pgd_rejected(self):
+        with pytest.raises(ModelError):
+            build_peg(PGD())
+
+    def test_id_view_roundtrip(self, figure1_peg):
+        for entity in figure1_peg.entities:
+            node_id = figure1_peg.id_of(entity)
+            assert figure1_peg.entity_of(node_id) == entity
+
+    def test_adjacency_symmetry(self, figure1_peg):
+        for node in figure1_peg.node_ids():
+            for neighbor in figure1_peg.neighbor_ids(node):
+                assert node in figure1_peg.neighbor_ids(neighbor)

@@ -1,0 +1,153 @@
+"""Unit tests for repro.peg.entity_graph probability services."""
+
+import pytest
+
+from repro.peg import build_peg, world_match_probability
+from repro.pgd import pgd_from_edge_list
+from repro.utils.errors import ModelError, QueryError
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestProbabilityServices:
+    def test_match_probability_figure1(self, figure1_peg):
+        """The worked example: Pr((s34, s2, s1) as (r, a, i))."""
+        node_labels = {fs("r3", "r4"): "r", fs("r2"): "a", fs("r1"): "i"}
+        edges = [
+            fs(fs("r3", "r4"), fs("r2")),
+            fs(fs("r2"), fs("r1")),
+        ]
+        prob = figure1_peg.match_probability(node_labels, edges)
+        # 0.5 (label r) * 1 (label a) * 0.75 (i on r1) -> labels
+        # 0.75 (merged edge) * 0.9 (r1-r2 edge) -> edges; * 0.8 merge prob
+        assert prob == pytest.approx(0.5 * 1.0 * 0.75 * 0.75 * 0.9 * 0.8)
+
+    def test_match_probability_matches_world_oracle(self, figure1_peg):
+        node_labels = {fs("r3"): "r", fs("r2"): "a", fs("r4"): "i"}
+        edges = [fs(fs("r3"), fs("r2")), fs(fs("r2"), fs("r4"))]
+        fast = figure1_peg.match_probability(node_labels, edges)
+        slow = world_match_probability(figure1_peg, node_labels, edges)
+        assert fast == pytest.approx(slow)
+
+    def test_conflicting_entities_give_zero(self, figure1_peg):
+        node_labels = {fs("r3"): "r", fs("r3", "r4"): "i"}
+        assert figure1_peg.existence_marginal(node_labels.keys()) == 0.0
+
+    def test_prle_zero_label(self, figure1_peg):
+        assert figure1_peg.prle({fs("r2"): "i"}, []) == 0.0
+
+    def test_prle_missing_edge(self, figure1_peg):
+        # r3 and r1 are not connected
+        assert figure1_peg.prle(
+            {fs("r3"): "r", fs("r1"): "i"},
+            [fs(fs("r3"), fs("r1"))],
+        ) == 0.0
+
+    def test_unknown_entity_rejected(self, figure1_peg):
+        with pytest.raises(ModelError):
+            figure1_peg.existence_marginal([fs("ghost")])
+
+    def test_shares_references(self, figure1_peg):
+        assert figure1_peg.share_references(fs("r3"), fs("r3", "r4"))
+        assert not figure1_peg.share_references(fs("r1"), fs("r2"))
+
+
+class TestIdFastPath:
+    def test_id_methods_agree_with_entity_methods(self, figure1_peg):
+        peg = figure1_peg
+        for entity in peg.entities:
+            node = peg.id_of(entity)
+            assert peg.possible_labels_id(node) == peg.possible_labels(entity)
+            for label in peg.possible_labels(entity):
+                assert peg.label_probability_id(node, label) == \
+                    peg.label_probability(entity, label)
+            assert peg.existence_probability_id(node) == \
+                peg.existence_probability(entity)
+
+    def test_edge_probability_id(self, figure1_peg):
+        peg = figure1_peg
+        id_a = peg.id_of(fs("r3", "r4"))
+        id_b = peg.id_of(fs("r2"))
+        assert peg.edge_probability_id(id_a, id_b) == pytest.approx(0.75)
+        assert peg.edge_probability_id(id_b, id_a) == pytest.approx(0.75)
+
+    def test_missing_edge_id_is_zero(self, figure1_peg):
+        peg = figure1_peg
+        assert peg.edge_probability_id(
+            peg.id_of(fs("r3")), peg.id_of(fs("r1"))
+        ) == 0.0
+
+    def test_shares_references_id(self, figure1_peg):
+        peg = figure1_peg
+        assert peg.shares_references_id(
+            peg.id_of(fs("r3")), peg.id_of(fs("r3", "r4"))
+        )
+        assert not peg.shares_references_id(
+            peg.id_of(fs("r1")), peg.id_of(fs("r2"))
+        )
+
+    def test_existence_marginal_ids(self, figure1_peg):
+        peg = figure1_peg
+        ids = [peg.id_of(fs("r3")), peg.id_of(fs("r4"))]
+        assert peg.existence_marginal_ids(ids) == pytest.approx(0.2)
+
+    def test_degree(self, figure1_peg):
+        peg = figure1_peg
+        assert peg.degree(peg.id_of(fs("r2"))) == len(
+            peg.neighbors(fs("r2"))
+        )
+
+
+class TestConditionalEdges:
+    @pytest.fixture
+    def conditional_peg(self):
+        return build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": {"a": 0.6, "b": 0.4}, "y": "b"},
+                edges=[("x", "y", {("a", "b"): 0.9, ("b", "b"): 0.3})],
+            )
+        )
+
+    def test_edge_probability_requires_labels(self, conditional_peg):
+        id_x = conditional_peg.id_of(fs("x"))
+        id_y = conditional_peg.id_of(fs("y"))
+        with pytest.raises(QueryError):
+            conditional_peg.edge_probability_id(id_x, id_y)
+
+    def test_conditional_lookup(self, conditional_peg):
+        id_x = conditional_peg.id_of(fs("x"))
+        id_y = conditional_peg.id_of(fs("y"))
+        assert conditional_peg.edge_probability_id(
+            id_x, id_y, "a", "b"
+        ) == pytest.approx(0.9)
+        assert conditional_peg.edge_probability_id(
+            id_x, id_y, "b", "b"
+        ) == pytest.approx(0.3)
+
+    def test_max_probability_bounds(self, conditional_peg):
+        id_x = conditional_peg.id_of(fs("x"))
+        id_y = conditional_peg.id_of(fs("y"))
+        assert conditional_peg.edge_max_probability_id(
+            id_x, id_y
+        ) == pytest.approx(0.9)
+        # x fixed to "b": the unknown endpoint may still be "a", whose
+        # CPT entry (a, b) = 0.9 dominates (b, b) = 0.3.
+        assert conditional_peg.edge_max_probability_id(
+            id_x, id_y, "b", None
+        ) == pytest.approx(0.9)
+        # both fixed to "b": only the (b, b) entry remains.
+        assert conditional_peg.edge_max_probability_id(
+            id_x, id_y, "b", "b"
+        ) == pytest.approx(0.3)
+
+    def test_match_probability_uses_assigned_labels(self, conditional_peg):
+        prob_a = conditional_peg.match_probability(
+            {fs("x"): "a", fs("y"): "b"}, [fs(fs("x"), fs("y"))]
+        )
+        prob_b = conditional_peg.match_probability(
+            {fs("x"): "b", fs("y"): "b"}, [fs(fs("x"), fs("y"))]
+        )
+        assert prob_a == pytest.approx(0.6 * 1.0 * 0.9)
+        assert prob_b == pytest.approx(0.4 * 1.0 * 0.3)

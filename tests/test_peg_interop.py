@@ -1,0 +1,55 @@
+"""Unit tests for the networkx export."""
+
+import networkx as nx
+import pytest
+
+from repro.peg import build_peg
+from repro.peg.interop import to_networkx
+from repro.pgd import pgd_from_edge_list
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestToNetworkx:
+    def test_structure_matches(self, figure1_peg):
+        graph = to_networkx(figure1_peg)
+        assert graph.number_of_nodes() == figure1_peg.num_nodes
+        assert graph.number_of_edges() == figure1_peg.num_edges
+        for pair, _ in figure1_peg.edges():
+            entity_a, entity_b = tuple(pair)
+            assert graph.has_edge(entity_a, entity_b)
+
+    def test_node_attributes(self, figure1_peg):
+        graph = to_networkx(figure1_peg)
+        merged = fs("r3", "r4")
+        attrs = graph.nodes[merged]
+        assert attrs["labels"] == pytest.approx({"r": 0.5, "i": 0.5})
+        assert attrs["existence"] == pytest.approx(0.8)
+        assert attrs["references"] == ["'r3'", "'r4'"] or \
+            sorted(attrs["references"]) == sorted(["r3", "r4"])
+
+    def test_edge_attributes_independent(self, figure1_peg):
+        graph = to_networkx(figure1_peg)
+        data = graph.edges[fs("r3", "r4"), fs("r2")]
+        assert data["probability"] == pytest.approx(0.75)
+
+    def test_edge_attributes_conditional(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "b"},
+                edges=[("x", "y", {("a", "b"): 0.9})],
+            )
+        )
+        graph = to_networkx(peg)
+        data = graph.edges[fs("x"), fs("y")]
+        assert data["max_probability"] == pytest.approx(0.9)
+        assert ("a", "b") in data["cpt"]
+
+    def test_usable_with_networkx_algorithms(self, figure1_peg):
+        graph = to_networkx(figure1_peg)
+        # a plain algorithm runs on the exported structure
+        assert nx.number_connected_components(graph) >= 1
+        degrees = dict(graph.degree())
+        assert max(degrees.values()) >= 2

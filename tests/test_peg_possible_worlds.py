@@ -1,0 +1,87 @@
+"""Unit tests for repro.peg.possible_worlds (the exact oracle itself)."""
+
+import pytest
+
+from repro.peg import build_peg, enumerate_worlds, world_match_probability
+from repro.pgd import pgd_from_edge_list
+from repro.utils.errors import ModelError
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestEnumerateWorlds:
+    def test_total_mass_is_one(self, figure1_peg):
+        total = sum(w.probability for w in enumerate_worlds(figure1_peg))
+        assert total == pytest.approx(1.0)
+
+    def test_world_count_figure1(self, figure1_peg):
+        worlds = list(enumerate_worlds(figure1_peg))
+        # Unmerged config: 4 entities, r1 has 2 labels, 4 uncertain-ish
+        # edges (0.9, 1.0, 0.5, 1.0 -> two branch, two fixed) = 2*2*2=8;
+        # merged: 3 entities, r1 2 labels x s34 2 labels, edges 0.9/0.75/1
+        # -> 4 * 4 = 16; total 24.
+        assert len(worlds) == 24
+
+    def test_no_conflicting_entities_in_any_world(self, figure1_peg):
+        for world in enumerate_worlds(figure1_peg):
+            entities = list(world.entities)
+            for i, left in enumerate(entities):
+                for right in entities[i + 1:]:
+                    assert not (left & right)
+
+    def test_edges_only_between_existing(self, figure1_peg):
+        for world in enumerate_worlds(figure1_peg):
+            for pair in world.edges:
+                assert pair <= world.entities
+
+    def test_labels_cover_existing_entities(self, figure1_peg):
+        for world in enumerate_worlds(figure1_peg):
+            assert set(world.label_of) == world.entities
+
+    def test_limit_guard(self, figure1_peg):
+        with pytest.raises(ModelError):
+            list(enumerate_worlds(figure1_peg, limit=3))
+
+
+class TestWorldMatchProbability:
+    def test_certain_graph(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "b"},
+                edges=[("x", "y", 1.0)],
+            )
+        )
+        prob = world_match_probability(
+            peg, {fs("x"): "a", fs("y"): "b"}, [fs(fs("x"), fs("y"))]
+        )
+        assert prob == pytest.approx(1.0)
+
+    def test_single_uncertain_edge(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "b"},
+                edges=[("x", "y", 0.35)],
+            )
+        )
+        prob = world_match_probability(
+            peg, {fs("x"): "a", fs("y"): "b"}, [fs(fs("x"), fs("y"))]
+        )
+        assert prob == pytest.approx(0.35)
+
+    def test_impossible_label(self, figure1_peg):
+        assert world_match_probability(
+            figure1_peg, {fs("r2"): "i"}, []
+        ) == 0.0
+
+    def test_agrees_with_closed_form_everywhere(self, figure1_peg):
+        """Every single-edge match agrees with Eq. 11."""
+        for pair, _ in figure1_peg.edges():
+            entity_a, entity_b = tuple(pair)
+            label_a = figure1_peg.possible_labels(entity_a)[0]
+            label_b = figure1_peg.possible_labels(entity_b)[0]
+            node_labels = {entity_a: label_a, entity_b: label_b}
+            fast = figure1_peg.match_probability(node_labels, [pair])
+            slow = world_match_probability(figure1_peg, node_labels, [pair])
+            assert fast == pytest.approx(slow), (entity_a, entity_b)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.peg.serialize."""
+
+import pickle
+
+import pytest
+
+from repro.peg import load_peg, save_peg
+from repro.peg.serialize import FORMAT_VERSION
+from repro.utils.errors import ModelError
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_probabilities(self, figure1_peg, tmp_path):
+        path = str(tmp_path / "figure1.peg")
+        save_peg(figure1_peg, path)
+        loaded = load_peg(path)
+        assert loaded.stats() == figure1_peg.stats()
+        merged = frozenset({"r3", "r4"})
+        assert loaded.existence_probability(merged) == pytest.approx(
+            figure1_peg.existence_probability(merged)
+        )
+        assert loaded.edge_probability(
+            merged, frozenset({"r2"})
+        ) == pytest.approx(0.75)
+
+    def test_loaded_peg_is_queryable(self, figure1_peg, tmp_path):
+        from repro.query import QueryEngine, QueryGraph
+
+        path = str(tmp_path / "figure1.peg")
+        save_peg(figure1_peg, path)
+        loaded = load_peg(path)
+        engine = QueryEngine(loaded, max_length=2, beta=0.05)
+        query = QueryGraph(
+            {"q1": "r", "q2": "a", "q3": "i"},
+            [("q1", "q2"), ("q2", "q3")],
+        )
+        matches = engine.query(query, 0.15).matches
+        assert len(matches) == 1
+        assert matches[0].probability == pytest.approx(0.2025)
+
+
+class TestValidation:
+    def test_not_a_pickle(self, tmp_path):
+        path = tmp_path / "junk.peg"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(ModelError):
+            load_peg(str(path))
+
+    def test_foreign_pickle(self, tmp_path):
+        path = tmp_path / "foreign.peg"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ModelError):
+            load_peg(str(path))
+
+    def test_wrong_version(self, figure1_peg, tmp_path):
+        path = tmp_path / "old.peg"
+        payload = {
+            "magic": "repro-peg",
+            "version": FORMAT_VERSION + 1,
+            "peg": figure1_peg,
+        }
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ModelError):
+            load_peg(str(path))
+
+    def test_wrong_payload_type(self, tmp_path):
+        path = tmp_path / "bad.peg"
+        payload = {"magic": "repro-peg", "version": FORMAT_VERSION, "peg": 42}
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ModelError):
+            load_peg(str(path))

@@ -1,0 +1,144 @@
+"""Unit tests for repro.pgd.builders."""
+
+import math
+
+import pytest
+
+from repro.pgd.builders import (
+    normalized_levenshtein,
+    pair_merge_potentials,
+    pgd_from_edge_list,
+    reference_sets_from_similarity,
+)
+from repro.peg import build_peg
+from repro.utils.errors import ModelError
+
+
+class TestPairMergePotentials:
+    @pytest.mark.parametrize("p", [0.0, 0.2, 0.5, 0.8, 0.99])
+    def test_calibration_is_exact(self, p):
+        pair, singleton = pair_merge_potentials(p)
+        merged_weight = pair * pair
+        unmerged_weight = singleton * singleton
+        total = merged_weight + unmerged_weight
+        assert merged_weight / total == pytest.approx(p)
+
+    def test_certain_merge_rejected(self):
+        with pytest.raises(ModelError):
+            pair_merge_potentials(1.0)
+
+    def test_end_to_end_merge_probability(self):
+        pgd = pgd_from_edge_list(
+            node_labels={"x": "a", "y": "a"},
+            edges=[],
+            reference_sets=[(("x", "y"), 0.7)],
+        )
+        peg = build_peg(pgd)
+        merged = frozenset({"x", "y"})
+        assert peg.existence_probability(merged) == pytest.approx(0.7)
+
+
+class TestPgdFromEdgeList:
+    def test_uncalibrated_pairs(self):
+        pgd = pgd_from_edge_list(
+            node_labels={"x": "a", "y": "a"},
+            edges=[],
+            reference_sets=[(("x", "y"), 0.6)],
+            calibrate_pairs=False,
+        )
+        sets = pgd.reference_sets()
+        assert sets[frozenset(("x", "y"))] == 0.6
+        assert sets[frozenset(("x",))] == 1.0
+
+    def test_larger_sets_never_calibrated(self):
+        pgd = pgd_from_edge_list(
+            node_labels={"x": "a", "y": "a", "z": "a"},
+            edges=[],
+            reference_sets=[(("x", "y", "z"), 0.5)],
+        )
+        assert pgd.reference_sets()[frozenset(("x", "y", "z"))] == 0.5
+
+    def test_validates_result(self):
+        with pytest.raises(ModelError):
+            pgd_from_edge_list(node_labels={}, edges=[])
+
+
+class TestNormalizedLevenshtein:
+    def test_identical(self):
+        assert normalized_levenshtein("abc", "abc") == 1.0
+
+    def test_completely_different(self):
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+
+    def test_single_edit(self):
+        assert normalized_levenshtein("abcd", "abed") == pytest.approx(0.75)
+
+    def test_empty_string(self):
+        assert normalized_levenshtein("", "abc") == 0.0
+
+    def test_symmetry(self):
+        assert normalized_levenshtein("kitten", "sitting") == pytest.approx(
+            normalized_levenshtein("sitting", "kitten")
+        )
+
+
+class TestReferenceSetsFromSimilarity:
+    NAMES = {
+        1: "Christopher Tucker",
+        2: "Chris Tucker",
+        3: "Becky Castor",
+        4: "Becky Castorr",
+    }
+
+    def test_proposes_similar_pairs(self):
+        proposals = reference_sets_from_similarity(
+            self.NAMES, normalized_levenshtein, threshold=0.6
+        )
+        pairs = {frozenset(pair) for pair, _ in proposals}
+        assert frozenset({3, 4}) in pairs
+        assert frozenset({1, 2}) in pairs
+
+    def test_each_reference_in_one_pair(self):
+        names = {1: "aaa", 2: "aaa", 3: "aaa"}
+        proposals = reference_sets_from_similarity(
+            names, normalized_levenshtein, threshold=0.9
+        )
+        used = [r for pair, _ in proposals for r in pair]
+        assert len(used) == len(set(used))
+
+    def test_threshold_filters(self):
+        proposals = reference_sets_from_similarity(
+            self.NAMES, normalized_levenshtein, threshold=0.99
+        )
+        assert proposals == []
+
+    def test_probability_mapping(self):
+        proposals = reference_sets_from_similarity(
+            self.NAMES,
+            normalized_levenshtein,
+            threshold=0.6,
+            probability=lambda score: 0.5,
+        )
+        assert all(p == 0.5 for _, p in proposals)
+
+    def test_identical_names_capped_below_one(self):
+        proposals = reference_sets_from_similarity(
+            {1: "same", 2: "same"}, normalized_levenshtein, threshold=0.9
+        )
+        assert proposals[0][1] == pytest.approx(0.99)
+
+    def test_blocking_restricts_comparisons(self):
+        calls = []
+
+        def counting_similarity(a, b):
+            calls.append((a, b))
+            return normalized_levenshtein(a, b)
+
+        reference_sets_from_similarity(
+            self.NAMES,
+            counting_similarity,
+            threshold=0.6,
+            blocking=lambda name: name.split()[-1][:3].lower(),
+        )
+        # Tucker-block and Castor-block pairs only: 1 + 1 comparisons.
+        assert len(calls) == 2

@@ -1,0 +1,117 @@
+"""Unit tests for repro.pgd.closure (transitive-closure merge sets)."""
+
+import math
+
+import pytest
+
+from repro.peg import build_peg
+from repro.pgd import PGD, add_transitive_closure, transitive_closure_sets
+from repro.pgd.closure import geometric_mean_combiner
+from repro.utils.errors import ModelError
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestTransitiveClosureSets:
+    def test_chain_produces_triple(self):
+        seeds = {fs("a", "b"): 0.8, fs("b", "c"): 0.5}
+        derived = transitive_closure_sets(seeds)
+        assert set(derived) == {fs("a", "b", "c")}
+        expected = math.sqrt(0.8 * 0.5) * 1.0  # decay defaults to 1.0
+        assert derived[fs("a", "b", "c")] == pytest.approx(expected)
+
+    def test_disjoint_seeds_produce_nothing(self):
+        seeds = {fs("a", "b"): 0.8, fs("c", "d"): 0.5}
+        assert transitive_closure_sets(seeds) == {}
+
+    def test_three_chained_pairs(self):
+        seeds = {
+            fs("a", "b"): 0.9, fs("b", "c"): 0.9, fs("c", "d"): 0.9
+        }
+        derived = transitive_closure_sets(seeds)
+        assert set(derived) == {
+            fs("a", "b", "c"),
+            fs("b", "c", "d"),
+            fs("a", "b", "c", "d"),
+        }
+
+    def test_non_overlapping_combinations_skipped(self):
+        """{a,b} and {c,d} joined only through {b,c}: the pair union
+        {a,b} ∪ {c,d} alone is not connected and must not appear."""
+        seeds = {
+            fs("a", "b"): 0.9, fs("c", "d"): 0.9, fs("b", "c"): 0.9
+        }
+        derived = transitive_closure_sets(seeds)
+        assert fs("a", "b", "c", "d") in derived
+        assert fs("a", "b", "c") in derived
+        # the disconnected union {a,b,c,d} minus the bridge is impossible
+        # to form, and no 2-subset of disjoint seeds appears:
+        assert all(len(s) >= 3 for s in derived)
+
+    def test_decay_damps_large_sets(self):
+        seeds = {fs("a", "b"): 0.8, fs("b", "c"): 0.8}
+        no_decay = transitive_closure_sets(seeds, decay=1.0)
+        damped = transitive_closure_sets(seeds, decay=0.5)
+        assert damped[fs("a", "b", "c")] == pytest.approx(
+            no_decay[fs("a", "b", "c")] * 0.5
+        )
+
+    def test_invalid_decay(self):
+        with pytest.raises(ModelError):
+            transitive_closure_sets({fs("a", "b"): 0.5}, decay=0.0)
+
+    def test_limit_guard(self):
+        # A star of pairs through one shared reference explodes quickly.
+        seeds = {fs("hub", f"x{i}"): 0.9 for i in range(9)}
+        with pytest.raises(ModelError):
+            transitive_closure_sets(seeds, limit=10)
+
+    def test_combiner_empty_rejected(self):
+        with pytest.raises(ModelError):
+            geometric_mean_combiner([])
+
+    def test_zero_potential_seed(self):
+        seeds = {fs("a", "b"): 0.0, fs("b", "c"): 0.9}
+        derived = transitive_closure_sets(seeds)
+        assert derived[fs("a", "b", "c")] == 0.0
+
+
+class TestAddTransitiveClosure:
+    def make_pgd(self):
+        pgd = PGD()
+        for ref in ("a", "b", "c"):
+            pgd.add_reference(ref, "x")
+        pgd.add_reference_set(("a", "b"), 0.8)
+        pgd.add_reference_set(("b", "c"), 0.6)
+        return pgd
+
+    def test_adds_sets_in_place(self):
+        pgd = self.make_pgd()
+        added = add_transitive_closure(pgd)
+        assert added == (fs("a", "b", "c"),)
+        assert fs("a", "b", "c") in pgd.reference_sets()
+
+    def test_closure_peg_has_merged_triple(self):
+        pgd = self.make_pgd()
+        add_transitive_closure(pgd)
+        peg = build_peg(pgd)
+        triple = fs("a", "b", "c")
+        assert triple in peg.entities
+        assert 0.0 < peg.existence_probability(triple) < 1.0
+        # all configurations remain a normalized distribution
+        component = peg.component_of(triple)
+        total = sum(cfg.probability for cfg in component.configurations)
+        assert total == pytest.approx(1.0)
+
+    def test_closure_preserves_exact_semantics(self):
+        """Worlds of the closed PGD still sum to probability one."""
+        from repro.peg import enumerate_worlds
+
+        pgd = self.make_pgd()
+        pgd.add_edge("a", "c", 0.5)
+        add_transitive_closure(pgd)
+        peg = build_peg(pgd)
+        total = sum(w.probability for w in enumerate_worlds(peg))
+        assert total == pytest.approx(1.0)

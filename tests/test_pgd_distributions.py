@@ -1,0 +1,109 @@
+"""Unit tests for repro.pgd.distributions."""
+
+import pytest
+
+from repro.pgd.distributions import (
+    BernoulliEdge,
+    ConditionalEdge,
+    LabelDistribution,
+)
+from repro.utils.errors import ModelError
+
+
+class TestLabelDistribution:
+    def test_basic_access(self):
+        dist = LabelDistribution({"a": 0.25, "b": 0.75})
+        assert dist.probability("a") == 0.25
+        assert dist.probability("missing") == 0.0
+        assert set(dist.support) == {"a", "b"}
+
+    def test_certain(self):
+        dist = LabelDistribution.certain("x")
+        assert dist.probability("x") == 1.0
+        assert dist.support == ("x",)
+
+    def test_zero_mass_labels_not_in_support(self):
+        dist = LabelDistribution({"a": 1.0, "b": 0.0})
+        assert dist.support == ("a",)
+
+    def test_must_normalize(self):
+        with pytest.raises(ModelError):
+            LabelDistribution({"a": 0.5})
+
+    def test_equality_and_hash(self):
+        a = LabelDistribution({"x": 0.4, "y": 0.6})
+        b = LabelDistribution({"x": 0.4, "y": 0.6})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != LabelDistribution({"x": 0.6, "y": 0.4})
+
+    def test_as_dict_is_copy(self):
+        dist = LabelDistribution({"a": 1.0})
+        copy = dist.as_dict()
+        copy["a"] = 0.0
+        assert dist.probability("a") == 1.0
+
+
+class TestBernoulliEdge:
+    def test_probability_ignores_labels(self):
+        edge = BernoulliEdge(0.3)
+        assert edge.probability() == 0.3
+        assert edge.probability("a", "b") == 0.3
+        assert edge.max_probability() == 0.3
+        assert not edge.conditional
+
+    def test_bounds_checked(self):
+        with pytest.raises(ModelError):
+            BernoulliEdge(1.5)
+
+    def test_equality(self):
+        assert BernoulliEdge(0.5) == BernoulliEdge(0.5)
+        assert BernoulliEdge(0.5) != BernoulliEdge(0.4)
+
+
+class TestConditionalEdge:
+    def test_cpt_lookup_is_symmetric(self):
+        edge = ConditionalEdge({("a", "b"): 0.6, ("a", "a"): 0.9})
+        assert edge.conditional
+        assert edge.probability("a", "b") == 0.6
+        assert edge.probability("b", "a") == 0.6
+        assert edge.probability("a", "a") == 0.9
+
+    def test_default_for_missing_pairs(self):
+        edge = ConditionalEdge({("a", "a"): 0.9}, default=0.1)
+        assert edge.probability("a", "z") == 0.1
+
+    def test_probability_requires_both_labels(self):
+        edge = ConditionalEdge({("a", "a"): 0.9})
+        with pytest.raises(ModelError):
+            edge.probability("a", None)
+
+    def test_max_probability_unconstrained(self):
+        edge = ConditionalEdge({("a", "a"): 0.9, ("a", "b"): 0.4})
+        assert edge.max_probability() == 0.9
+
+    def test_max_probability_one_label_fixed(self):
+        edge = ConditionalEdge({("a", "a"): 0.9, ("a", "b"): 0.4, ("b", "b"): 0.7})
+        assert edge.max_probability(None, "b") == 0.7
+        assert edge.max_probability("b", None) == 0.7
+        assert edge.max_probability(None, "a") == 0.9
+
+    def test_max_probability_no_match_uses_default(self):
+        edge = ConditionalEdge({("a", "a"): 0.9}, default=0.05)
+        assert edge.max_probability(None, "z") == 0.05
+
+    def test_conflicting_entries_rejected(self):
+        with pytest.raises(ModelError):
+            ConditionalEdge({("a", "b"): 0.5, ("b", "a"): 0.6})
+
+    def test_duplicate_consistent_entries_allowed(self):
+        edge = ConditionalEdge({("a", "b"): 0.5, ("b", "a"): 0.5})
+        assert edge.probability("a", "b") == 0.5
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ModelError):
+            ConditionalEdge({"ab": 0.5})
+
+    def test_empty_cpt_rejected(self):
+        with pytest.raises(ModelError):
+            ConditionalEdge({})

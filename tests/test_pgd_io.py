@@ -1,0 +1,102 @@
+"""Unit tests for PGD JSON import/export."""
+
+import json
+
+import pytest
+
+from repro.pgd import PGD
+from repro.pgd.io import (
+    load_pgd_json,
+    pgd_from_dict,
+    pgd_to_dict,
+    save_pgd_json,
+)
+from repro.peg import build_peg
+from repro.utils.errors import ModelError
+
+
+def rich_pgd():
+    pgd = PGD(merge="disjunct")
+    pgd.add_reference("r1", {"a": 0.75, "r": 0.25})
+    pgd.add_reference("r2", "a")
+    pgd.add_reference("r3", "r")
+    pgd.add_edge("r1", "r2", 0.9)
+    pgd.add_edge("r2", "r3", {("a", "r"): 0.8, ("a", "a"): 0.3})
+    pgd.add_reference_set(("r1", "r3"), 0.6)
+    pgd.set_singleton_potential("r1", 0.7)
+    return pgd
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        original = rich_pgd()
+        restored = pgd_from_dict(pgd_to_dict(original))
+        assert restored.stats() == original.stats()
+        assert restored.merge.name == "disjunct"
+        assert restored.label_distribution("r1").probability("a") == 0.75
+        assert restored.edge_distribution("r1", "r2").probability() == 0.9
+        cpt = restored.edge_distribution("r2", "r3")
+        assert cpt.conditional
+        assert cpt.probability("a", "r") == 0.8
+        sets = restored.reference_sets()
+        assert sets[frozenset(("r1", "r3"))] == 0.6
+        assert sets[frozenset(("r1",))] == 0.7
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "graph.json")
+        save_pgd_json(rich_pgd(), path)
+        restored = load_pgd_json(path)
+        assert restored.stats() == rich_pgd().stats()
+
+    def test_exported_json_is_valid_and_stable(self, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        save_pgd_json(rich_pgd(), str(path_a))
+        save_pgd_json(rich_pgd(), str(path_b))
+        assert path_a.read_text() == path_b.read_text()
+        document = json.loads(path_a.read_text())
+        assert document["format"] == "repro-pgd"
+
+    def test_restored_pgd_builds_identical_peg(self, tmp_path):
+        path = str(tmp_path / "graph.json")
+        save_pgd_json(rich_pgd(), path)
+        original_peg = build_peg(rich_pgd())
+        restored_peg = build_peg(load_pgd_json(path))
+        assert restored_peg.stats() == original_peg.stats()
+        for entity in original_peg.entities:
+            assert restored_peg.existence_probability(entity) == \
+                pytest.approx(original_peg.existence_probability(entity))
+
+
+class TestValidation:
+    def test_wrong_format(self):
+        with pytest.raises(ModelError):
+            pgd_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(ModelError):
+            pgd_from_dict({"format": "repro-pgd", "version": 99})
+
+    def test_missing_references(self):
+        with pytest.raises(ModelError):
+            pgd_from_dict(
+                {"format": "repro-pgd", "version": 1, "references": {}}
+            )
+
+    def test_bad_edge_entry(self):
+        document = pgd_to_dict(rich_pgd())
+        document["edges"].append({"refs": ["r1"]})
+        with pytest.raises(ModelError):
+            pgd_from_dict(document)
+
+    def test_edge_without_distribution(self):
+        document = pgd_to_dict(rich_pgd())
+        document["edges"].append({"refs": ["r1", "r3"]})
+        with pytest.raises(ModelError):
+            pgd_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelError):
+            load_pgd_json(str(path))

@@ -1,0 +1,111 @@
+"""Unit tests for repro.pgd.merge."""
+
+import pytest
+
+from repro.pgd.distributions import (
+    BernoulliEdge,
+    ConditionalEdge,
+    LabelDistribution,
+)
+from repro.pgd.merge import (
+    MergeFunctions,
+    average_edges,
+    average_labels,
+    disjunct_edges,
+    get_merge_functions,
+    max_edges,
+    register_merge_functions,
+)
+from repro.utils.errors import ModelError
+
+
+class TestAverageLabels:
+    def test_paper_example(self):
+        """Figure 1: averaging r(1) and i(1) gives r(0.5), i(0.5)."""
+        merged = average_labels(
+            [LabelDistribution.certain("r"), LabelDistribution.certain("i")]
+        )
+        assert merged.probability("r") == pytest.approx(0.5)
+        assert merged.probability("i") == pytest.approx(0.5)
+
+    def test_result_is_normalized(self):
+        merged = average_labels(
+            [
+                LabelDistribution({"a": 0.3, "b": 0.7}),
+                LabelDistribution({"b": 0.1, "c": 0.9}),
+                LabelDistribution({"a": 1.0}),
+            ]
+        )
+        assert sum(p for _, p in merged.items()) == pytest.approx(1.0)
+
+    def test_single_input_identity(self):
+        dist = LabelDistribution({"a": 0.2, "b": 0.8})
+        assert average_labels([dist]) == dist
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            average_labels([])
+
+
+class TestEdgeMerges:
+    def test_average_bernoulli(self):
+        """Figure 1: averaging edge probabilities 1.0 and 0.5 gives 0.75."""
+        merged = average_edges([BernoulliEdge(1.0), BernoulliEdge(0.5)])
+        assert merged.probability() == pytest.approx(0.75)
+
+    def test_disjunct_bernoulli(self):
+        merged = disjunct_edges([BernoulliEdge(0.5), BernoulliEdge(0.5)])
+        assert merged.probability() == pytest.approx(0.75)
+
+    def test_max_bernoulli(self):
+        merged = max_edges([BernoulliEdge(0.2), BernoulliEdge(0.9)])
+        assert merged.probability() == pytest.approx(0.9)
+
+    def test_average_conditional(self):
+        merged = average_edges(
+            [
+                ConditionalEdge({("a", "a"): 0.8, ("a", "b"): 0.4}),
+                ConditionalEdge({("a", "a"): 0.6, ("a", "b"): 0.2}),
+            ]
+        )
+        assert merged.conditional
+        assert merged.probability("a", "a") == pytest.approx(0.7)
+        assert merged.probability("a", "b") == pytest.approx(0.3)
+
+    def test_mixed_conditional_and_bernoulli(self):
+        merged = average_edges(
+            [ConditionalEdge({("a", "a"): 0.8}), BernoulliEdge(0.4)]
+        )
+        assert merged.conditional
+        assert merged.probability("a", "a") == pytest.approx(0.6)
+
+    def test_disjunct_never_below_max_input(self):
+        inputs = [BernoulliEdge(0.3), BernoulliEdge(0.6)]
+        assert disjunct_edges(inputs).probability() >= 0.6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            average_edges([])
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        for name in ("average", "disjunct", "max"):
+            merge = get_merge_functions(name)
+            assert isinstance(merge, MergeFunctions)
+            assert merge.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModelError):
+            get_merge_functions("nope")
+
+    def test_custom_registration(self):
+        custom = MergeFunctions(
+            labels=average_labels, edges=max_edges, name="custom-test"
+        )
+        register_merge_functions("custom-test", custom)
+        assert get_merge_functions("custom-test") is custom
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            register_merge_functions("", get_merge_functions("average"))

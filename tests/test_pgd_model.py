@@ -1,0 +1,123 @@
+"""Unit tests for repro.pgd.model (the PGD container)."""
+
+import pytest
+
+from repro.pgd.distributions import LabelDistribution
+from repro.pgd.model import PGD
+from repro.utils.errors import ModelError
+
+
+def small_pgd():
+    pgd = PGD()
+    pgd.add_reference("r1", {"a": 0.5, "b": 0.5})
+    pgd.add_reference("r2", "a")
+    pgd.add_reference("r3", "b")
+    pgd.add_edge("r1", "r2", 0.9)
+    pgd.add_reference_set(("r1", "r3"), 0.4)
+    return pgd
+
+
+class TestReferences:
+    def test_label_spec_forms(self):
+        pgd = PGD()
+        pgd.add_reference(1, "x")
+        pgd.add_reference(2, {"x": 0.3, "y": 0.7})
+        pgd.add_reference(3, LabelDistribution.certain("y"))
+        assert pgd.label_distribution(1).probability("x") == 1.0
+        assert pgd.label_distribution(2).probability("y") == 0.7
+        assert pgd.sigma == frozenset({"x", "y"})
+
+    def test_duplicate_reference_rejected(self):
+        pgd = PGD()
+        pgd.add_reference("r", "a")
+        with pytest.raises(ModelError):
+            pgd.add_reference("r", "b")
+
+    def test_unknown_reference_lookup(self):
+        with pytest.raises(ModelError):
+            PGD().label_distribution("ghost")
+
+
+class TestEdges:
+    def test_undirected_lookup(self):
+        pgd = small_pgd()
+        assert pgd.edge_distribution("r1", "r2").probability() == 0.9
+        assert pgd.edge_distribution("r2", "r1").probability() == 0.9
+        assert pgd.edge_distribution("r1", "r3") is None
+
+    def test_self_loop_rejected(self):
+        pgd = small_pgd()
+        with pytest.raises(ModelError):
+            pgd.add_edge("r1", "r1", 0.5)
+
+    def test_undeclared_endpoint_rejected(self):
+        pgd = small_pgd()
+        with pytest.raises(ModelError):
+            pgd.add_edge("r1", "ghost", 0.5)
+
+    def test_duplicate_edge_rejected(self):
+        pgd = small_pgd()
+        with pytest.raises(ModelError):
+            pgd.add_edge("r2", "r1", 0.5)
+
+    def test_conditional_edge_flag(self):
+        pgd = small_pgd()
+        assert not pgd.has_conditional_edges
+        pgd.add_edge("r2", "r3", {("a", "b"): 0.5})
+        assert pgd.has_conditional_edges
+
+
+class TestReferenceSets:
+    def test_sets_include_singletons(self):
+        pgd = small_pgd()
+        sets = pgd.reference_sets()
+        assert frozenset(("r1",)) in sets
+        assert frozenset(("r1", "r3")) in sets
+        assert sets[frozenset(("r2",))] == 1.0
+        assert sets[frozenset(("r1", "r3"))] == 0.4
+
+    def test_singleton_override(self):
+        pgd = small_pgd()
+        pgd.set_singleton_potential("r1", 0.3)
+        assert pgd.reference_sets()[frozenset(("r1",))] == 0.3
+
+    def test_singleton_set_rejected(self):
+        pgd = small_pgd()
+        with pytest.raises(ModelError):
+            pgd.add_reference_set(("r1",), 0.5)
+
+    def test_undeclared_member_rejected(self):
+        pgd = small_pgd()
+        with pytest.raises(ModelError):
+            pgd.add_reference_set(("r1", "ghost"), 0.5)
+
+    def test_duplicate_set_rejected(self):
+        pgd = small_pgd()
+        with pytest.raises(ModelError):
+            pgd.add_reference_set(("r3", "r1"), 0.6)
+
+    def test_declared_sets_excludes_singletons(self):
+        pgd = small_pgd()
+        assert list(pgd.declared_sets()) == [frozenset(("r1", "r3"))]
+
+
+class TestValidation:
+    def test_empty_pgd_invalid(self):
+        with pytest.raises(ModelError):
+            PGD().validate()
+
+    def test_cpt_label_outside_alphabet(self):
+        pgd = small_pgd()
+        pgd.add_edge("r2", "r3", {("a", "zz"): 0.5})
+        with pytest.raises(ModelError):
+            pgd.validate()
+
+    def test_stats(self):
+        stats = small_pgd().stats()
+        assert stats == {
+            "references": 3,
+            "edges": 1,
+            "reference_sets": 1,
+            "labels": 2,
+            "conditional_edges": 0,
+        }

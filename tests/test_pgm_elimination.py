@@ -1,0 +1,94 @@
+"""Unit tests for repro.pgm.elimination (validated against brute force)."""
+
+import itertools
+
+import pytest
+
+from repro.pgm.elimination import joint_probability, variable_elimination
+from repro.pgm.factor import Factor, product
+from repro.utils.errors import ModelError
+
+
+def chain_model():
+    """x -> y -> z chain with asymmetric potentials."""
+    f_x = Factor.from_distribution("x", {0: 0.6, 1: 0.4})
+    f_xy = Factor.from_function(
+        ("x", "y"),
+        {"x": (0, 1), "y": (0, 1)},
+        lambda a: 0.9 if a["x"] == a["y"] else 0.1,
+    )
+    f_yz = Factor.from_function(
+        ("y", "z"),
+        {"y": (0, 1), "z": (0, 1)},
+        lambda a: 0.7 if a["y"] == a["z"] else 0.3,
+    )
+    return [f_x, f_xy, f_yz]
+
+
+def brute_force_marginal(factors, query):
+    joint = product(factors)
+    joint = joint.normalize()
+    others = [v for v in joint.variables if v not in query]
+    result = joint
+    for var in others:
+        result = result.marginalize([var])
+    return result
+
+
+class TestVariableElimination:
+    def test_matches_brute_force_single_query(self):
+        factors = chain_model()
+        ve = variable_elimination(factors, ["z"])
+        bf = brute_force_marginal(factors, ["z"])
+        for value in (0, 1):
+            assert ve.get({"z": value}) == pytest.approx(bf.get({"z": value}))
+
+    def test_matches_brute_force_pair_query(self):
+        factors = chain_model()
+        ve = variable_elimination(factors, ["x", "z"])
+        bf = brute_force_marginal(factors, ["x", "z"])
+        for x, z in itertools.product((0, 1), repeat=2):
+            assert ve.get({"x": x, "z": z}) == pytest.approx(
+                bf.get({"x": x, "z": z})
+            )
+
+    def test_with_evidence(self):
+        factors = chain_model()
+        ve = variable_elimination(factors, ["z"], evidence={"x": 1})
+        # conditional brute force
+        joint = product(factors).reduce({"x": 1}).normalize()
+        bf = joint.marginalize(["y"])
+        for value in (0, 1):
+            assert ve.get({"z": value}) == pytest.approx(bf.get({"z": value}))
+
+    def test_unnormalized_mass(self):
+        factors = chain_model()
+        ve = variable_elimination(factors, ["x"], normalize=False)
+        assert ve.partition == pytest.approx(product(factors).partition)
+
+    def test_unknown_query_variable(self):
+        with pytest.raises(ModelError):
+            variable_elimination(chain_model(), ["missing"])
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            variable_elimination([], ["x"])
+
+
+class TestJointProbability:
+    def test_matches_normalized_product(self):
+        factors = chain_model()
+        joint = product(factors).normalize()
+        for x, y, z in itertools.product((0, 1), repeat=3):
+            assignment = {"x": x, "y": y, "z": z}
+            assert joint_probability(factors, assignment) == pytest.approx(
+                joint.get(assignment)
+            )
+
+    def test_total_mass_is_one(self):
+        factors = chain_model()
+        total = sum(
+            joint_probability(factors, {"x": x, "y": y, "z": z})
+            for x, y, z in itertools.product((0, 1), repeat=3)
+        )
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.pgm.factor."""
+
+import numpy as np
+import pytest
+
+from repro.pgm.factor import Factor, product
+from repro.utils.errors import ModelError
+
+
+def bernoulli(var, p):
+    return Factor.from_distribution(var, {True: p, False: 1 - p})
+
+
+class TestConstruction:
+    def test_from_distribution(self):
+        f = Factor.from_distribution("x", {"a": 0.3, "b": 0.7})
+        assert f.get({"x": "a"}) == pytest.approx(0.3)
+        assert f.get({"x": "b"}) == pytest.approx(0.7)
+
+    def test_from_function(self):
+        f = Factor.from_function(
+            ("x", "y"),
+            {"x": (0, 1), "y": (0, 1)},
+            lambda a: 1.0 if a["x"] == a["y"] else 0.0,
+        )
+        assert f.get({"x": 0, "y": 0}) == 1.0
+        assert f.get({"x": 0, "y": 1}) == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            Factor(("x",), {"x": (0, 1)}, [0.5])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ModelError):
+            Factor(("x",), {"x": (0, 1)}, [-0.1, 1.1])
+
+    def test_rejects_duplicate_variables(self):
+        with pytest.raises(ModelError):
+            Factor(("x", "x"), {"x": (0, 1)}, np.ones((2, 2)))
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ModelError):
+            Factor(("x",), {"x": ()}, np.ones(0))
+
+
+class TestAlgebra:
+    def test_multiply_disjoint(self):
+        f = bernoulli("x", 0.2).multiply(bernoulli("y", 0.5))
+        assert f.get({"x": True, "y": True}) == pytest.approx(0.1)
+        assert f.get({"x": False, "y": False}) == pytest.approx(0.4)
+
+    def test_multiply_shared_variable(self):
+        f = bernoulli("x", 0.2)
+        g = Factor.from_function(
+            ("x", "y"),
+            {"x": (True, False), "y": (True, False)},
+            lambda a: 0.9 if a["x"] == a["y"] else 0.1,
+        )
+        joint = f.multiply(g)
+        assert joint.get({"x": True, "y": True}) == pytest.approx(0.2 * 0.9)
+        assert joint.get({"x": False, "y": True}) == pytest.approx(0.8 * 0.1)
+
+    def test_multiply_is_commutative(self):
+        f = bernoulli("x", 0.3)
+        g = bernoulli("y", 0.6)
+        fg = f.multiply(g)
+        gf = g.multiply(f)
+        for assignment in fg.assignments():
+            assert fg.get(assignment) == pytest.approx(gf.get(assignment))
+
+    def test_incompatible_domains_rejected(self):
+        f = Factor(("x",), {"x": (0, 1)}, [0.5, 0.5])
+        g = Factor(("x",), {"x": (0, 1, 2)}, [0.2, 0.3, 0.5])
+        with pytest.raises(ModelError):
+            f.multiply(g)
+
+    def test_marginalize(self):
+        joint = bernoulli("x", 0.2).multiply(bernoulli("y", 0.5))
+        marginal = joint.marginalize(["y"])
+        assert marginal.get({"x": True}) == pytest.approx(0.2)
+        assert marginal.get({"x": False}) == pytest.approx(0.8)
+
+    def test_marginalize_unknown_variable(self):
+        with pytest.raises(ModelError):
+            bernoulli("x", 0.5).marginalize(["z"])
+
+    def test_marginalize_all_rejected(self):
+        with pytest.raises(ModelError):
+            bernoulli("x", 0.5).marginalize(["x"])
+
+    def test_reduce_evidence(self):
+        joint = bernoulli("x", 0.2).multiply(bernoulli("y", 0.5))
+        reduced = joint.reduce({"y": True})
+        assert reduced.variables == ("x",)
+        assert reduced.get({"x": True}) == pytest.approx(0.1)
+
+    def test_reduce_bad_value(self):
+        with pytest.raises(ModelError):
+            bernoulli("x", 0.5).reduce({"x": "maybe"})
+
+    def test_normalize(self):
+        f = Factor(("x",), {"x": (0, 1)}, [2.0, 6.0]).normalize()
+        assert f.get({"x": 0}) == pytest.approx(0.25)
+        assert f.partition == pytest.approx(1.0)
+
+    def test_normalize_zero_mass_rejected(self):
+        with pytest.raises(ModelError):
+            Factor(("x",), {"x": (0, 1)}, [0.0, 0.0]).normalize()
+
+    def test_product_function(self):
+        f = product([bernoulli("x", 0.5), bernoulli("y", 0.5), bernoulli("z", 0.5)])
+        assert f.partition == pytest.approx(1.0)
+        assert len(f.variables) == 3
+
+    def test_product_empty_rejected(self):
+        with pytest.raises(ModelError):
+            product([])
+
+    def test_broadcast_axis_order(self):
+        """Multiplying factors with permuted variable orders stays correct."""
+        f = Factor.from_function(
+            ("x", "y"),
+            {"x": (0, 1), "y": (0, 1, 2)},
+            lambda a: a["x"] * 10 + a["y"] + 1,
+        )
+        g = Factor.from_function(
+            ("y", "x"),
+            {"x": (0, 1), "y": (0, 1, 2)},
+            lambda a: a["y"] * 100 + a["x"] + 1,
+        )
+        joint = f.multiply(g)
+        for assignment in joint.assignments():
+            expected = f.get(assignment) * g.get(assignment)
+            assert joint.get(assignment) == pytest.approx(expected)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.pgm.markov."""
+
+from repro.pgm.factor import Factor
+from repro.pgm.markov import MarkovNetwork
+
+
+def unary(var):
+    return Factor.from_distribution(var, {0: 0.5, 1: 0.5})
+
+
+def pairwise(var_a, var_b):
+    return Factor.from_function(
+        (var_a, var_b),
+        {var_a: (0, 1), var_b: (0, 1)},
+        lambda a: 1.0,
+    )
+
+
+class TestMarkovNetwork:
+    def test_variables(self):
+        net = MarkovNetwork([unary("a"), pairwise("b", "c")])
+        assert net.variables == {"a", "b", "c"}
+
+    def test_neighbors(self):
+        net = MarkovNetwork([pairwise("a", "b"), pairwise("b", "c")])
+        assert net.neighbors("b") == {"a", "c"}
+        assert net.neighbors("a") == {"b"}
+
+    def test_connected_components(self):
+        net = MarkovNetwork(
+            [pairwise("a", "b"), pairwise("c", "d"), unary("e")]
+        )
+        components = net.connected_components()
+        assert sorted(sorted(c) for c in components) == [
+            ["a", "b"],
+            ["c", "d"],
+            ["e"],
+        ]
+
+    def test_component_factors_complete(self):
+        f1, f2, f3 = pairwise("a", "b"), pairwise("b", "c"), unary("d")
+        net = MarkovNetwork([f1, f2, f3])
+        components = {frozenset(c) for c in net.connected_components()}
+        assert frozenset({"a", "b", "c"}) in components
+        abc = net.component_factors(frozenset({"a", "b", "c"}))
+        assert {id(f) for f in abc} == {id(f1), id(f2)}
+
+    def test_factors_of(self):
+        f1, f2 = pairwise("a", "b"), unary("a")
+        net = MarkovNetwork([f1, f2])
+        assert {id(f) for f in net.factors_of("a")} == {id(f1), id(f2)}
+        assert {id(f) for f in net.factors_of("b")} == {id(f1)}
+
+    def test_transitive_component(self):
+        """A chain of shared variables forms a single component."""
+        net = MarkovNetwork(
+            [pairwise("a", "b"), pairwise("b", "c"), pairwise("c", "d")]
+        )
+        assert net.connected_components() == [frozenset({"a", "b", "c", "d"})]

@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.histogram import CardinalityHistogram
+from repro.index.paths import IndexedPath, decode_paths, encode_paths
+from repro.pgd.builders import normalized_levenshtein, pair_merge_potentials
+from repro.pgd.distributions import BernoulliEdge, LabelDistribution
+from repro.pgd.merge import average_edges, average_labels, disjunct_edges
+from repro.pgm.configurations import enumerate_exact_covers
+from repro.pgm.factor import Factor
+from repro.storage.btree import BPlusTree
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+probabilities = st.floats(0.0, 1.0, allow_nan=False)
+positive_probabilities = st.floats(0.01, 1.0, allow_nan=False)
+
+
+@st.composite
+def label_distributions(draw):
+    n = draw(st.integers(1, 5))
+    raw = draw(
+        st.lists(st.floats(0.01, 1.0), min_size=n, max_size=n)
+    )
+    total = sum(raw)
+    return LabelDistribution(
+        {f"l{i}": value / total for i, value in enumerate(raw)}
+    )
+
+
+# ----------------------------------------------------------------------
+# B+ tree behaves exactly like a sorted dict
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    ops=st.lists(
+        st.tuples(st.binary(min_size=1, max_size=24), st.binary(max_size=24)),
+        max_size=120,
+    ),
+    probe=st.binary(min_size=1, max_size=24),
+)
+def test_btree_matches_dict(tmp_path_factory, ops, probe):
+    directory = tmp_path_factory.mktemp("btree")
+    tree = BPlusTree(str(directory / "t.btree"))
+    reference = {}
+    try:
+        for key, value in ops:
+            tree.put(key, value)
+            reference[key] = value
+        assert len(tree) == len(reference)
+        assert tree.get(probe) == reference.get(probe)
+        assert [k for k, _ in tree.items()] == sorted(reference)
+        if reference:
+            lo = min(reference)
+            scanned = dict(tree.range(lo))
+            assert scanned == reference
+    finally:
+        tree.close()
+
+
+# ----------------------------------------------------------------------
+# Factor algebra laws
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=2),
+    q=st.lists(st.floats(0.01, 1.0), min_size=3, max_size=3),
+)
+def test_factor_product_marginal_consistent(p, q):
+    """Marginalizing a product of independent factors recovers each."""
+    f = Factor(("x",), {"x": (0, 1)}, p)
+    g = Factor(("y",), {"y": (0, 1, 2)}, q)
+    joint = f.multiply(g)
+    fx = joint.marginalize(["y"])
+    total_g = sum(q)
+    for i, value in enumerate(p):
+        assert math.isclose(fx.get({"x": i}), value * total_g, rel_tol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(0.01, 10.0), min_size=4, max_size=4))
+def test_factor_normalize_is_distribution(values):
+    f = Factor(("x",), {"x": tuple(range(4))}, values).normalize()
+    assert math.isclose(f.partition, 1.0, rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Merge functions
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(dists=st.lists(label_distributions(), min_size=1, max_size=4))
+def test_average_labels_normalized_and_bounded(dists):
+    merged = average_labels(dists)
+    total = sum(p for _, p in merged.items())
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+    for label, prob in merged.items():
+        inputs = [d.probability(label) for d in dists]
+        assert min(inputs) - 1e-12 <= prob <= max(inputs) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(ps=st.lists(positive_probabilities, min_size=1, max_size=5))
+def test_edge_merges_bounded(ps):
+    edges = [BernoulliEdge(p) for p in ps]
+    avg = average_edges(edges).probability()
+    dis = disjunct_edges(edges).probability()
+    assert min(ps) - 1e-12 <= avg <= max(ps) + 1e-12
+    assert max(ps) - 1e-12 <= dis <= 1.0 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Exact covers
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    potentials=st.lists(st.floats(0.05, 1.0), min_size=3, max_size=3),
+)
+def test_pair_component_distribution(potentials):
+    """Any positive potentials give a normalized two-configuration model."""
+    p_a, p_b, p_ab = potentials
+    covers = enumerate_exact_covers(
+        ["a", "b"],
+        [frozenset("a"), frozenset("b"), frozenset(["a", "b"])],
+        {
+            frozenset("a"): p_a,
+            frozenset("b"): p_b,
+            frozenset(["a", "b"]): p_ab,
+        },
+    )
+    assert len(covers) == 2
+    assert math.isclose(sum(c.probability for c in covers), 1.0, rel_tol=1e-9)
+    merged = next(c for c in covers if len(c.chosen) == 1)
+    expected = (p_ab ** 2) / (p_ab ** 2 + p_a * p_b)
+    assert math.isclose(merged.probability, expected, rel_tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(p=st.floats(0.0, 0.99))
+def test_pair_merge_potentials_roundtrip(p):
+    pair, single = pair_merge_potentials(p)
+    realized = (pair ** 2) / (pair ** 2 + single ** 2)
+    assert math.isclose(realized, p, rel_tol=1e-9, abs_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Index path serialization
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    paths=st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=6),
+            probabilities,
+            probabilities,
+        ),
+        max_size=30,
+    )
+)
+def test_path_payload_roundtrip(paths):
+    originals = [
+        IndexedPath(tuple(nodes), prle, prn) for nodes, prle, prn in paths
+    ]
+    assert decode_paths(encode_paths(originals)) == originals
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.lists(st.integers(0, 1000), min_size=2, max_size=8),
+    alpha=st.floats(0.0, 1.0),
+)
+def test_histogram_estimate_within_neighbor_bounds(counts, alpha):
+    n = len(counts)
+    thresholds = [i / (n - 1 + 1e-9) for i in range(n)]
+    hist = CardinalityHistogram.from_bucket_counts(thresholds, counts)
+    estimate = hist.estimate(alpha)
+    assert hist.counts[-1] - 1e-9 <= estimate <= hist.counts[0] + 1e-9
+
+
+# ----------------------------------------------------------------------
+# String similarity
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=st.text(max_size=12), right=st.text(max_size=12))
+def test_levenshtein_properties(left, right):
+    score = normalized_levenshtein(left, right)
+    assert 0.0 <= score <= 1.0
+    assert score == normalized_levenshtein(right, left)
+    if left == right:
+        assert score == 1.0
+
+
+# ----------------------------------------------------------------------
+# End-to-end probability invariant on tiny models
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_refs=st.integers(6, 12),
+    extra_edges=st.integers(0, 8),
+    merge_p=st.floats(0.1, 0.9),
+    seed=st.integers(0, 10_000),
+    alpha=st.floats(0.1, 0.8),
+)
+def test_engine_agrees_with_direct_on_random_pgds(
+    num_refs, extra_edges, merge_p, seed, alpha
+):
+    """End-to-end: the optimized engine equals the backtracking oracle
+    on hypothesis-generated reference graphs with identity uncertainty."""
+    import numpy as np
+
+    from repro.peg import build_peg
+    from repro.pgd import PGD
+    from repro.query import QueryEngine, QueryGraph, direct_matches
+
+    rng = np.random.default_rng(seed)
+    labels = ("a", "b")
+    pgd = PGD()
+    for ref in range(num_refs):
+        if rng.random() < 0.4:
+            p = float(rng.uniform(0.2, 0.8))
+            pgd.add_reference(ref, {"a": p, "b": 1.0 - p})
+        else:
+            pgd.add_reference(ref, labels[int(rng.integers(2))])
+    # a random connected backbone plus extra edges
+    for ref in range(1, num_refs):
+        other = int(rng.integers(ref))
+        pgd.add_edge(ref, other, float(rng.uniform(0.3, 1.0)))
+    for _ in range(extra_edges):
+        x, y = int(rng.integers(num_refs)), int(rng.integers(num_refs))
+        if x != y and pgd.edge_distribution(x, y) is None:
+            pgd.add_edge(x, y, float(rng.uniform(0.3, 1.0)))
+    pgd.add_reference_set((0, 1), merge_p)
+    peg = build_peg(pgd)
+    engine = QueryEngine(peg, max_length=2, beta=0.05)
+    query = QueryGraph(
+        {"u": "a", "v": "b", "w": "a"}, [("u", "v"), ("v", "w")]
+    )
+    optimized = {
+        (m.nodes, m.edges, round(m.probability, 9))
+        for m in engine.query(query, alpha).matches
+    }
+    oracle = {
+        (m.nodes, m.edges, round(m.probability, 9))
+        for m in direct_matches(peg, query, alpha)
+    }
+    assert optimized == oracle
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    edge_probs=st.lists(positive_probabilities, min_size=3, max_size=3),
+    merge_p=st.floats(0.05, 0.95),
+)
+def test_match_probability_equals_world_sum(edge_probs, merge_p):
+    """Eq. 11 equals the literal possible-world sum on random tiny PEGs."""
+    from repro.peg import build_peg, world_match_probability
+    from repro.pgd import pgd_from_edge_list
+
+    pgd = pgd_from_edge_list(
+        node_labels={
+            "a": {"x": 0.5, "y": 0.5},
+            "b": "x",
+            "c": "y",
+            "d": "x",
+        },
+        edges=[
+            ("a", "b", edge_probs[0]),
+            ("b", "c", edge_probs[1]),
+            ("c", "d", edge_probs[2]),
+        ],
+        reference_sets=[(("a", "d"), merge_p)],
+    )
+    peg = build_peg(pgd)
+    node_labels = {
+        frozenset({"a"}): "x",
+        frozenset({"b"}): "x",
+        frozenset({"c"}): "y",
+    }
+    edges = [
+        frozenset({frozenset({"a"}), frozenset({"b"})}),
+        frozenset({frozenset({"b"}), frozenset({"c"})}),
+    ]
+    fast = peg.match_probability(node_labels, edges)
+    slow = world_match_probability(peg, node_labels, edges)
+    assert math.isclose(fast, slow, rel_tol=1e-9, abs_tol=1e-12)

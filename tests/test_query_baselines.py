@@ -1,0 +1,99 @@
+"""Unit tests for repro.query.baselines (the oracles themselves)."""
+
+import pytest
+
+from repro.peg import build_peg
+from repro.pgd import pgd_from_edge_list
+from repro.query import QueryGraph, direct_matches, exhaustive_matches
+
+
+def match_keys(matches):
+    return {(m.nodes, m.edges, round(m.probability, 9)) for m in matches}
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestExhaustive:
+    def test_figure1_worked_example(self, figure1_peg):
+        """The paper's Section 2 walkthrough, all candidate matches."""
+        query = QueryGraph(
+            {"q1": "r", "q2": "a", "q3": "i"},
+            [("q1", "q2"), ("q2", "q3")],
+        )
+        matches = exhaustive_matches(figure1_peg, query, alpha=1e-9)
+        by_nodes = {m.nodes: m.probability for m in matches}
+        merged = fs("r3", "r4")
+        # (s34, s2, s1): 0.5 * 1 * 0.75 * 0.75 * 0.9 * 0.8
+        key = tuple(sorted(
+            {merged: "r", fs("r2"): "a", fs("r1"): "i"}.items(),
+            key=lambda kv: repr(kv[0]),
+        ))
+        assert by_nodes[key] == pytest.approx(0.2025)
+
+    def test_matches_require_legal_worlds(self, figure1_peg):
+        """No match may use both {r3} and {r3, r4}."""
+        query = QueryGraph(
+            {"q1": "r", "q2": "i"}, [("q1", "q2")]
+        )
+        for match in exhaustive_matches(figure1_peg, query, alpha=1e-9):
+            entities = [entity for entity, _ in match.nodes]
+            for i, left in enumerate(entities):
+                for right in entities[i + 1:]:
+                    assert not (left & right)
+
+    def test_automorphic_embeddings_deduplicated(self):
+        peg = build_peg(
+            pgd_from_edge_list(
+                node_labels={"x": "a", "y": "a"},
+                edges=[("x", "y", 0.5)],
+            )
+        )
+        query = QueryGraph({"u": "a", "v": "a"}, [("u", "v")])
+        matches = exhaustive_matches(peg, query, alpha=0.1)
+        # (x, y) and (y, x) are the same labeled subgraph: one match.
+        assert len(matches) == 1
+        assert matches[0].probability == pytest.approx(0.5)
+
+    def test_threshold_applied(self, figure1_peg):
+        query = QueryGraph(
+            {"q1": "r", "q2": "a", "q3": "i"},
+            [("q1", "q2"), ("q2", "q3")],
+        )
+        all_matches = exhaustive_matches(figure1_peg, query, alpha=1e-9)
+        filtered = exhaustive_matches(figure1_peg, query, alpha=0.15)
+        assert len(filtered) < len(all_matches)
+        assert all(m.probability >= 0.15 for m in filtered)
+
+
+class TestDirectAgainstExhaustive:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            QueryGraph({"u": "r", "v": "a"}, [("u", "v")]),
+            QueryGraph(
+                {"u": "r", "v": "a", "w": "i"}, [("u", "v"), ("v", "w")]
+            ),
+            QueryGraph(
+                {"u": "i", "v": "a", "w": "i"},
+                [("u", "v"), ("v", "w"), ("u", "w")],
+            ),
+            QueryGraph({"u": "a"}, []),
+        ],
+        ids=["edge", "path", "triangle", "node"],
+    )
+    @pytest.mark.parametrize("alpha", [0.05, 0.3])
+    def test_agreement(self, figure1_peg, query, alpha):
+        assert match_keys(direct_matches(figure1_peg, query, alpha)) == \
+            match_keys(exhaustive_matches(figure1_peg, query, alpha))
+
+    def test_disconnected_query(self, figure1_peg):
+        query = QueryGraph({"u": "a", "v": "i"}, [])
+        assert match_keys(direct_matches(figure1_peg, query, 0.3)) == \
+            match_keys(exhaustive_matches(figure1_peg, query, 0.3))
+
+    def test_no_match_label(self, figure1_peg):
+        query = QueryGraph({"u": "zz"}, [])
+        assert direct_matches(figure1_peg, query, 0.1) == []
+        assert exhaustive_matches(figure1_peg, query, 0.1) == []

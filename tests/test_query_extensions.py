@@ -1,0 +1,96 @@
+"""Unit tests for the query extensions: explain() and top-k matching."""
+
+import pytest
+
+from repro.query import (
+    QueryEngine,
+    QueryGraph,
+    direct_matches,
+    explain,
+    top_k_matches,
+)
+from repro.utils.errors import QueryError
+from tests.conftest import small_random_peg
+
+
+@pytest.fixture(scope="module")
+def setup():
+    peg = small_random_peg(seed=90, num_references=80)
+    engine = QueryEngine(peg, max_length=2, beta=0.05)
+    return peg, engine
+
+
+class TestExplain:
+    def test_explain_contains_key_sections(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[0]},
+            [("a", "b"), ("b", "c")],
+        )
+        result = engine.query(query, 0.3)
+        text = explain(result)
+        assert "decomposition:" in text
+        assert "search space:" in text
+        assert "timings (ms):" in text
+        assert f"matches: {len(result.matches)}" in text
+
+    def test_explain_truncates_matches(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        result = engine.query(query, 0.1)
+        if len(result.matches) > 2:
+            text = explain(result, max_matches=2)
+            assert "more" in text
+
+    def test_explain_empty_result(self, setup):
+        peg, engine = setup
+        query = QueryGraph({"a": "no-such-label"}, [])
+        text = explain(engine.query(query, 0.5))
+        assert "matches: 0" in text
+
+
+class TestTopK:
+    def test_returns_k_most_probable(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        k = 5
+        top = top_k_matches(engine, query, k, floor=0.01)
+        everything = direct_matches(peg, query, 0.01)
+        expected = sorted(
+            everything, key=lambda m: (-m.probability, repr(m.nodes))
+        )[:k]
+        assert [m.probability for m in top] == [
+            m.probability for m in expected
+        ]
+
+    def test_fewer_matches_than_k(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[2], "d": sigma[0]},
+            [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")],
+        )
+        top = top_k_matches(engine, query, 1000, floor=0.05)
+        oracle = direct_matches(peg, query, 0.05)
+        assert len(top) == len(oracle)
+
+    def test_sorted_descending(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        top = top_k_matches(engine, query, 10, floor=0.01)
+        probs = [m.probability for m in top]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_parameter_validation(self, setup):
+        _, engine = setup
+        query = QueryGraph({"a": "L0"}, [])
+        with pytest.raises(QueryError):
+            top_k_matches(engine, query, 0)
+        with pytest.raises(QueryError):
+            top_k_matches(engine, query, 1, shrink=1.5)
+        with pytest.raises(QueryError):
+            top_k_matches(engine, query, 1, start_alpha=0.1, floor=0.5)

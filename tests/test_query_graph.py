@@ -1,0 +1,89 @@
+"""Unit tests for repro.query.query_graph."""
+
+import pytest
+
+from repro.query.query_graph import QueryGraph
+from repro.utils.errors import QueryError
+
+
+def triangle():
+    return QueryGraph(
+        {"x": "a", "y": "b", "z": "c"},
+        [("x", "y"), ("y", "z"), ("x", "z")],
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = triangle()
+        assert q.num_nodes == 3
+        assert q.num_edges == 3
+        assert q.label("x") == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({}, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({"x": "a"}, [("x", "x")])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({"x": "a"}, [("x", "ghost")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({"x": "a", "y": "b"}, [("x", "y"), ("y", "x")])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({"x": "a"}, ["x"])
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self):
+        q = triangle()
+        assert q.neighbors("x") == frozenset({"y", "z"})
+        assert q.degree("x") == 2
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(QueryError):
+            triangle().label("ghost")
+        with pytest.raises(QueryError):
+            triangle().neighbors("ghost")
+
+    def test_has_edge_symmetric(self):
+        q = triangle()
+        assert q.has_edge("x", "y")
+        assert q.has_edge("y", "x")
+        assert not q.has_edge("x", "x2") if True else None
+
+    def test_label_sequence(self):
+        assert triangle().label_sequence(["x", "y", "z"]) == ("a", "b", "c")
+
+    def test_neighbor_label_count(self):
+        q = QueryGraph(
+            {"c": "hub", "l1": "a", "l2": "a", "l3": "b"},
+            [("c", "l1"), ("c", "l2"), ("c", "l3")],
+        )
+        assert q.neighbor_label_count("c", "a") == 2
+        assert q.neighbor_label_count("c", "b") == 1
+        assert q.neighbor_label_count("c", "z") == 0
+
+    def test_density(self):
+        assert triangle().density() == pytest.approx(1.0)
+        star = QueryGraph(
+            {"c": "a", "l1": "b", "l2": "b"}, [("c", "l1"), ("c", "l2")]
+        )
+        assert star.density() == pytest.approx(2 / 3)
+        single = QueryGraph({"x": "a"}, [])
+        assert single.density() == 1.0
+
+    def test_connected_components(self):
+        q = QueryGraph(
+            {"a": "x", "b": "x", "c": "x"},
+            [("a", "b")],
+        )
+        components = {frozenset(c) for c in q.connected_components()}
+        assert components == {frozenset({"a", "b"}), frozenset({"c"})}

@@ -1,0 +1,176 @@
+"""Unit tests for repro.query.kpartite (reduction by join-candidates)."""
+
+import pytest
+
+from repro.index import build_context, build_path_index
+from repro.peg import build_peg
+from repro.pgd import pgd_from_edge_list
+from repro.query.candidates import CandidateFinder
+from repro.query.decompose import decompose_query
+from repro.query.kpartite import CandidateKPartiteGraph
+from repro.query.query_graph import QueryGraph
+from repro.query.baselines import direct_matches
+from tests.conftest import small_random_peg
+
+
+def build_kpartite(peg, query, alpha, use_context=True, max_length=2,
+                   parallel=False):
+    index = build_path_index(peg, max_length=max_length, beta=0.05)
+    context = build_context(peg)
+    decomposition = decompose_query(
+        query, index.estimate_cardinality, alpha, max_length
+    )
+    finder = CandidateFinder(
+        peg, query, alpha, index=index, context=context,
+        use_context=use_context,
+    )
+    candidates = {
+        i: finder.find(path)[0] for i, path in enumerate(decomposition.paths)
+    }
+    kpartite = CandidateKPartiteGraph(
+        peg, decomposition, candidates, alpha, parallel=parallel
+    )
+    return decomposition, kpartite
+
+
+@pytest.fixture
+def chain_peg():
+    return build_peg(
+        pgd_from_edge_list(
+            node_labels={
+                "x1": "a", "x2": "a",
+                "y1": "b", "y2": "b",
+                "z1": "c", "z2": "c",
+            },
+            edges=[
+                ("x1", "y1", 0.9),
+                ("y1", "z1", 0.8),
+                ("x2", "y2", 0.9),
+                # y2 has no 'c' neighbor: its path candidates die in
+                # reduction by structure.
+            ],
+        )
+    )
+
+
+def chain_query():
+    return QueryGraph(
+        {"u": "a", "v": "b", "w": "c"}, [("u", "v"), ("v", "w")]
+    )
+
+
+class TestStructureReduction:
+    def test_dangling_candidates_removed(self, chain_peg):
+        decomposition, kpartite = build_kpartite(
+            chain_peg, chain_query(), alpha=0.1, use_context=False,
+            max_length=1,
+        )
+        if len(decomposition.paths) < 2:
+            pytest.skip("decomposed into a single path; nothing to reduce")
+        stats = kpartite.reduce(use_upperbounds=False)
+        # Only the x1-y1-z1 chain survives in every partition.
+        assert all(count == 1 for count in stats.final_sizes)
+
+    def test_w1_weights_multiply_to_prle(self, chain_peg):
+        """Product of w1 over a consistent vertex tuple = Prle of match."""
+        decomposition, kpartite = build_kpartite(
+            chain_peg, chain_query(), alpha=0.1, use_context=False,
+            max_length=1,
+        )
+        kpartite.reduce()
+        product = 1.0
+        for i in range(kpartite.k):
+            alive = list(kpartite.alive_vertices(i))
+            assert len(alive) == 1
+            product *= alive[0][1].w1
+        # Full match probability: labels all certain, edges 0.9 * 0.8.
+        assert product == pytest.approx(0.9 * 0.8)
+
+
+class TestUpperboundReduction:
+    def test_threshold_prunes_weak_vertices(self, chain_peg):
+        decomposition, kpartite = build_kpartite(
+            chain_peg, chain_query(), alpha=0.75, use_context=False,
+            max_length=1,
+        )
+        stats = kpartite.reduce()
+        # max match probability is 0.72 < 0.75: everything dies.
+        assert kpartite.search_space_size() == 0
+        assert stats.upperbound_removed + stats.structure_removed > 0
+
+    def test_upperbounds_keep_qualifying_matches(self):
+        """No candidate participating in an above-threshold match dies."""
+        peg = small_random_peg(seed=31, num_references=60)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[2], "d": sigma[0]},
+            [("a", "b"), ("b", "c"), ("c", "d")],
+        )
+        alpha = 0.25
+        decomposition, kpartite = build_kpartite(peg, query, alpha)
+        kpartite.reduce()
+        surviving = [
+            {v.candidate.nodes for _, v in kpartite.alive_vertices(i)}
+            for i in range(kpartite.k)
+        ]
+        for match in direct_matches(peg, query, alpha):
+            mapping = dict(match.mapping)
+            for i, path in enumerate(decomposition.paths):
+                nodes = tuple(peg.id_of(mapping[q]) for q in path.nodes)
+                assert nodes in surviving[i], (match, path)
+
+    def test_vectors_monotone_and_bounded(self, chain_peg):
+        decomposition, kpartite = build_kpartite(
+            chain_peg, chain_query(), alpha=0.1, use_context=False,
+            max_length=1,
+        )
+        kpartite.reduce()
+        for i in range(kpartite.k):
+            for _, vertex in kpartite.alive_vertices(i):
+                assert all(0.0 <= entry <= 1.0 for entry in vertex.vector)
+                assert vertex.vector[i] == pytest.approx(vertex.w1)
+
+
+class TestReductionStats:
+    def test_search_space_progression_monotone(self):
+        peg = small_random_peg(seed=32, num_references=60)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[0]},
+            [("a", "b"), ("b", "c")],
+        )
+        _, kpartite = build_kpartite(peg, query, alpha=0.3)
+        stats = kpartite.reduce()
+        assert stats.initial_search_space >= stats.after_structure_search_space
+        assert stats.after_structure_search_space >= stats.final_search_space
+
+    def test_parallel_reduction_equivalent(self):
+        peg = small_random_peg(seed=33, num_references=60)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[0]},
+            [("a", "b"), ("b", "c")],
+        )
+        _, serial = build_kpartite(peg, query, alpha=0.3)
+        serial.reduce()
+        _, parallel = build_kpartite(peg, query, alpha=0.3, parallel=True)
+        parallel.reduce()
+        for i in range(serial.k):
+            alive_serial = {v.candidate.nodes for _, v in serial.alive_vertices(i)}
+            alive_parallel = {
+                v.candidate.nodes for _, v in parallel.alive_vertices(i)
+            }
+            assert alive_serial == alive_parallel
+
+    def test_structure_only_weaker_than_both(self):
+        peg = small_random_peg(seed=34, num_references=60)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[0]},
+            [("a", "b"), ("b", "c")],
+        )
+        _, structure_only = build_kpartite(peg, query, alpha=0.4)
+        s1 = structure_only.reduce(use_upperbounds=False)
+        _, both = build_kpartite(peg, query, alpha=0.4)
+        s2 = both.reduce()
+        assert s2.final_search_space <= s1.final_search_space

@@ -1,0 +1,62 @@
+"""Unit tests for repro.query.matcher (join order + match generation)."""
+
+import pytest
+
+from repro.query.decompose import Decomposition, QueryPath
+from repro.query.matcher import determine_join_order
+from repro.query.query_graph import QueryGraph
+
+
+def make_decomposition(query, node_tuples):
+    return Decomposition(
+        query=query, paths=[QueryPath(nodes) for nodes in node_tuples]
+    )
+
+
+class TestJoinOrder:
+    def test_first_path_has_smallest_cardinality(self):
+        query = QueryGraph(
+            {1: "x", 2: "x", 3: "x", 4: "x"},
+            [(1, 2), (2, 3), (3, 4)],
+        )
+        decomposition = make_decomposition(query, [(1, 2, 3), (3, 4)])
+        order = determine_join_order(decomposition, {0: 100, 1: 2})
+        assert order[0] == 1
+
+    def test_overlap_preferred_over_cardinality(self):
+        """After the first path, node overlap dominates the choice."""
+        query = QueryGraph(
+            {1: "x", 2: "x", 3: "x", 4: "x", 5: "x"},
+            [(1, 2), (2, 3), (3, 4), (4, 5), (1, 3)],
+        )
+        decomposition = make_decomposition(
+            query, [(1, 2, 3), (1, 3), (4, 5), (3, 4)]
+        )
+        order = determine_join_order(
+            decomposition, {0: 1, 1: 50, 2: 2, 3: 50}
+        )
+        assert order[0] == 0
+        # Path (1,3) overlaps the placed path in two nodes; (3,4) in one;
+        # (4,5) in none. Overlap wins despite cardinalities.
+        assert order[1] == 1
+
+    def test_all_partitions_ordered_once(self):
+        query = QueryGraph(
+            {1: "x", 2: "x", 3: "x", 4: "x"},
+            [(1, 2), (2, 3), (3, 4), (1, 4)],
+        )
+        decomposition = make_decomposition(
+            query, [(1, 2), (2, 3), (3, 4), (4, 1)]
+        )
+        order = determine_join_order(decomposition, {i: i for i in range(4)})
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_disconnected_partitions_still_ordered(self):
+        query = QueryGraph(
+            {1: "x", 2: "x", 3: "x", 4: "x"},
+            [(1, 2), (3, 4)],
+        )
+        decomposition = make_decomposition(query, [(1, 2), (3, 4)])
+        order = determine_join_order(decomposition, {0: 10, 1: 5})
+        assert sorted(order) == [0, 1]
+        assert order[0] == 1  # smaller cardinality first

@@ -1,0 +1,87 @@
+"""Unit tests for the textual pattern parser."""
+
+import pytest
+
+from repro.query.pattern import parse_pattern
+from repro.utils.errors import QueryError
+
+
+class TestParsing:
+    def test_simple_path(self):
+        q = parse_pattern("(a:X)-(b:Y)-(c:Z)")
+        assert q.num_nodes == 3
+        assert q.num_edges == 2
+        assert q.label("b") == "Y"
+        assert q.has_edge("a", "b")
+        assert q.has_edge("b", "c")
+        assert not q.has_edge("a", "c")
+
+    def test_multiple_clauses(self):
+        q = parse_pattern("(a:X)-(b:Y); (b)-(c:X); (a)-(c)")
+        assert q.num_edges == 3
+        assert q.has_edge("a", "c")
+
+    def test_cycle_via_repeated_mention(self):
+        q = parse_pattern("(a:X)-(b:X)-(c:X)-(a)")
+        assert q.num_edges == 3
+        assert q.has_edge("c", "a")
+
+    def test_single_node(self):
+        q = parse_pattern("(only:L)")
+        assert q.num_nodes == 1
+        assert q.num_edges == 0
+
+    def test_whitespace_insensitive(self):
+        q = parse_pattern("  ( a : X )  -  ( b : Y )  ")
+        assert q.label("a") == "X"
+        assert q.has_edge("a", "b")
+
+    def test_duplicate_edges_merged(self):
+        q = parse_pattern("(a:X)-(b:Y); (b)-(a)")
+        assert q.num_edges == 1
+
+    def test_label_with_punctuation(self):
+        q = parse_pattern("(a:Research-Lab)-(b:C4.5)")
+        assert q.label("a") == "Research-Lab"
+        assert q.label("b") == "C4.5"
+
+
+class TestErrors:
+    def test_empty_pattern(self):
+        with pytest.raises(QueryError):
+            parse_pattern("   ")
+
+    def test_missing_label(self):
+        with pytest.raises(QueryError, match="never received a label"):
+            parse_pattern("(a)-(b:Y)")
+
+    def test_conflicting_labels(self):
+        with pytest.raises(QueryError, match="conflicting"):
+            parse_pattern("(a:X)-(b:Y); (a:Z)-(b)")
+
+    def test_dangling_dash(self):
+        with pytest.raises(QueryError, match="dangling"):
+            parse_pattern("(a:X)-")
+
+    def test_self_loop(self):
+        with pytest.raises(QueryError, match="self-loop"):
+            parse_pattern("(a:X)-(a)")
+
+    def test_garbage(self):
+        with pytest.raises(QueryError):
+            parse_pattern("a:X -> b:Y")
+
+    def test_missing_separator(self):
+        with pytest.raises(QueryError, match="expected '-'"):
+            parse_pattern("(a:X)(b:Y)")
+
+
+class TestEndToEnd:
+    def test_parsed_query_is_runnable(self, figure1_peg):
+        from repro.query import QueryEngine
+
+        engine = QueryEngine(figure1_peg, max_length=2, beta=0.05)
+        query = parse_pattern("(q1:r)-(q2:a)-(q3:i)")
+        matches = engine.query(query, 0.15).matches
+        assert len(matches) == 1
+        assert matches[0].probability == pytest.approx(0.2025)

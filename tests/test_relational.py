@@ -1,0 +1,120 @@
+"""Unit tests for the relational substrate and the SQL baseline."""
+
+import pytest
+
+from repro.query import QueryGraph, direct_matches
+from repro.relational import (
+    RowLimitExceeded,
+    Table,
+    distinct,
+    hash_join,
+    nested_loop_join,
+    project,
+    select,
+    sql_baseline_matches,
+)
+from repro.utils.errors import QueryError
+from tests.conftest import small_random_peg
+
+
+class TestTable:
+    def test_basic(self):
+        t = Table(("a", "b"), [(1, 2), (3, 4)])
+        assert len(t) == 2
+        assert t.position("b") == 1
+        assert t.column_values("a") == [1, 3]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(QueryError):
+            Table(("a", "a"), [])
+
+    def test_arity_checked(self):
+        with pytest.raises(QueryError):
+            Table(("a", "b"), [(1,)])
+        t = Table(("a",), [])
+        with pytest.raises(QueryError):
+            t.append((1, 2))
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            Table(("a",), []).position("z")
+
+
+class TestOperators:
+    def test_select(self):
+        t = Table(("a",), [(1,), (2,), (3,)])
+        assert select(t, lambda row: row[0] > 1).rows == [(2,), (3,)]
+
+    def test_project_with_computed(self):
+        t = Table(("a", "b"), [(2, 3)])
+        result = project(t, ("a",), {"product": lambda row: row[0] * row[1]})
+        assert result.columns == ("a", "product")
+        assert result.rows == [(2, 6)]
+
+    def test_nested_loop_join(self):
+        left = Table(("a",), [(1,), (2,)])
+        right = Table(("b",), [(2,), (3,)])
+        result = nested_loop_join(left, right, lambda l, r: l[0] <= r[0])
+        assert sorted(result.rows) == [(1, 2), (1, 3), (2, 2), (2, 3)]
+
+    def test_hash_join_matches_nested_loop(self):
+        left = Table(("a", "x"), [(1, "p"), (2, "q"), (2, "r")])
+        right = Table(("b", "y"), [(2, "s"), (2, "t"), (3, "u")])
+        hashed = hash_join(left, right, ["a"], ["b"])
+        nested = nested_loop_join(left, right, lambda l, r: l[0] == r[0])
+        assert sorted(hashed.rows) == sorted(nested.rows)
+
+    def test_join_column_collision_rejected(self):
+        t = Table(("a",), [])
+        with pytest.raises(QueryError):
+            hash_join(t, t, ["a"], ["a"])
+
+    def test_distinct(self):
+        t = Table(("a",), [(1,), (1,), (2,)])
+        assert distinct(t).rows == [(1,), (2,)]
+
+    def test_key_count_mismatch(self):
+        with pytest.raises(QueryError):
+            hash_join(Table(("a",), []), Table(("b",), []), ["a"], [])
+
+
+class TestSqlBaseline:
+    def match_keys(self, matches):
+        return {(m.nodes, m.edges, round(m.probability, 9)) for m in matches}
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("alpha", [0.2, 0.5])
+    def test_agrees_with_direct(self, seed, alpha):
+        peg = small_random_peg(seed=seed, num_references=50)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[2]},
+            [("a", "b"), ("b", "c")],
+        )
+        assert self.match_keys(sql_baseline_matches(peg, query, alpha)) == \
+            self.match_keys(direct_matches(peg, query, alpha))
+
+    def test_triangle_agrees(self, figure1_peg):
+        query = QueryGraph(
+            {"u": "i", "v": "a", "w": "i"},
+            [("u", "v"), ("v", "w")],
+        )
+        assert self.match_keys(
+            sql_baseline_matches(figure1_peg, query, 0.05)
+        ) == self.match_keys(direct_matches(figure1_peg, query, 0.05))
+
+    def test_row_limit_enforced(self):
+        peg = small_random_peg(seed=2, num_references=60)
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[0], "d": sigma[1]},
+            [("a", "b"), ("b", "c"), ("c", "d")],
+        )
+        with pytest.raises(RowLimitExceeded):
+            sql_baseline_matches(peg, query, 0.2, row_limit=10)
+
+    def test_single_node_query(self, figure1_peg):
+        query = QueryGraph({"u": "a"}, [])
+        assert self.match_keys(
+            sql_baseline_matches(figure1_peg, query, 0.5)
+        ) == self.match_keys(direct_matches(figure1_peg, query, 0.5))

@@ -1,0 +1,110 @@
+"""Unit tests for repro.storage.btree, including dict-equivalence checks."""
+
+import random
+
+import pytest
+
+from repro.storage.btree import BPlusTree
+from repro.utils.errors import StorageError
+
+
+@pytest.fixture
+def tree(tmp_path):
+    with BPlusTree(str(tmp_path / "t.btree")) as t:
+        yield t
+
+
+class TestBasics:
+    def test_empty_get(self, tree):
+        assert tree.get(b"missing") is None
+        assert len(tree) == 0
+
+    def test_put_get(self, tree):
+        tree.put(b"k1", b"v1")
+        assert tree.get(b"k1") == b"v1"
+        assert len(tree) == 1
+
+    def test_replace(self, tree):
+        tree.put(b"k", b"old")
+        tree.put(b"k", b"new")
+        assert tree.get(b"k") == b"new"
+        assert len(tree) == 1
+
+    def test_non_bytes_rejected(self, tree):
+        with pytest.raises(StorageError):
+            tree.put("k", b"v")
+
+    def test_oversized_entry_rejected(self, tree):
+        with pytest.raises(StorageError):
+            tree.put(b"k", b"v" * 5000)
+
+
+class TestSplitsAndScans:
+    def test_many_inserts_force_splits(self, tree):
+        items = {f"key{i:05d}".encode(): f"val{i}".encode() for i in range(2000)}
+        for key, value in items.items():
+            tree.put(key, value)
+        assert len(tree) == 2000
+        for key, value in items.items():
+            assert tree.get(key) == value
+
+    def test_range_scan_sorted(self, tree):
+        keys = [f"{i:04d}".encode() for i in range(500)]
+        for key in keys:
+            tree.put(key, key)
+        scanned = [k for k, _ in tree.range(b"0100", b"0200")]
+        assert scanned == keys[100:200]
+
+    def test_range_open_end(self, tree):
+        for i in range(50):
+            tree.put(f"{i:02d}".encode(), b"x")
+        scanned = [k for k, _ in tree.range(b"45")]
+        assert scanned == [f"{i}".encode() for i in range(45, 50)]
+
+    def test_items_complete_and_ordered(self, tree):
+        rng = random.Random(5)
+        keys = [bytes([rng.randrange(256) for _ in range(8)]) for _ in range(800)]
+        for key in keys:
+            tree.put(key, b"v")
+        scanned = [k for k, _ in tree.items()]
+        assert scanned == sorted(set(keys))
+
+    def test_matches_dict_random_ops(self, tree):
+        rng = random.Random(11)
+        reference = {}
+        for _ in range(3000):
+            key = f"{rng.randrange(400):04d}".encode()
+            value = str(rng.random()).encode()
+            tree.put(key, value)
+            reference[key] = value
+        assert len(tree) == len(reference)
+        for key, value in reference.items():
+            assert tree.get(key) == value
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+
+class TestPersistence:
+    def test_reopen(self, tmp_path):
+        path = str(tmp_path / "p.btree")
+        with BPlusTree(path) as tree:
+            for i in range(300):
+                tree.put(f"{i:04d}".encode(), str(i).encode())
+        with BPlusTree(path) as reopened:
+            assert len(reopened) == 300
+            assert reopened.get(b"0123") == b"123"
+            scanned = [k for k, _ in reopened.range(b"0290")]
+            assert len(scanned) == 10
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.btree"
+        path.write_bytes(b"JUNK" + b"\x00" * 8188)
+        with pytest.raises(StorageError):
+            BPlusTree(str(path))
+
+    def test_size_grows_with_splits(self, tmp_path):
+        path = str(tmp_path / "g.btree")
+        with BPlusTree(path) as tree:
+            empty = tree.size_bytes()
+            for i in range(2000):
+                tree.put(f"{i:06d}".encode(), b"v" * 32)
+            assert tree.size_bytes() > empty

@@ -1,0 +1,82 @@
+"""Unit tests for the two-level path stores (in-memory and disk)."""
+
+import pytest
+
+from repro.storage.kvstore import DiskPathStore, InMemoryPathStore
+from repro.utils.errors import StorageError
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        with InMemoryPathStore() as s:
+            yield s
+    else:
+        with DiskPathStore(str(tmp_path / "store")) as s:
+            yield s
+
+
+SEQ_A = ("a", "b")
+SEQ_B = ("a", "b", "c")
+
+
+class TestPathStore:
+    def test_put_get_roundtrip(self, store):
+        store.put_bucket(SEQ_A, 700, b"payload-700")
+        assert store.get_bucket(SEQ_A, 700) == b"payload-700"
+        assert store.get_bucket(SEQ_A, 800) is None
+        assert store.get_bucket(SEQ_B, 700) is None
+
+    def test_scan_ascending_from_threshold(self, store):
+        for bucket in (300, 900, 500, 700):
+            store.put_bucket(SEQ_A, bucket, str(bucket).encode())
+        scanned = list(store.scan_buckets(SEQ_A, 500))
+        assert [b for b, _ in scanned] == [500, 700, 900]
+        assert [p for _, p in scanned] == [b"500", b"700", b"900"]
+
+    def test_scan_unknown_sequence_empty(self, store):
+        assert list(store.scan_buckets(("zz",), 0)) == []
+
+    def test_sequences_tracked(self, store):
+        store.put_bucket(SEQ_A, 100, b"x")
+        store.put_bucket(SEQ_B, 100, b"y")
+        assert set(store.label_sequences()) == {SEQ_A, SEQ_B}
+
+    def test_sequences_do_not_collide(self, store):
+        store.put_bucket(SEQ_A, 100, b"short")
+        store.put_bucket(SEQ_B, 100, b"long")
+        assert store.get_bucket(SEQ_A, 100) == b"short"
+        assert store.get_bucket(SEQ_B, 100) == b"long"
+
+    def test_replace_bucket(self, store):
+        store.put_bucket(SEQ_A, 100, b"first")
+        store.put_bucket(SEQ_A, 100, b"second")
+        assert store.get_bucket(SEQ_A, 100) == b"second"
+
+    def test_bad_bucket_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put_bucket(SEQ_A, 1500, b"x")
+        with pytest.raises(StorageError):
+            store.put_bucket(SEQ_A, -1, b"x")
+
+    def test_size_bytes_positive_after_write(self, store):
+        store.put_bucket(SEQ_A, 100, b"x" * 100)
+        assert store.size_bytes() >= 100
+
+
+class TestDiskPersistence:
+    def test_reopen_preserves_everything(self, tmp_path):
+        directory = str(tmp_path / "persist")
+        with DiskPathStore(directory) as store:
+            store.put_bucket(SEQ_A, 400, b"A")
+            store.put_bucket(SEQ_B, 600, b"B")
+        with DiskPathStore(directory) as reopened:
+            assert reopened.get_bucket(SEQ_A, 400) == b"A"
+            assert reopened.get_bucket(SEQ_B, 600) == b"B"
+            assert set(reopened.label_sequences()) == {SEQ_A, SEQ_B}
+
+    def test_non_string_labels(self, tmp_path):
+        with DiskPathStore(str(tmp_path / "labels")) as store:
+            seq = ((1, "x"), (2, "y"))
+            store.put_bucket(seq, 500, b"tuple-labels")
+            assert store.get_bucket(seq, 500) == b"tuple-labels"

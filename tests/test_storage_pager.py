@@ -1,0 +1,75 @@
+"""Unit tests for repro.storage.pager."""
+
+import os
+
+import pytest
+
+from repro.storage.pager import PAGE_SIZE, Pager
+from repro.utils.errors import StorageError
+
+
+@pytest.fixture
+def pager(tmp_path):
+    with Pager(str(tmp_path / "pages.db")) as p:
+        yield p
+
+
+class TestPager:
+    def test_new_file_has_header_page(self, pager):
+        assert pager.num_pages == 1
+
+    def test_allocate_and_roundtrip(self, pager):
+        page_id = pager.allocate()
+        data = bytes([7]) * PAGE_SIZE
+        pager.write(page_id, data)
+        assert pager.read(page_id) == data
+
+    def test_wrong_size_rejected(self, pager):
+        page_id = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write(page_id, b"short")
+
+    def test_out_of_range_rejected(self, pager):
+        with pytest.raises(StorageError):
+            pager.read(99)
+        with pytest.raises(StorageError):
+            pager.write(99, b"\x00" * PAGE_SIZE)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with Pager(path) as pager:
+            page_id = pager.allocate()
+            pager.write(page_id, b"\x42" * PAGE_SIZE)
+        with Pager(path) as reopened:
+            assert reopened.num_pages == 2
+            assert reopened.read(page_id) == b"\x42" * PAGE_SIZE
+
+    def test_eviction_preserves_data(self, tmp_path):
+        with Pager(str(tmp_path / "evict.db"), cache_pages=8) as pager:
+            pages = {}
+            for i in range(64):
+                page_id = pager.allocate()
+                data = bytes([i]) * PAGE_SIZE
+                pager.write(page_id, data)
+                pages[page_id] = data
+            for page_id, data in pages.items():
+                assert pager.read(page_id) == data
+
+    def test_unaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(StorageError):
+            Pager(str(path))
+
+    def test_size_bytes(self, pager):
+        pager.allocate()
+        assert pager.size_bytes() == 2 * PAGE_SIZE
+
+    def test_flush_writes_to_disk(self, tmp_path):
+        path = str(tmp_path / "flush.db")
+        pager = Pager(path)
+        page_id = pager.allocate()
+        pager.write(page_id, b"\x01" * PAGE_SIZE)
+        pager.flush()
+        assert os.path.getsize(path) == 2 * PAGE_SIZE
+        pager.close()

@@ -1,0 +1,58 @@
+"""Unit tests for repro.storage.recordlog."""
+
+import pytest
+
+from repro.storage.recordlog import RecordLog
+from repro.utils.errors import StorageError
+
+
+class TestRecordLog:
+    def test_append_read_roundtrip(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            pointer = log.append(b"hello world")
+            assert log.read(*pointer) == b"hello world"
+
+    def test_multiple_records(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            pointers = [log.append(bytes([i]) * (i + 1)) for i in range(20)]
+            for i, pointer in enumerate(pointers):
+                assert log.read(*pointer) == bytes([i]) * (i + 1)
+
+    def test_empty_record(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            pointer = log.append(b"")
+            assert log.read(*pointer) == b""
+
+    def test_persistence(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        with RecordLog(path) as log:
+            pointer = log.append(b"durable")
+        with RecordLog(path) as reopened:
+            assert reopened.read(*pointer) == b"durable"
+            # appends continue after the existing data
+            second = reopened.append(b"more")
+            assert reopened.read(*second) == b"more"
+            assert reopened.read(*pointer) == b"durable"
+
+    def test_length_mismatch_detected(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            offset, length = log.append(b"abcdef")
+            with pytest.raises(StorageError):
+                log.read(offset, length + 1)
+
+    def test_bad_offset_rejected(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            log.append(b"x")
+            with pytest.raises(StorageError):
+                log.read(10_000, 5)
+
+    def test_non_bytes_rejected(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            with pytest.raises(StorageError):
+                log.append("not bytes")
+
+    def test_size_bytes_grows(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            before = log.size_bytes()
+            log.append(b"12345")
+            assert log.size_bytes() == before + 4 + 5

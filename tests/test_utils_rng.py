@@ -1,0 +1,45 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(5, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(5, 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_reproducible_from_seed(self):
+        first = [rng.random(3).tolist() for rng in spawn_rngs(11, 3)]
+        second = [rng.random(3).tolist() for rng in spawn_rngs(11, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []

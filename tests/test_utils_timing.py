@@ -1,0 +1,44 @@
+"""Unit tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import StageTimings, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_resets_between_uses(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed >= first
+
+
+class TestStageTimings:
+    def test_record_accumulates(self):
+        timings = StageTimings()
+        timings.record("a", 1.0)
+        timings.record("a", 0.5)
+        timings.record("b", 2.0)
+        assert timings.stages["a"] == 1.5
+        assert timings.total == 3.5
+
+    def test_context_manager_records(self):
+        timings = StageTimings()
+        with timings.time("stage"):
+            time.sleep(0.005)
+        assert timings.stages["stage"] >= 0.004
+
+    def test_as_dict_is_copy(self):
+        timings = StageTimings()
+        timings.record("a", 1.0)
+        snapshot = timings.as_dict()
+        snapshot["a"] = 99.0
+        assert timings.stages["a"] == 1.0

@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.errors import ModelError
+from repro.utils.validation import (
+    check_distribution,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        assert check_probability(0.5) == 0.5
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_probability(1), float)
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, float("nan"), float("inf")])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ModelError):
+            check_probability(bad)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ModelError):
+            check_probability("high")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ModelError, match="edge prob"):
+            check_probability(2.0, "edge prob")
+
+
+class TestCheckDistribution:
+    def test_accepts_normalized(self):
+        cleaned = check_distribution({"a": 0.25, "b": 0.75})
+        assert cleaned == {"a": 0.25, "b": 0.75}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            check_distribution({})
+
+    def test_rejects_subnormalized(self):
+        with pytest.raises(ModelError):
+            check_distribution({"a": 0.3, "b": 0.3})
+
+    def test_rejects_overnormalized(self):
+        with pytest.raises(ModelError):
+            check_distribution({"a": 0.7, "b": 0.7})
+
+    def test_accepts_tiny_rounding_error(self):
+        check_distribution({"a": 1 / 3, "b": 1 / 3, "c": 1 / 3})
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ModelError):
+            check_distribution({"a": -0.5, "b": 1.5})
+
+
+class TestPositivity:
+    def test_positive(self):
+        assert check_positive(0.1) == 0.1
+        with pytest.raises(ModelError):
+            check_positive(0.0)
+        with pytest.raises(ModelError):
+            check_positive(-1.0)
+        with pytest.raises(ModelError):
+            check_positive(math.inf)
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        assert check_non_negative(2.5) == 2.5
+        with pytest.raises(ModelError):
+            check_non_negative(-0.001)
