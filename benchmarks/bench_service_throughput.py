@@ -1,0 +1,85 @@
+"""Serving-layer benchmark: cache-hit latency and worker throughput.
+
+Not a paper figure — this measures the serving subsystem added on top
+of the reproduction (``repro.service``):
+
+* cache-hit latency must be at least an order of magnitude below cold
+  evaluation on a repeated workload (it is typically 2-3 orders),
+* a multi-worker service must out-serve a single worker on a mixed
+  workload of distinct queries — *given CPUs to scale onto*: the pool
+  measurement uses processes that warm-start from the snapshot, and on
+  a single-core host the ratio is pinned near 1.0 by hardware, so the
+  strict assertion only applies when >= 2 CPUs are available,
+* on a duplicate-heavy workload, the full service (result cache +
+  single-flight dedup) must out-serve the same pool with caching
+  disabled.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -v``
+or via the CLI twin: ``python -m repro bench-serve``.
+"""
+
+import pytest
+
+from benchmarks import harness
+from repro.service.bench import run_serve_benchmark
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    return run_serve_benchmark(
+        str(tmp_path_factory.mktemp("snapshot")),
+        num_references=120,
+        max_length=2,
+        beta=0.1,
+        num_distinct=6,
+        copies=6,
+        multi_workers=4,
+        seed=harness.SEED,
+    )
+
+
+def test_cache_hit_latency_10x(report):
+    harness.report(
+        "service_throughput",
+        "measurement  value",
+        [
+            ("cold_ms", round(report.cold_seconds * 1e3, 3)),
+            ("hit_ms", round(report.hit_seconds * 1e3, 3)),
+            ("hit_speedup", round(report.hit_speedup, 1)),
+        ],
+    )
+    assert report.hit_speedup >= 10.0
+
+
+def test_multi_worker_throughput(report):
+    harness.report(
+        "service_throughput",
+        "measurement  value",
+        [
+            ("cpus", report.cpus),
+            ("single_worker_qps", round(report.single_worker_qps, 1)),
+            (
+                f"workers_{report.multi_workers}_qps",
+                round(report.multi_worker_qps, 1),
+            ),
+        ],
+    )
+    if report.cpus < 2:
+        pytest.skip(
+            "single-CPU host: worker scaling is hardware-bound "
+            f"(measured {report.single_worker_qps:.0f} qps single vs "
+            f"{report.multi_worker_qps:.0f} qps multi)"
+        )
+    assert report.multi_worker_qps > report.single_worker_qps
+
+
+def test_cached_service_out_serves_uncached(report):
+    harness.report(
+        "service_throughput",
+        "measurement  value",
+        [
+            ("cached_qps", round(report.cached_qps, 1)),
+            ("uncached_qps", round(report.uncached_qps, 1)),
+        ],
+    )
+    assert report.cached_qps > report.uncached_qps

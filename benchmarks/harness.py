@@ -181,3 +181,34 @@ def report(name: str, header: str, rows) -> str:
     with open(path, mode, encoding="utf-8") as handle:
         handle.write(text)
     return text
+
+
+# ----------------------------------------------------------------------
+# Smoke entry point
+# ----------------------------------------------------------------------
+
+
+def smoke(num_references: int = GRAPH_SIZES[0]) -> dict:
+    """End-to-end canary on the smallest synthetic graph.
+
+    Builds the PEG and its index, runs one small query workload, and
+    returns a summary. CI invokes this module as a script to catch
+    breakage of the benchmark plumbing without paying for a full sweep.
+    """
+    engine = synthetic_engine(
+        num_references=num_references, max_length=2, beta=0.5
+    )
+    queries = synthetic_queries(engine.peg, 3, 2, seeds=(0,))
+    results = run_queries(engine, queries, alpha=0.5)
+    return {
+        "references": num_references,
+        "index_paths": engine.index.num_paths(),
+        "queries": len(results),
+        "matches": sum(len(r.matches) for r in results),
+        "online_seconds": round(sum(r.total_seconds for r in results), 4),
+    }
+
+
+if __name__ == "__main__":
+    for key, value in smoke().items():
+        print(f"{key:16s}{value}")

@@ -49,8 +49,9 @@ from repro.query import (
     direct_matches,
 )
 from repro.relational import sql_baseline_matches
+from repro.service import QueryService, ResultCache, ServiceStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PGD",
@@ -78,5 +79,8 @@ __all__ = [
     "exhaustive_matches",
     "direct_matches",
     "sql_baseline_matches",
+    "QueryService",
+    "ResultCache",
+    "ServiceStats",
     "__version__",
 ]

@@ -8,6 +8,13 @@ Commands
     Print the statistics of a saved PEG (nodes, edges, components, ...).
 ``query``
     Run a pattern query (JSON spec) against a saved PEG.
+``serve``
+    Serve a batch of queries through the concurrent
+    :class:`~repro.service.QueryService` (result cache, single-flight
+    dedup), warm-starting from / writing an offline snapshot.
+``bench-serve``
+    Measure serving latency and throughput (cache hits, worker
+    scaling, repeated workloads).
 
 The query spec is a JSON object::
 
@@ -21,12 +28,20 @@ Example session::
     python -m repro generate --kind dblp --size 300 --out dblp.peg
     python -m repro info dblp.peg
     python -m repro query dblp.peg --spec query.json --alpha 0.1 --explain
+    python -m repro serve dblp.peg --snapshot dblp.idx \\
+        --queries workload.jsonl --stats
+
+The first ``serve`` run builds the offline phase and writes the
+snapshot; later runs restore it in milliseconds (warm start). The
+``serve`` workload file holds one query spec per line (JSON lines) or
+one JSON list of specs; each spec may carry its own ``"alpha"``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.datasets import (
@@ -41,12 +56,17 @@ from repro.utils.errors import ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Probabilistic subgraph pattern matching over uncertain graphs "
             "with identity linkage uncertainty (ICDE 2014 reproduction)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -104,6 +124,69 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--limit", type=int, default=20,
         help="maximum matches printed (default 20)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a query workload concurrently with caching + snapshots",
+    )
+    serve.add_argument("peg", help="path to a saved PEG")
+    serve.add_argument(
+        "--snapshot",
+        help=(
+            "offline-bundle directory: restored when present (warm start), "
+            "otherwise built and written (cold start)"
+        ),
+    )
+    serve.add_argument(
+        "--queries",
+        help="workload file (JSON lines or one JSON list); default: stdin",
+    )
+    serve.add_argument("--alpha", type=float, default=0.5)
+    serve.add_argument("--max-length", type=int, default=2, dest="max_length")
+    serve.add_argument("--beta", type=float, default=0.05)
+    serve.add_argument(
+        "--workers", type=int, default=4, help="evaluation threads (default 4)"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, dest="cache_size",
+        help="result-cache entries, 0 disables (default 256)",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1,
+        help="serve the workload this many times (exercises the cache)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print the service stats snapshot after draining the workload",
+    )
+
+    bench = commands.add_parser(
+        "bench-serve",
+        help="measure serving latency/throughput (cache, workers, dedup)",
+    )
+    bench.add_argument(
+        "--size", type=int, default=120,
+        help="synthetic graph references (default 120)",
+    )
+    bench.add_argument("--alpha", type=float, default=0.5)
+    bench.add_argument("--max-length", type=int, default=2, dest="max_length")
+    bench.add_argument("--beta", type=float, default=0.1)
+    bench.add_argument(
+        "--distinct", type=int, default=6,
+        help="distinct queries in the workload (default 6)",
+    )
+    bench.add_argument(
+        "--copies", type=int, default=4,
+        help="renamed duplicates per distinct query (default 4)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=4,
+        help="workers in the multi-worker runs (default 4)",
+    )
+    bench.add_argument(
+        "--snapshot",
+        help="bundle directory to reuse (default: a temporary directory)",
     )
     return parser
 
@@ -181,6 +264,111 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _load_workload(path: str | None) -> list:
+    """Parse a serve workload: JSON lines or one JSON list of specs."""
+    if path is None:
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    text = text.strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        specs = json.loads(text)
+    else:
+        specs = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    workload = []
+    for spec in specs:
+        if not isinstance(spec, dict) or "nodes" not in spec:
+            raise ReproError(
+                "each workload entry must be an object with a 'nodes' mapping"
+            )
+        edges = [tuple(edge) for edge in spec.get("edges", [])]
+        workload.append((QueryGraph(spec["nodes"], edges), spec.get("alpha")))
+    return workload
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import QueryService
+
+    peg = load_peg(args.peg)
+    workload = _load_workload(args.queries)
+    if args.snapshot:
+        service = QueryService.open(
+            peg,
+            args.snapshot,
+            max_length=args.max_length,
+            beta=args.beta,
+            num_workers=args.workers,
+            cache_size=args.cache_size,
+        )
+        if service.warm_started:
+            index = service.engine.index
+            print(
+                f"warm start: restored offline bundle from {args.snapshot} "
+                f"(L={index.max_length}, beta={index.beta}; "
+                "snapshot parameters override --max-length/--beta)"
+            )
+        else:
+            print(f"cold start: built offline phase, snapshot -> {args.snapshot}")
+    else:
+        service = QueryService.build(
+            peg,
+            max_length=args.max_length,
+            beta=args.beta,
+            num_workers=args.workers,
+            cache_size=args.cache_size,
+        )
+        print("cold start: built offline phase (no snapshot directory)")
+    with service:
+        for round_num in range(args.repeat):
+            futures = [
+                (
+                    i,
+                    service.submit(
+                        query, args.alpha if alpha is None else alpha
+                    ),
+                )
+                for i, (query, alpha) in enumerate(workload)
+            ]
+            for i, future in futures:
+                result = future.result()
+                print(f"[round {round_num + 1}] query {i}: "
+                      f"{len(result.matches)} matches")
+        if args.stats:
+            for key, value in sorted(service.stats_snapshot().items()):
+                print(f"{key:20s}{value}")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import tempfile
+
+    from repro.service.bench import run_serve_benchmark
+
+    def run(directory: str) -> int:
+        report = run_serve_benchmark(
+            directory,
+            num_references=args.size,
+            alpha=args.alpha,
+            max_length=args.max_length,
+            beta=args.beta,
+            num_distinct=args.distinct,
+            copies=args.copies,
+            multi_workers=args.workers,
+        )
+        print(report.render())
+        return 0
+
+    if args.snapshot:
+        return run(args.snapshot)
+    with tempfile.TemporaryDirectory() as directory:
+        return run(directory)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -189,6 +377,8 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     try:
         return handlers[args.command](args)
@@ -198,6 +388,15 @@ def main(argv=None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid JSON in input: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro serve ... | head`) closed early.
+        # Redirect stdout to devnull so the interpreter's exit-time
+        # flush does not raise again, and exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

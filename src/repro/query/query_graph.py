@@ -8,9 +8,15 @@ present (Definition 3, generalized to multi-label entity nodes).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping, Tuple
 
 from repro.utils.errors import QueryError
+
+#: Bound on canonical-labeling leaf orderings explored; only highly
+#: symmetric queries (where the surviving orderings encode identically
+#: anyway) ever come near it.
+_CANONICAL_LEAF_CAP = 2000
 
 
 class QueryGraph:
@@ -48,6 +54,7 @@ class QueryGraph:
             self._edges.add(key)
             self._adjacency[node_a].add(node_b)
             self._adjacency[node_b].add(node_a)
+        self._canonical: tuple | None = None
 
     # ------------------------------------------------------------------
 
@@ -128,6 +135,116 @@ class QueryGraph:
         if n <= 1:
             return 1.0
         return 2.0 * self.num_edges / (n * (n - 1))
+
+    # ------------------------------------------------------------------
+    # Canonicalization (label-preserving isomorphism)
+    # ------------------------------------------------------------------
+
+    def canonical_form(self) -> tuple:
+        """A canonical encoding invariant under node-id renaming.
+
+        Returns ``(labels, edges)`` where ``labels`` is the tuple of node
+        label ``repr`` strings in canonical order and ``edges`` the sorted
+        tuple of ``(i, j)`` position pairs. Two query graphs that differ
+        only by a relabeling of their node ids (a label-preserving
+        isomorphism) produce the same form; the result is cached.
+
+        Labels are encoded through ``repr`` so heterogeneous label types
+        stay comparable and hashable; distinct label objects sharing a
+        ``repr`` are therefore conflated.
+        """
+        if self._canonical is None:
+            order, edges = self._canonical_search()
+            labels = tuple(repr(self._labels[node]) for node in order)
+            self._canonical = (labels, edges)
+        return self._canonical
+
+    def signature(self) -> str:
+        """Stable hex digest of :meth:`canonical_form`.
+
+        Deterministic across processes (unlike ``hash()``), so it can key
+        persistent or shared result caches.
+        """
+        blob = repr(self.canonical_form()).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _refine(self, colors: dict) -> dict:
+        """1-WL color refinement to a stable partition (int colors)."""
+        nodes = tuple(self._labels)
+        num_colors = len(set(colors.values()))
+        while True:
+            sigs = {
+                n: (colors[n],
+                    tuple(sorted(colors[m] for m in self._adjacency[n])))
+                for n in nodes
+            }
+            palette = {s: i for i, s in enumerate(sorted(set(sigs.values())))}
+            colors = {n: palette[sigs[n]] for n in nodes}
+            if len(palette) == num_colors:
+                return colors
+            num_colors = len(palette)
+
+    def _canonical_search(self) -> tuple:
+        """Canonical ``(node order, edge encoding)`` via
+        individualization-refinement.
+
+        Color classes (refined from the label partition) are ordered by
+        color; ties within a class are broken by branching on each member
+        and keeping the ordering whose edge encoding is smallest.
+        """
+        nodes = tuple(self._labels)
+        best: list = [None, None]  # (encoding, order)
+        leaves = [0]
+
+        def encode(order: tuple) -> tuple:
+            position = {node: i for i, node in enumerate(order)}
+            return tuple(sorted(
+                tuple(sorted(position[node] for node in edge))
+                for edge in self._edges
+            ))
+
+        def search(colors: dict) -> None:
+            colors = self._refine(colors)
+            classes: dict = {}
+            for node in nodes:
+                classes.setdefault(colors[node], []).append(node)
+            ambiguous = None
+            for color in sorted(classes):
+                if len(classes[color]) > 1:
+                    ambiguous = color
+                    break
+            if ambiguous is None:
+                order = tuple(
+                    classes[color][0] for color in sorted(classes)
+                )
+                encoding = encode(order)
+                if best[0] is None or encoding < best[0]:
+                    best[0], best[1] = encoding, order
+                leaves[0] += 1
+                return
+            for node in classes[ambiguous]:
+                if leaves[0] >= _CANONICAL_LEAF_CAP:
+                    return
+                individualized = dict(colors)
+                individualized[node] = -1
+                search(individualized)
+
+        initial = {n: repr(self._labels[n]) for n in nodes}
+        palette = {s: i for i, s in enumerate(sorted(set(initial.values())))}
+        search({n: palette[initial[n]] for n in nodes})
+        return best[1], best[0]
+
+    def __eq__(self, other: object) -> bool:
+        """Label-preserving isomorphism (at least up to node renaming)."""
+        if not isinstance(other, QueryGraph):
+            return NotImplemented
+        if (self.num_nodes != other.num_nodes
+                or self.num_edges != other.num_edges):
+            return False
+        return self.canonical_form() == other.canonical_form()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_form())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QueryGraph(nodes={self.num_nodes}, edges={self.num_edges})"

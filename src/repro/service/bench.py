@@ -1,0 +1,230 @@
+"""Serving-layer benchmark core: latency and throughput measurements.
+
+Shared by the ``repro bench-serve`` CLI subcommand and the
+``benchmarks/bench_service_throughput.py`` pytest module. Three
+measurements, each isolating one serving feature:
+
+* **cache-hit latency** — the same query cold (first evaluation) vs.
+  from the result cache; the hit path is a canonical-signature lookup
+  and comes back orders of magnitude faster;
+* **worker scaling** — a mixed workload of distinct queries pushed
+  through 1 vs. N workers with caching disabled. The pool is warmed
+  (workers spawned, engines loaded) before the clock starts so the
+  measurement is steady-state serving, not process startup. True
+  scaling needs real CPUs: on multi-core hosts the N-worker run uses
+  the process pool (workers warm-start from the snapshot); on a
+  single-core host the ratio hovers around 1.0 by physics, not by
+  fault of the pool;
+* **serving throughput** — the distinct workload repeated for several
+  rounds (fresh node ids each round, arriving wave after wave, the
+  way real repeated traffic does) through a full-featured service
+  (cache + single-flight) vs. the same rounds with caching disabled.
+  Rounds are drained one at a time so the cached run genuinely hits
+  the cache rather than merely deduplicating in-flight work.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.datasets import SyntheticConfig, generate_synthetic_pgd
+from repro.datasets.queries import random_query
+from repro.peg import build_peg
+from repro.service.service import QueryService
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ServeBenchReport:
+    """Everything one `bench-serve` run measured."""
+
+    graph_references: int = 0
+    cpus: int = 1
+    cold_seconds: float = 0.0
+    hit_seconds: float = 0.0
+    hit_speedup: float = 0.0
+    single_worker_qps: float = 0.0
+    multi_worker_qps: float = 0.0
+    multi_workers: int = 1
+    scaling_executor: str = "thread"
+    cached_qps: float = 0.0
+    uncached_qps: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"serving benchmark ({self.graph_references} references, "
+            f"{self.cpus} cpu(s))",
+            "",
+            "cache-hit latency",
+            f"  cold evaluation     {self.cold_seconds * 1e3:10.3f} ms",
+            f"  cache hit           {self.hit_seconds * 1e3:10.3f} ms",
+            f"  speedup             {self.hit_speedup:10.1f}x",
+            "",
+            f"worker scaling (cache off, {self.scaling_executor} pool)",
+            f"  1 worker            {self.single_worker_qps:10.1f} qps",
+            f"  {self.multi_workers} workers"
+            f"           {self.multi_worker_qps:10.1f} qps",
+            "",
+            "repeated workload (cache + single-flight vs. no cache)",
+            f"  cached service      {self.cached_qps:10.1f} qps",
+            f"  uncached service    {self.uncached_qps:10.1f} qps",
+        ]
+        if self.stats:
+            lines += ["", "final service stats"]
+            for key in sorted(self.stats):
+                lines.append(f"  {key:20s}{self.stats[key]}")
+        return "\n".join(lines)
+
+
+def mixed_workload(
+    sigma, num_distinct: int = 6, copies: int = 4, seed: int = 0
+) -> list:
+    """Distinct random queries, each duplicated ``copies`` times under
+    fresh node ids (so only canonicalization can equate them), shuffled.
+    """
+    shuffler = random.Random(seed)
+    sigma = sorted(sigma)
+    workload = []
+    for i in range(num_distinct):
+        shape = random.Random(seed * 1009 + i)
+        num_nodes = 3 + shape.randrange(2)
+        num_edges = num_nodes - 1 + shape.randrange(2)
+        for copy in range(copies):
+            query = random_query(
+                num_nodes, num_edges, sigma, seed=seed * 1009 + i
+            )
+            workload.append(_rename_nodes(query, prefix=f"c{copy}_"))
+    shuffler.shuffle(workload)
+    return workload
+
+
+def _rename_nodes(query, prefix: str):
+    from repro.query.query_graph import QueryGraph
+
+    mapping = {node: f"{prefix}{node}" for node in query.nodes}
+    labels = {mapping[node]: query.label(node) for node in query.nodes}
+    edges = [
+        tuple(mapping[node] for node in edge) for edge in query.edges
+    ]
+    return QueryGraph(labels, edges)
+
+
+def _drain(service: QueryService, workload, alpha: float) -> float:
+    """Submit the whole workload concurrently; seconds to full drain."""
+    start = time.perf_counter()
+    futures = [service.submit(query, alpha) for query in workload]
+    for future in futures:
+        future.result()
+    return time.perf_counter() - start
+
+
+def run_serve_benchmark(
+    snapshot_dir: str,
+    num_references: int = 120,
+    alpha: float = 0.5,
+    max_length: int = 2,
+    beta: float = 0.1,
+    num_distinct: int = 6,
+    copies: int = 4,
+    multi_workers: int = 4,
+    seed: int = 7,
+) -> ServeBenchReport:
+    """Run all three measurements; ``snapshot_dir`` hosts the bundle."""
+    report = ServeBenchReport(
+        graph_references=num_references, cpus=available_cpus()
+    )
+    peg = build_peg(
+        generate_synthetic_pgd(
+            SyntheticConfig(num_references=num_references, seed=seed)
+        )
+    )
+    distinct = mixed_workload(
+        peg.sigma, num_distinct=num_distinct, copies=1, seed=seed
+    )
+    scaling = mixed_workload(
+        peg.sigma, num_distinct=num_distinct * 4, copies=1, seed=seed + 1
+    )
+    rounds = [
+        [_rename_nodes(query, f"r{r}_") for query in distinct]
+        for r in range(copies)
+    ]
+
+    # -- cache-hit latency (and the snapshot every later stage reuses) --
+    service = QueryService.open(
+        peg,
+        snapshot_dir,
+        max_length=max_length,
+        beta=beta,
+        num_workers=1,
+    )
+    cold = hit = 0.0
+    for query in distinct:
+        start = time.perf_counter()
+        service.query(query, alpha)
+        cold += time.perf_counter() - start
+        start = time.perf_counter()
+        service.query(query, alpha)
+        hit += time.perf_counter() - start
+    report.cold_seconds = cold / len(distinct)
+    report.hit_seconds = hit / len(distinct)
+    report.hit_speedup = (
+        report.cold_seconds / report.hit_seconds
+        if report.hit_seconds > 0 else float("inf")
+    )
+    service.close()
+
+    # -- worker scaling, caching disabled --------------------------------
+    report.multi_workers = multi_workers
+    report.scaling_executor = "process" if report.cpus > 1 else "thread"
+    for workers in (1, multi_workers):
+        service = QueryService.from_snapshot(
+            peg,
+            snapshot_dir,
+            num_workers=workers,
+            cache_size=0,
+            executor=report.scaling_executor if workers > 1 else "thread",
+        )
+        # Warm the pool outside the clock: one concurrent request per
+        # worker spawns every process and loads its engine.
+        service.query_many(distinct[:workers], alpha)
+        elapsed = _drain(service, scaling, alpha)
+        qps = len(scaling) / elapsed if elapsed > 0 else float("inf")
+        if workers == 1:
+            report.single_worker_qps = qps
+        else:
+            report.multi_worker_qps = qps
+        service.close()
+
+    # -- repeated rounds: full service vs. cache disabled ----------------
+    total = sum(len(round_workload) for round_workload in rounds)
+    for cache_size in (256, 0):
+        service = QueryService.from_snapshot(
+            peg,
+            snapshot_dir,
+            num_workers=multi_workers,
+            cache_size=cache_size,
+        )
+        start = time.perf_counter()
+        for round_workload in rounds:
+            _drain(service, round_workload, alpha)
+        elapsed = time.perf_counter() - start
+        qps = total / elapsed if elapsed > 0 else float("inf")
+        if cache_size:
+            report.cached_qps = qps
+            report.stats = service.stats_snapshot()
+        else:
+            report.uncached_qps = qps
+        service.close()
+
+    return report

@@ -1,0 +1,364 @@
+"""The concurrent query service: worker pool, cache, single-flight.
+
+:class:`QueryService` owns one immutable
+:class:`~repro.query.engine.QueryEngine` (offline phase already done)
+and serves many online queries against it:
+
+* evaluations run on a ``ThreadPoolExecutor`` of ``num_workers``
+  threads, so independent requests overlap;
+* results are memoized in a :class:`~repro.service.cache.ResultCache`
+  keyed by the *canonical* request signature — query graphs equal up to
+  node renaming share one entry;
+* identical concurrent requests are collapsed by single-flight
+  deduplication: the first becomes the leader, later arrivals attach to
+  the leader's future instead of re-evaluating;
+* the offline phase can be snapshotted to disk and warm-started on the
+  next process via :meth:`snapshot` / :meth:`from_snapshot` /
+  :meth:`open`.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+from repro.query.engine import QueryEngine, QueryOptions, QueryResult
+from repro.query.query_graph import QueryGraph
+from repro.service.cache import ResultCache
+from repro.service.stats import ServiceStats
+from repro.utils.errors import ServiceError
+
+#: Engine of the current process-pool worker (set by the initializer).
+_WORKER_ENGINE: QueryEngine | None = None
+
+
+def _process_worker_init(peg, snapshot_dir: str) -> None:
+    """Warm-start one pool worker from the service's snapshot bundle."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = QueryEngine.from_saved(peg, snapshot_dir)
+
+
+def _process_worker_query(query, alpha, options):
+    """Evaluate one request on the worker's warm-started engine."""
+    return _WORKER_ENGINE.query(query, alpha, options)
+
+
+def request_key(
+    query: QueryGraph, alpha: float, options: QueryOptions
+) -> tuple:
+    """Canonical cache/dedup key of one request.
+
+    Combines the query's canonical form (rename-invariant), alpha, and
+    the :class:`QueryOptions` fields that change the *result* —
+    execution knobs (``parallel_reduction``, ``num_threads``) are
+    deliberately excluded so the same logical query shares one entry
+    regardless of how it is executed.
+    """
+    return (
+        query.canonical_form(),
+        float(alpha),
+        options.decomposition,
+        options.use_context_pruning,
+        options.use_structure_reduction,
+        options.use_upperbound_reduction,
+        options.seed,
+    )
+
+
+class QueryService:
+    """Serves pattern-matching queries concurrently over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine. Treated as immutable: the service never
+        mutates it, and all stores reached through it must be safe for
+        concurrent readers (both bundled stores are).
+    num_workers:
+        Evaluation threads (>= 1).
+    cache_size:
+        Result-cache capacity in entries; 0 disables caching.
+    default_options:
+        Options applied when a request passes none.
+    latency_window:
+        Recent-latency reservoir size for the p50/p95 stats.
+    executor:
+        ``"thread"`` (default) evaluates on a thread pool — cheap, and
+        right for cache-heavy or I/O-bound serving. ``"process"``
+        evaluates on a process pool whose workers each warm-start their
+        own engine from ``snapshot_dir``, buying true CPU parallelism
+        for compute-bound workloads on multi-core hosts (requests and
+        results cross a pickling boundary).
+    snapshot_dir:
+        Offline-bundle directory; required for ``executor="process"``.
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        num_workers: int = 4,
+        cache_size: int = 256,
+        default_options: QueryOptions | None = None,
+        latency_window: int = 1024,
+        executor: str = "thread",
+        snapshot_dir: str | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError(f"num_workers must be >= 1, got {num_workers}")
+        if executor not in ("thread", "process"):
+            raise ServiceError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.engine = engine
+        self.num_workers = int(num_workers)
+        self.default_options = default_options or QueryOptions()
+        self.executor_kind = executor
+        self.snapshot_dir = snapshot_dir
+        self.stats = ServiceStats(latency_window=latency_window)
+        self.cache = ResultCache(
+            cache_size, on_evict=self.stats.record_eviction
+        )
+        self.warm_started = False
+        if executor == "process":
+            if snapshot_dir is None:
+                raise ServiceError(
+                    "executor='process' needs snapshot_dir: pool workers "
+                    "warm-start their engines from the snapshot bundle"
+                )
+            self._executor: ThreadPoolExecutor | ProcessPoolExecutor = (
+                ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    initializer=_process_worker_init,
+                    initargs=(engine.peg, snapshot_dir),
+                )
+            )
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="repro-serve"
+            )
+        self._inflight: dict = {}
+        self._gate = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction / warm start
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        peg: ProbabilisticEntityGraph,
+        max_length: int = 3,
+        beta: float = 0.1,
+        gamma: float = 0.1,
+        snapshot_dir: str | None = None,
+        index_threads: int = 1,
+        **service_kwargs,
+    ) -> "QueryService":
+        """Run the offline phase and wrap the engine in a service.
+
+        When ``snapshot_dir`` is given the freshly built offline
+        artifacts are persisted there immediately, ready for
+        :meth:`from_snapshot` on the next process.
+        """
+        engine = QueryEngine(
+            peg,
+            max_length=max_length,
+            beta=beta,
+            gamma=gamma,
+            index_threads=index_threads,
+        )
+        if snapshot_dir is not None:
+            engine.save_offline(snapshot_dir)
+            service_kwargs.setdefault("snapshot_dir", snapshot_dir)
+        return cls(engine, **service_kwargs)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        peg: ProbabilisticEntityGraph,
+        directory: str,
+        **service_kwargs,
+    ) -> "QueryService":
+        """Warm-start from a snapshot written by :meth:`snapshot`/:meth:`build`.
+
+        Skips the offline phase entirely — the service is ready in the
+        time it takes to reopen the disk store. The PEG must be the one
+        the snapshot was built from.
+        """
+        service_kwargs.setdefault("snapshot_dir", directory)
+        service = cls(QueryEngine.from_saved(peg, directory), **service_kwargs)
+        service.warm_started = True
+        return service
+
+    @classmethod
+    def open(
+        cls,
+        peg: ProbabilisticEntityGraph,
+        snapshot_dir: str,
+        max_length: int = 3,
+        beta: float = 0.1,
+        gamma: float = 0.1,
+        index_threads: int = 1,
+        **service_kwargs,
+    ) -> "QueryService":
+        """Warm-start from ``snapshot_dir`` if possible, else build into it.
+
+        The one-call lifecycle: the first run pays for the offline phase
+        and leaves a snapshot behind; every later run restores it
+        (``service.warm_started`` tells which happened).
+
+        On a warm start the build parameters (``max_length``, ``beta``,
+        ``gamma``, ``index_threads``) are ignored — the snapshot's own
+        parameters win; check ``engine.max_length`` /
+        ``engine.index.beta`` after opening. Delete the snapshot
+        directory to rebuild with different parameters.
+        """
+        from repro.utils.errors import IndexError_
+
+        try:
+            return cls.from_snapshot(peg, snapshot_dir, **service_kwargs)
+        except IndexError_:
+            return cls.build(
+                peg,
+                max_length=max_length,
+                beta=beta,
+                gamma=gamma,
+                snapshot_dir=snapshot_dir,
+                index_threads=index_threads,
+                **service_kwargs,
+            )
+
+    def snapshot(self, directory: str) -> None:
+        """Persist the engine's offline artifacts for later warm starts."""
+        self.engine.save_offline(directory)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: QueryGraph,
+        alpha: float,
+        options: QueryOptions | None = None,
+    ) -> Future:
+        """Enqueue one request; returns a future of its ``QueryResult``.
+
+        Cache hits resolve immediately; a request identical (up to node
+        renaming) to one already in flight shares that evaluation's
+        future instead of spawning another.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        options = options or self.default_options
+        key = request_key(query, alpha, options)
+        start = time.perf_counter()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.record_hit(time.perf_counter() - start)
+            future: Future = Future()
+            future.set_result(cached)
+            return future
+        with self._gate:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.record_dedup()
+                return inflight
+            future = Future()
+            self._inflight[key] = future
+        self.stats.record_miss()
+        try:
+            if self.executor_kind == "process":
+                task = self._executor.submit(
+                    _process_worker_query, query, alpha, options
+                )
+            else:
+                task = self._executor.submit(
+                    self.engine.query, query, alpha, options
+                )
+        except RuntimeError as exc:
+            # close() won the race after the in-flight registration:
+            # unregister so attached followers fail instead of hanging.
+            with self._gate:
+                self._inflight.pop(key, None)
+            self.stats.record_done(time.perf_counter() - start, error=True)
+            future.set_exception(
+                ServiceError(f"service is shutting down: {exc}")
+            )
+            return future
+        task.add_done_callback(
+            functools.partial(self._finish, key, future, start)
+        )
+        return future
+
+    def query(
+        self,
+        query: QueryGraph,
+        alpha: float,
+        options: QueryOptions | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query, alpha, options).result(timeout)
+
+    def query_many(
+        self,
+        queries,
+        alpha: float,
+        options: QueryOptions | None = None,
+    ) -> list:
+        """Evaluate a batch concurrently; results in request order."""
+        futures = [self.submit(q, alpha, options) for q in queries]
+        return [future.result() for future in futures]
+
+    def _finish(self, key, future, start, task) -> None:
+        """Done-callback of one evaluation: publish, uncount, resolve."""
+        exc = task.exception()
+        if exc is not None:
+            with self._gate:
+                self._inflight.pop(key, None)
+            self.stats.record_done(time.perf_counter() - start, error=True)
+            future.set_exception(exc)
+            return
+        result = task.result()
+        self.cache.put(key, result)
+        with self._gate:
+            self._inflight.pop(key, None)
+        self.stats.record_done(time.perf_counter() - start)
+        future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Service counters + latency quantiles + cache occupancy."""
+        snap = self.stats.snapshot()
+        snap["cache_size"] = len(self.cache)
+        snap["cache_capacity"] = self.cache.capacity
+        snap["num_workers"] = self.num_workers
+        snap["executor"] = self.executor_kind
+        snap["warm_started"] = self.warm_started
+        return snap
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryService(workers={self.num_workers}, "
+            f"cache={len(self.cache)}/{self.cache.capacity}, "
+            f"warm_started={self.warm_started})"
+        )

@@ -1,0 +1,128 @@
+"""Serving metrics: counters plus a bounded latency reservoir.
+
+:class:`ServiceStats` is the single mutation point for everything the
+service observes — cache hits/misses, single-flight deduplications,
+evictions, errors, in-flight gauge — and keeps the most recent request
+latencies in a bounded window from which it derives p50/p95 (quantiles
+over a sliding window, the standard serving-metrics compromise between
+exactness and unbounded memory).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+def _quantile(sorted_values: list, q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class ServiceStats:
+    """Thread-safe counters and latency quantiles for a query service.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most recent request latencies retained for the
+        p50/p95 estimates.
+    """
+
+    def __init__(self, latency_window: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._latencies: deque = deque(maxlen=max(1, latency_window))
+        self.hits = 0
+        self.misses = 0
+        self.deduplicated = 0
+        self.evictions = 0
+        self.errors = 0
+        self.completed = 0
+        self.in_flight = 0
+
+    # -- recording -----------------------------------------------------
+
+    def record_hit(self, seconds: float) -> None:
+        """A request served straight from the result cache."""
+        with self._lock:
+            self.hits += 1
+            self.completed += 1
+            self._latencies.append(seconds)
+
+    def record_miss(self) -> None:
+        """A request that must be evaluated (enters the in-flight set)."""
+        with self._lock:
+            self.misses += 1
+            self.in_flight += 1
+
+    def record_dedup(self) -> None:
+        """A request attached to an identical in-flight evaluation."""
+        with self._lock:
+            self.deduplicated += 1
+
+    def record_done(self, seconds: float, error: bool = False) -> None:
+        """An evaluated request finished (successfully or not)."""
+        with self._lock:
+            self.in_flight -= 1
+            self.completed += 1
+            if error:
+                self.errors += 1
+            else:
+                self._latencies.append(seconds)
+
+    def record_eviction(self, count: int = 1) -> None:
+        """``count`` entries were evicted from the result cache."""
+        with self._lock:
+            self.evictions += count
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        """Total requests observed (hits + misses + deduplicated)."""
+        return self.hits + self.misses + self.deduplicated
+
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all requests (0 when idle)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def latency_quantiles(self) -> dict:
+        """``{"p50": ..., "p95": ...}`` over the latency window, seconds."""
+        with self._lock:
+            ordered = sorted(self._latencies)
+        return {
+            "p50": _quantile(ordered, 0.50),
+            "p95": _quantile(ordered, 0.95),
+        }
+
+    def snapshot(self) -> dict:
+        """One consistent dict of every counter plus the quantiles."""
+        with self._lock:
+            ordered = sorted(self._latencies)
+            snap = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "deduplicated": self.deduplicated,
+                "evictions": self.evictions,
+                "errors": self.errors,
+                "completed": self.completed,
+                "in_flight": self.in_flight,
+            }
+        snap["requests"] = snap["hits"] + snap["misses"] + snap["deduplicated"]
+        snap["hit_rate"] = (
+            snap["hits"] / snap["requests"] if snap["requests"] else 0.0
+        )
+        snap["latency_p50"] = _quantile(ordered, 0.50)
+        snap["latency_p95"] = _quantile(ordered, 0.95)
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceStats(requests={self.requests}, hits={self.hits}, "
+            f"misses={self.misses}, in_flight={self.in_flight})"
+        )

@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, Tuple
 
@@ -120,11 +121,18 @@ class DiskPathStore(PathStore):
     Creates three files under ``directory``: ``index.btree`` (tree
     pages), ``index.log`` (payload record log) and ``index.dir``
     (pickled label-sequence directory, written on flush/close).
+
+    All operations are serialized through one reentrant lock, so a store
+    may be shared by concurrent readers (the tree's pager cache and the
+    log's file handle are position-stateful and would otherwise race);
+    :meth:`scan_buckets` materializes its scan under the lock before
+    yielding.
     """
 
     def __init__(self, directory: str) -> None:
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.RLock()
         self._tree = BPlusTree(os.path.join(self.directory, "index.btree"))
         self._log = RecordLog(os.path.join(self.directory, "index.log"))
         self._dir_path = os.path.join(self.directory, "index.dir")
@@ -146,48 +154,57 @@ class DiskPathStore(PathStore):
 
     def put_bucket(self, label_seq: tuple, bucket: int, payload: bytes) -> None:
         _check_bucket(bucket)
-        seq_id = self._sequence_id(label_seq, create=True)
-        offset, length = self._log.append(bytes(payload))
-        key = _COMPOSITE.pack(seq_id, bucket)
-        self._tree.put(key, _POINTER.pack(offset, length))
+        with self._lock:
+            seq_id = self._sequence_id(label_seq, create=True)
+            offset, length = self._log.append(bytes(payload))
+            key = _COMPOSITE.pack(seq_id, bucket)
+            self._tree.put(key, _POINTER.pack(offset, length))
 
     def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
         _check_bucket(bucket)
-        seq_id = self._sequence_id(label_seq, create=False)
-        if seq_id is None:
-            return None
-        pointer = self._tree.get(_COMPOSITE.pack(seq_id, bucket))
-        if pointer is None:
-            return None
-        offset, length = _POINTER.unpack(pointer)
-        return self._log.read(offset, length)
+        with self._lock:
+            seq_id = self._sequence_id(label_seq, create=False)
+            if seq_id is None:
+                return None
+            pointer = self._tree.get(_COMPOSITE.pack(seq_id, bucket))
+            if pointer is None:
+                return None
+            offset, length = _POINTER.unpack(pointer)
+            return self._log.read(offset, length)
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
-        seq_id = self._sequence_id(label_seq, create=False)
-        if seq_id is None:
-            return
-        lo = _COMPOSITE.pack(seq_id, _check_bucket(min_bucket))
-        hi = _COMPOSITE.pack(seq_id, 1000) + b"\xff"
-        for key, pointer in self._tree.range(lo, hi):
-            _, bucket = _COMPOSITE.unpack(key)
-            offset, length = _POINTER.unpack(pointer)
-            yield bucket, self._log.read(offset, length)
+        with self._lock:
+            seq_id = self._sequence_id(label_seq, create=False)
+            if seq_id is None:
+                return
+            lo = _COMPOSITE.pack(seq_id, _check_bucket(min_bucket))
+            hi = _COMPOSITE.pack(seq_id, 1000) + b"\xff"
+            results = []
+            for key, pointer in self._tree.range(lo, hi):
+                _, bucket = _COMPOSITE.unpack(key)
+                offset, length = _POINTER.unpack(pointer)
+                results.append((bucket, self._log.read(offset, length)))
+        yield from results
 
     def label_sequences(self):
-        return tuple(self._sequence_ids)
+        with self._lock:
+            return tuple(self._sequence_ids)
 
     def size_bytes(self) -> int:
-        return self._tree.size_bytes() + self._log.size_bytes()
+        with self._lock:
+            return self._tree.size_bytes() + self._log.size_bytes()
 
     def flush(self) -> None:
-        self._tree.flush()
-        self._log.flush()
-        if self._dirty_directory:
-            with open(self._dir_path, "wb") as handle:
-                pickle.dump(self._sequence_ids, handle)
-            self._dirty_directory = False
+        with self._lock:
+            self._tree.flush()
+            self._log.flush()
+            if self._dirty_directory:
+                with open(self._dir_path, "wb") as handle:
+                    pickle.dump(self._sequence_ids, handle)
+                self._dirty_directory = False
 
     def close(self) -> None:
-        self.flush()
-        self._tree.close()
-        self._log.close()
+        with self._lock:
+            self.flush()
+            self._tree.close()
+            self._log.close()

@@ -33,3 +33,7 @@ class IndexError_(ReproError):
 
 class QueryError(ReproError):
     """Invalid query input or failure during online query processing."""
+
+
+class ServiceError(ReproError):
+    """Misuse of the query-serving layer (e.g. submitting after close)."""

@@ -118,3 +118,80 @@ class TestQuery:
         ) == 0
         out = capsys.readouterr().out
         assert "matches" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServe:
+    def write_workload(self, tmp_path):
+        workload = tmp_path / "workload.jsonl"
+        lines = [
+            json.dumps({"nodes": {"a": "L0", "b": "L1"},
+                        "edges": [["a", "b"]]}),
+            json.dumps({"nodes": {"x": "L1", "y": "L0"},
+                        "edges": [["x", "y"]], "alpha": 0.3}),
+        ]
+        workload.write_text("\n".join(lines))
+        return str(workload)
+
+    def test_cold_then_warm_round_trip(self, peg_file, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        snapshot = str(tmp_path / "bundle")
+
+        assert main(
+            [
+                "serve", peg_file, "--snapshot", snapshot,
+                "--queries", workload, "--alpha", "0.2",
+                "--repeat", "2", "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cold start" in out
+        assert "query 0" in out and "query 1" in out
+        assert "hits" in out
+
+        assert main(
+            [
+                "serve", peg_file, "--snapshot", snapshot,
+                "--queries", workload, "--alpha", "0.2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+        assert "matches" in out
+
+    def test_serve_without_snapshot(self, peg_file, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(
+            ["serve", peg_file, "--queries", workload, "--alpha", "0.2"]
+        ) == 0
+        assert "cold start" in capsys.readouterr().out
+
+    def test_serve_json_list_workload(self, peg_file, tmp_path, capsys):
+        workload = tmp_path / "workload.json"
+        workload.write_text(json.dumps(
+            [{"nodes": {"a": "L0"}, "edges": []}]
+        ))
+        assert main(
+            [
+                "serve", peg_file, "--queries", str(workload),
+                "--alpha", "0.3",
+            ]
+        ) == 0
+        assert "query 0" in capsys.readouterr().out
+
+    def test_serve_bad_workload(self, peg_file, tmp_path, capsys):
+        workload = tmp_path / "workload.jsonl"
+        workload.write_text(json.dumps({"edges": []}))
+        assert main(
+            ["serve", peg_file, "--queries", str(workload)]
+        ) == 1
+        assert "error" in capsys.readouterr().err

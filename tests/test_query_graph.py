@@ -87,3 +87,78 @@ class TestAccessors:
         )
         components = {frozenset(c) for c in q.connected_components()}
         assert components == {frozenset({"a", "b"}), frozenset({"c"})}
+
+
+class TestCanonicalization:
+    def test_equal_up_to_node_renaming(self):
+        original = QueryGraph(
+            {"a": "DB", "b": "ML", "c": "DB"}, [("a", "b"), ("b", "c")]
+        )
+        renamed = QueryGraph(
+            {"x": "ML", "y": "DB", "z": "DB"}, [("y", "x"), ("x", "z")]
+        )
+        assert original == renamed
+        assert hash(original) == hash(renamed)
+        assert original.canonical_form() == renamed.canonical_form()
+        assert original.signature() == renamed.signature()
+
+    def test_insertion_order_irrelevant(self):
+        forward = QueryGraph(
+            {"a": "x", "b": "y", "c": "z"}, [("a", "b"), ("b", "c")]
+        )
+        backward = QueryGraph(
+            {"c": "z", "b": "y", "a": "x"}, [("b", "c"), ("a", "b")]
+        )
+        assert forward == backward
+
+    def test_different_structure_distinguished(self):
+        path = QueryGraph(
+            {1: "a", 2: "a", 3: "a", 4: "a"}, [(1, 2), (2, 3), (3, 4)]
+        )
+        star = QueryGraph(
+            {1: "a", 2: "a", 3: "a", 4: "a"}, [(1, 2), (1, 3), (1, 4)]
+        )
+        assert path != star
+        assert path.signature() != star.signature()
+
+    def test_different_labels_distinguished(self):
+        one = QueryGraph({"a": "x", "b": "y"}, [("a", "b")])
+        other = QueryGraph({"a": "x", "b": "z"}, [("a", "b")])
+        assert one != other
+
+    def test_symmetric_queries(self):
+        clique = QueryGraph(
+            {1: "a", 2: "a", 3: "a"}, [(1, 2), (2, 3), (1, 3)]
+        )
+        renamed = QueryGraph(
+            {"p": "a", "q": "a", "r": "a"}, [("q", "p"), ("r", "q"), ("p", "r")]
+        )
+        assert clique == renamed
+
+    def test_label_swap_on_symmetric_shape(self):
+        # Same shape, labels attached to different structural positions.
+        center_a = QueryGraph(
+            {"c": "a", "l1": "b", "l2": "b"}, [("c", "l1"), ("c", "l2")]
+        )
+        center_b = QueryGraph(
+            {"c": "b", "l1": "a", "l2": "b"}, [("c", "l1"), ("c", "l2")]
+        )
+        assert center_a != center_b
+
+    def test_usable_as_dict_key(self):
+        seen = {}
+        seen[QueryGraph({"a": "x", "b": "y"}, [("a", "b")])] = 1
+        seen[QueryGraph({"u": "x", "v": "y"}, [("u", "v")])] = 2
+        assert len(seen) == 1
+        assert seen[QueryGraph({"m": "y", "n": "x"}, [("n", "m")])] == 2
+
+    def test_not_equal_to_other_types(self):
+        assert triangle() != "triangle"
+        assert (triangle() == 42) is False
+
+    def test_signature_is_stable_hex(self):
+        sig = triangle().signature()
+        assert isinstance(sig, str)
+        assert len(sig) == 64
+        int(sig, 16)  # parses as hex
+        assert sig == triangle().signature()

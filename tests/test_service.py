@@ -1,0 +1,301 @@
+"""Unit and concurrency tests for the query-serving subsystem."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.peg import build_peg
+from repro.pgd import pgd_from_edge_list
+from repro.query import QueryEngine, QueryGraph, QueryOptions
+from repro.service import QueryService, ResultCache, ServiceStats, request_key
+from repro.utils.errors import QueryError, ServiceError
+
+
+@pytest.fixture
+def peg(figure1_pgd):
+    return build_peg(figure1_pgd)
+
+
+def figure1_query(a="u", b="v"):
+    return QueryGraph({a: "i", b: "a"}, [(a, b)])
+
+
+class FakeEngine:
+    """Scriptable engine double: records calls, can block or raise."""
+
+    def __init__(self, delay=0.0, gate=None, fail=False):
+        self.calls = 0
+        self.delay = delay
+        self.gate = gate
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def query(self, query, alpha, options=None):
+        with self._lock:
+            self.calls += 1
+        if self.gate is not None:
+            self.gate.wait(timeout=5)
+        if self.delay:
+            time.sleep(self.delay)
+        if self.fail:
+            raise QueryError("scripted failure")
+        return ("result", query.signature(), alpha)
+
+
+class TestResultCache:
+    def test_put_get_and_lru_eviction(self):
+        evicted = []
+        cache = ResultCache(capacity=2, on_evict=evicted.append)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)           # evicts "b", the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert evicted == [1]
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+
+class TestServiceStats:
+    def test_counters_and_quantiles(self):
+        stats = ServiceStats(latency_window=8)
+        stats.record_miss()
+        stats.record_done(0.010)
+        stats.record_hit(0.001)
+        stats.record_dedup()
+        stats.record_eviction(2)
+        snap = stats.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["deduplicated"] == 1
+        assert snap["evictions"] == 2
+        assert snap["requests"] == 3
+        assert snap["in_flight"] == 0
+        assert 0.0 < snap["latency_p50"] <= snap["latency_p95"] <= 0.010
+
+    def test_error_counted_without_latency(self):
+        stats = ServiceStats()
+        stats.record_miss()
+        stats.record_done(1.0, error=True)
+        snap = stats.snapshot()
+        assert snap["errors"] == 1
+        assert snap["latency_p50"] == 0.0
+
+
+class TestRequestKey:
+    def test_isomorphic_queries_share_key(self):
+        options = QueryOptions()
+        key_a = request_key(figure1_query("u", "v"), 0.5, options)
+        key_b = request_key(figure1_query("x", "y"), 0.5, options)
+        assert key_a == key_b
+
+    def test_execution_knobs_ignored(self):
+        q = figure1_query()
+        base = request_key(q, 0.5, QueryOptions())
+        tuned = request_key(
+            q, 0.5, QueryOptions(parallel_reduction=True, num_threads=16)
+        )
+        assert base == tuned
+
+    def test_result_relevant_fields_distinguish(self):
+        q = figure1_query()
+        base = request_key(q, 0.5, QueryOptions())
+        assert request_key(q, 0.4, QueryOptions()) != base
+        assert request_key(
+            q, 0.5, QueryOptions(use_context_pruning=False)
+        ) != base
+
+
+class TestCacheAndSingleFlight:
+    def test_cache_hit_returns_same_result(self):
+        engine = FakeEngine()
+        with QueryService(engine, num_workers=2) as service:
+            first = service.query(figure1_query(), 0.5)
+            second = service.query(figure1_query("a", "b"), 0.5)  # renamed
+        assert second is first
+        assert engine.calls == 1
+        snap = service.stats.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+    def test_distinct_alpha_not_shared(self):
+        engine = FakeEngine()
+        with QueryService(engine, num_workers=2) as service:
+            service.query(figure1_query(), 0.5)
+            service.query(figure1_query(), 0.6)
+        assert engine.calls == 2
+
+    def test_single_flight_dedup(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        with QueryService(engine, num_workers=2) as service:
+            leader = service.submit(figure1_query(), 0.5)
+            followers = [
+                service.submit(figure1_query(f"n{i}", f"m{i}"), 0.5)
+                for i in range(3)
+            ]
+            assert all(f is leader for f in followers)
+            assert service.stats.in_flight == 1
+            gate.set()
+            result = leader.result(timeout=5)
+        assert engine.calls == 1
+        snap = service.stats.snapshot()
+        assert snap["deduplicated"] == 3
+        assert snap["misses"] == 1
+        assert snap["in_flight"] == 0
+        assert result[0] == "result"
+
+    def test_eviction_counted_in_stats(self):
+        engine = FakeEngine()
+        queries = [
+            QueryGraph({"a": f"label{i}"}, []) for i in range(3)
+        ]
+        with QueryService(engine, num_workers=1, cache_size=2) as service:
+            for query in queries:
+                service.query(query, 0.5)
+        assert service.stats.snapshot()["evictions"] == 1
+
+    def test_cache_disabled(self):
+        engine = FakeEngine()
+        with QueryService(engine, num_workers=1, cache_size=0) as service:
+            service.query(figure1_query(), 0.5)
+            service.query(figure1_query(), 0.5)
+        assert engine.calls == 2
+
+    def test_error_propagates_and_is_not_cached(self):
+        engine = FakeEngine(fail=True)
+        with QueryService(engine, num_workers=1) as service:
+            with pytest.raises(QueryError):
+                service.query(figure1_query(), 0.5)
+            engine.fail = False
+            result = service.query(figure1_query(), 0.5)
+        assert result[0] == "result"
+        snap = service.stats.snapshot()
+        assert snap["errors"] == 1
+        assert snap["misses"] == 2
+        assert snap["in_flight"] == 0
+
+    def test_closed_service_rejects(self):
+        service = QueryService(FakeEngine(), num_workers=1)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(figure1_query(), 0.5)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ServiceError):
+            QueryService(FakeEngine(), num_workers=0)
+        with pytest.raises(ServiceError):
+            QueryService(FakeEngine(), executor="fiber")
+        with pytest.raises(ServiceError):
+            QueryService(FakeEngine(), executor="process")  # no snapshot
+
+
+class TestConcurrentServing:
+    def test_many_clients_agree_with_direct_engine(self, peg):
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        query = figure1_query()
+        expected = engine.query(query, 0.4)
+        with QueryService(engine, num_workers=4) as service:
+            results = []
+            errors = []
+
+            def client(i):
+                try:
+                    renamed = figure1_query(f"u{i}", f"v{i}")
+                    results.append(service.query(renamed, 0.4, timeout=30))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert len(results) == 8
+        expected_probs = sorted(m.probability for m in expected.matches)
+        for result in results:
+            assert sorted(
+                m.probability for m in result.matches
+            ) == pytest.approx(expected_probs)
+        snap = service.stats.snapshot()
+        assert snap["requests"] == 8
+        assert snap["misses"] == 1
+
+    def test_query_many_preserves_order(self, peg):
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        queries = [
+            QueryGraph({"x": "i", "y": "a"}, [("x", "y")]),
+            QueryGraph({"x": "r", "y": "a"}, [("x", "y")]),
+            QueryGraph({"p": "a", "q": "i"}, [("p", "q")]),  # iso to [0]
+        ]
+        with QueryService(engine, num_workers=3) as service:
+            results = service.query_many(queries, 0.4)
+        assert len(results) == 3
+        assert results[2] is results[0]
+
+
+class TestSnapshotRoundTrip:
+    def test_build_snapshot_restore_serve(self, peg, tmp_path):
+        snapshot = str(tmp_path / "bundle")
+        query = figure1_query()
+        with QueryService.build(
+            peg, max_length=2, beta=0.05, snapshot_dir=snapshot,
+            num_workers=2,
+        ) as cold:
+            assert not cold.warm_started
+            cold_result = cold.query(query, 0.4)
+
+        with QueryService.from_snapshot(peg, snapshot, num_workers=2) as warm:
+            assert warm.warm_started
+            warm_result = warm.query(query, 0.4)
+        assert sorted(
+            m.probability for m in warm_result.matches
+        ) == pytest.approx(
+            sorted(m.probability for m in cold_result.matches)
+        )
+
+    def test_open_builds_then_restores(self, peg, tmp_path):
+        snapshot = str(tmp_path / "bundle")
+        with QueryService.open(
+            peg, snapshot, max_length=1, beta=0.05, num_workers=1
+        ) as first:
+            assert not first.warm_started
+        with QueryService.open(peg, snapshot, num_workers=1) as second:
+            assert second.warm_started
+
+    def test_process_pool_round_trip(self, peg, tmp_path):
+        snapshot = str(tmp_path / "bundle")
+        engine = QueryEngine(peg, max_length=1, beta=0.05)
+        engine.save_offline(snapshot)
+        expected = engine.query(figure1_query(), 0.4)
+        with QueryService.from_snapshot(
+            peg, snapshot, num_workers=1, executor="process"
+        ) as service:
+            result = service.query(figure1_query(), 0.4, timeout=60)
+        assert sorted(
+            m.probability for m in result.matches
+        ) == pytest.approx(sorted(m.probability for m in expected.matches))
+
+
+class TestExports:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.QueryService is QueryService
+        assert repro.ResultCache is ResultCache
+        assert repro.ServiceStats is ServiceStats

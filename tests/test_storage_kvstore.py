@@ -80,3 +80,50 @@ class TestDiskPersistence:
             seq = ((1, "x"), (2, "y"))
             store.put_bucket(seq, 500, b"tuple-labels")
             assert store.get_bucket(seq, 500) == b"tuple-labels"
+
+
+class TestConcurrentReaders:
+    """A shared DiskPathStore must serve parallel readers correctly.
+
+    The tree's pager cache and the record log's file handle are
+    position-stateful; without the store-level lock, interleaved seeks
+    corrupt reads. Many threads hammer disjoint (sequence, bucket)
+    slots and verify every payload byte-for-byte.
+    """
+
+    def test_parallel_point_reads_and_scans(self, tmp_path):
+        import threading
+
+        sequences = [(f"s{i}", f"t{i}") for i in range(8)]
+        buckets = (200, 400, 600, 800)
+        with DiskPathStore(str(tmp_path / "shared")) as shared:
+            for seq in sequences:
+                for bucket in buckets:
+                    payload = f"{seq[0]}:{bucket}".encode() * 50
+                    shared.put_bucket(seq, bucket, payload)
+            shared.flush()
+
+            errors = []
+
+            def reader(worker: int):
+                try:
+                    for round_num in range(20):
+                        seq = sequences[(worker + round_num) % len(sequences)]
+                        for bucket in buckets:
+                            expected = f"{seq[0]}:{bucket}".encode() * 50
+                            assert shared.get_bucket(seq, bucket) == expected
+                        scanned = list(shared.scan_buckets(seq, 400))
+                        assert [b for b, _ in scanned] == [400, 600, 800]
+                        for bucket, payload in scanned:
+                            assert payload == f"{seq[0]}:{bucket}".encode() * 50
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
