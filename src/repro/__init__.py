@@ -39,7 +39,13 @@ from repro.peg import (
     enumerate_worlds,
     world_match_probability,
 )
-from repro.index import PathIndex, build_path_index, build_context
+from repro.index import (
+    PathIndex,
+    ShardedPathIndex,
+    build_path_index,
+    build_sharded_path_index,
+    build_context,
+)
 from repro.query import (
     QueryGraph,
     QueryEngine,
@@ -51,7 +57,7 @@ from repro.query import (
 from repro.relational import sql_baseline_matches
 from repro.service import QueryService, ResultCache, ServiceStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PGD",
@@ -70,7 +76,9 @@ __all__ = [
     "enumerate_worlds",
     "world_match_probability",
     "PathIndex",
+    "ShardedPathIndex",
     "build_path_index",
+    "build_sharded_path_index",
     "build_context",
     "QueryGraph",
     "QueryEngine",

@@ -8,10 +8,16 @@ Commands
     Print the statistics of a saved PEG (nodes, edges, components, ...).
 ``query``
     Run a pattern query (JSON spec) against a saved PEG.
+``build``
+    Run the offline phase ahead of time: build the (optionally
+    hash-sharded, optionally process-parallel) path index and context
+    tables and persist them as an offline bundle.
 ``serve``
     Serve a batch of queries through the concurrent
     :class:`~repro.service.QueryService` (result cache, single-flight
-    dedup), warm-starting from / writing an offline snapshot.
+    dedup), warm-starting from / writing an offline snapshot; with
+    ``--shards`` the index is hash-sharded, with ``--batch`` each
+    workload round is submitted as one grouped evaluation.
 ``bench-serve``
     Measure serving latency and throughput (cache hits, worker
     scaling, repeated workloads).
@@ -126,6 +132,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="maximum matches printed (default 20)",
     )
 
+    build = commands.add_parser(
+        "build",
+        help="build the offline bundle (index + context) for later serving",
+    )
+    build.add_argument("peg", help="path to a saved PEG")
+    build.add_argument(
+        "--out", required=True,
+        help="output directory for the offline bundle",
+    )
+    build.add_argument("--max-length", type=int, default=2, dest="max_length")
+    build.add_argument("--beta", type=float, default=0.05)
+    build.add_argument("--gamma", type=float, default=0.1)
+    build.add_argument(
+        "--shards", type=int, default=0,
+        help="hash shards for the path index (0 = monolithic, default)",
+    )
+    build.add_argument(
+        "--build-processes", type=int, default=0, dest="build_processes",
+        help=(
+            "process-pool workers for the parallel sharded build "
+            "(requires --shards; 0 builds in-process)"
+        ),
+    )
+
     serve = commands.add_parser(
         "serve",
         help="serve a query workload concurrently with caching + snapshots",
@@ -155,6 +185,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--repeat", type=int, default=1,
         help="serve the workload this many times (exercises the cache)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="hash shards for a cold-start index build (0 = monolithic)",
+    )
+    serve.add_argument(
+        "--build-processes", type=int, default=0, dest="build_processes",
+        help="process-pool workers for a cold-start sharded build",
+    )
+    serve.add_argument(
+        "--batch", action="store_true",
+        help=(
+            "submit each workload round as one grouped evaluation "
+            "(shared index fetches) instead of independent requests"
+        ),
     )
     serve.add_argument(
         "--stats", action="store_true",
@@ -264,6 +309,44 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_build(args) -> int:
+    if args.build_processes > 1 and not args.shards:
+        raise ReproError("--build-processes requires --shards")
+    peg = load_peg(args.peg)
+    # A reused output directory must not leak an earlier build's data
+    # into the fresh store.
+    from repro.index.bundle import clear_offline_artifacts
+
+    clear_offline_artifacts(args.out)
+    store = None
+    if not args.shards:
+        from repro.storage.kvstore import DiskPathStore
+
+        store = DiskPathStore(args.out)
+    engine = QueryEngine(
+        peg,
+        max_length=args.max_length,
+        beta=args.beta,
+        gamma=args.gamma,
+        store=store,
+        num_shards=args.shards,
+        shard_directory=args.out if args.shards else None,
+        build_processes=args.build_processes,
+    )
+    engine.save_offline(args.out)
+    stats = engine.offline_stats()
+    shape = (
+        f"{args.shards} shards" if args.shards else "monolithic index"
+    )
+    print(
+        f"wrote offline bundle to {args.out} ({shape}, "
+        f"L={args.max_length}, beta={args.beta}, gamma={args.gamma})"
+    )
+    for key in ("sequences", "paths", "size_bytes", "offline_seconds"):
+        print(f"  {key:18s}{stats[key]}")
+    return 0
+
+
 def _load_workload(path: str | None) -> list:
     """Parse a serve workload: JSON lines or one JSON list of specs."""
     if path is None:
@@ -294,6 +377,13 @@ def _load_workload(path: str | None) -> list:
 def _cmd_serve(args) -> int:
     from repro.service import QueryService
 
+    if args.build_processes > 1 and not args.shards:
+        raise ReproError("--build-processes requires --shards")
+    if args.build_processes > 1 and not args.snapshot:
+        raise ReproError(
+            "--build-processes needs --snapshot: the parallel sharded "
+            "build exchanges data through the snapshot directory"
+        )
     peg = load_peg(args.peg)
     workload = _load_workload(args.queries)
     if args.snapshot:
@@ -304,6 +394,8 @@ def _cmd_serve(args) -> int:
             beta=args.beta,
             num_workers=args.workers,
             cache_size=args.cache_size,
+            num_shards=args.shards,
+            build_processes=args.build_processes,
         )
         if service.warm_started:
             index = service.engine.index
@@ -321,19 +413,30 @@ def _cmd_serve(args) -> int:
             beta=args.beta,
             num_workers=args.workers,
             cache_size=args.cache_size,
+            num_shards=args.shards,
+            build_processes=args.build_processes,
         )
         print("cold start: built offline phase (no snapshot directory)")
     with service:
         for round_num in range(args.repeat):
-            futures = [
-                (
-                    i,
-                    service.submit(
-                        query, args.alpha if alpha is None else alpha
-                    ),
+            if args.batch:
+                requests = [
+                    (query, args.alpha if alpha is None else alpha)
+                    for query, alpha in workload
+                ]
+                futures = list(
+                    enumerate(service.submit_batch(requests))
                 )
-                for i, (query, alpha) in enumerate(workload)
-            ]
+            else:
+                futures = [
+                    (
+                        i,
+                        service.submit(
+                            query, args.alpha if alpha is None else alpha
+                        ),
+                    )
+                    for i, (query, alpha) in enumerate(workload)
+                ]
             for i, future in futures:
                 result = future.result()
                 print(f"[round {round_num + 1}] query {i}: "
@@ -377,6 +480,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "build": _cmd_build,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
     }

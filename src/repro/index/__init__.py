@@ -8,15 +8,34 @@
   histograms with exponential-curve-fit estimation,
 * :mod:`repro.index.builder` — bottom-up, length-wise index
   construction with β pruning and symmetry canonicalisation,
-* :mod:`repro.index.path_index` — the queryable index: bucket range
-  scans, orientation handling, cardinality estimates.
+* :mod:`repro.index.protocol` — the lookup protocol every index
+  implementation speaks (validation + orientation shared in one place),
+* :mod:`repro.index.path_index` — the queryable monolithic index:
+  bucket range scans, orientation handling, cardinality estimates,
+* :mod:`repro.index.sharded` — the hash-sharded index and its parallel
+  (map/reduce process-pool) builder,
+* :mod:`repro.index.batch` — the per-batch caching view used by batched
+  multi-query execution.
 """
 
 from repro.index.paths import IndexedPath, encode_paths, decode_paths
 from repro.index.context import ContextInformation, build_context
 from repro.index.histogram import CardinalityHistogram
+from repro.index.protocol import (
+    PathIndexProtocol,
+    canonical_sequence,
+    is_palindrome,
+    orient_to_sequence,
+)
 from repro.index.path_index import PathIndex
 from repro.index.builder import PathIndexBuilder, build_path_index
+from repro.index.sharded import (
+    ShardedIndexBuilder,
+    ShardedPathIndex,
+    build_sharded_path_index,
+    shard_for_sequence,
+)
+from repro.index.batch import BatchLookupIndex
 
 __all__ = [
     "IndexedPath",
@@ -25,7 +44,16 @@ __all__ = [
     "ContextInformation",
     "build_context",
     "CardinalityHistogram",
+    "PathIndexProtocol",
+    "canonical_sequence",
+    "is_palindrome",
+    "orient_to_sequence",
     "PathIndex",
     "PathIndexBuilder",
     "build_path_index",
+    "ShardedIndexBuilder",
+    "ShardedPathIndex",
+    "build_sharded_path_index",
+    "shard_for_sequence",
+    "BatchLookupIndex",
 ]

@@ -10,6 +10,23 @@ both orientations, which is what edge-extension needs); storage keeps
 only the canonical orientation, exploiting the undirected symmetry the
 paper describes. Optional thread-based parallelism mirrors the paper's
 per-label-sequence parallel build with a barrier between lengths.
+
+Sharded builds
+--------------
+:class:`~repro.index.sharded.ShardedIndexBuilder` parallelizes this
+construction across processes: map workers each expand the frontier for
+a disjoint slice of start nodes (every directed path has exactly one
+start node, so slices partition the enumeration with no duplicates —
+:meth:`PathIndexBuilder.collect_buckets` is the per-slice entry point),
+then reduce workers assemble one store per shard. Paths are routed to
+shards by :func:`repro.index.sharded.shard_for_sequence`, the hash of
+the **canonical** label sequence: SHA-1 over the ``repr`` of each label
+joined with a separator byte, taken modulo the shard count. Because the
+hash depends only on label ``repr`` strings — never on Python's
+randomized ``hash()`` — the shard of a sequence is stable across
+processes, interpreter restarts, platforms and ``PYTHONHASHSEED``
+values, which is what lets independently built shards, warm-started
+snapshots, and online lookups all agree on where a sequence lives.
 """
 
 from __future__ import annotations
@@ -84,22 +101,12 @@ class PathIndexBuilder:
 
     def build(self) -> PathIndex:
         """Run the full construction and return the queryable index."""
-        peg = self.peg
         stats = {"paths_per_length": {}, "build_seconds": 0.0}
         bucket_counts: dict = {}
         grid = _grid_milli(self.beta, self.gamma)
 
         with Timer() as timer:
-            # Length 0: one directed path per (node, possible label).
-            frontier = []
-            for node in peg.node_ids():
-                prn = peg.existence_probability_id(node)
-                if prn <= 0.0:
-                    continue
-                for label in peg.possible_labels_id(node):
-                    prle = peg.label_probability_id(node, label)
-                    if prle * prn >= self.beta:
-                        frontier.append(((node,), (label,), prle, prn))
+            frontier = self._seed_frontier()
             self._store_level(frontier, bucket_counts, grid)
             stats["paths_per_length"][0] = len(frontier)
 
@@ -123,7 +130,46 @@ class PathIndexBuilder:
             build_stats=stats,
         )
 
+    def collect_buckets(self, start_nodes=None) -> tuple:
+        """Enumerate canonical paths without writing them to a store.
+
+        Returns ``(per_key, paths_per_length)`` where ``per_key`` maps a
+        canonical label sequence to ``{bucket: [IndexedPath, ...]}``.
+        When ``start_nodes`` is given, only directed paths *starting* at
+        one of those nodes are expanded — since every directed path has
+        exactly one start node, disjoint slices of the node set partition
+        the full enumeration with no duplicates, which is how
+        :class:`~repro.index.sharded.ShardedIndexBuilder`'s map workers
+        split the build.
+        """
+        grid = _grid_milli(self.beta, self.gamma)
+        per_key: dict = {}
+        paths_per_length: dict = {}
+        frontier = self._seed_frontier(start_nodes)
+        self._bucket_level(frontier, per_key, grid)
+        paths_per_length[0] = len(frontier)
+        for length in range(1, self.max_length + 1):
+            frontier = self._extend(frontier)
+            self._bucket_level(frontier, per_key, grid)
+            paths_per_length[length] = len(frontier)
+        return per_key, paths_per_length
+
     # ------------------------------------------------------------------
+
+    def _seed_frontier(self, start_nodes=None) -> list:
+        """Length-0 frontier: one directed path per (node, possible label)."""
+        peg = self.peg
+        nodes = peg.node_ids() if start_nodes is None else start_nodes
+        frontier = []
+        for node in nodes:
+            prn = peg.existence_probability_id(node)
+            if prn <= 0.0:
+                continue
+            for label in peg.possible_labels_id(node):
+                prle = peg.label_probability_id(node, label)
+                if prle * prn >= self.beta:
+                    frontier.append(((node,), (label,), prle, prn))
+        return frontier
 
     def _extend(self, frontier: list) -> list:
         """Extend every directed path by one edge at its tail."""
@@ -181,11 +227,10 @@ class PathIndexBuilder:
 
     # ------------------------------------------------------------------
 
-    def _store_level(
-        self, frontier: list, bucket_counts: dict, grid: Sequence[int]
+    def _bucket_level(
+        self, frontier: list, per_key: dict, grid: Sequence[int]
     ) -> None:
-        """Bucket and persist the canonical orientation of a level's paths."""
-        per_key: dict = {}
+        """Merge a level's canonical paths into ``per_key`` by bucket."""
         for ids, labels, prle, prn in frontier:
             if not _is_canonical(ids, labels):
                 continue
@@ -194,6 +239,13 @@ class PathIndexBuilder:
             per_key.setdefault(labels, {}).setdefault(bucket, []).append(
                 IndexedPath(ids, prle, prn)
             )
+
+    def _store_level(
+        self, frontier: list, bucket_counts: dict, grid: Sequence[int]
+    ) -> None:
+        """Bucket and persist the canonical orientation of a level's paths."""
+        per_key: dict = {}
+        self._bucket_level(frontier, per_key, grid)
         for labels, buckets in per_key.items():
             counts = bucket_counts.setdefault(labels, {})
             for bucket, paths in buckets.items():

@@ -2,57 +2,102 @@
 
 The paper's system builds its disk-based index once and serves many
 online queries. This module gives the reproduction the same lifecycle:
-:func:`save_offline` writes a directory containing the path store
+:func:`save_offline` writes a directory containing the path store(s)
 (B+ tree + record log + hash directory), the index metadata (L, β, γ,
 histograms, build statistics) and the context tables;
 :func:`load_offline` reopens it without recomputation, and
 :meth:`repro.query.engine.QueryEngine.from_saved` builds a queryable
 engine from it.
+
+Format version 2 adds sharded bundles: a
+:class:`~repro.index.sharded.ShardedPathIndex` persists one store per
+shard under ``shard-00/ ... shard-NN/`` subdirectories (the layout
+defined by :func:`repro.storage.kvstore.shard_directory`) with
+per-shard histograms in the metadata; unsharded bundles keep their
+store files at the directory root, and version-1 bundles still load.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import shutil
 
 from repro.index.context import ContextInformation
 from repro.index.path_index import PathIndex
-from repro.storage.kvstore import DiskPathStore
+from repro.index.sharded import ShardedPathIndex
+from repro.storage.kvstore import (
+    DISK_STORE_FILENAMES,
+    DiskPathStore,
+    list_shard_directories,
+    shard_directory,
+)
 from repro.utils.errors import IndexError_
 
 #: Bundle format version; bump when the pickled layout changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions load_offline understands.
+_SUPPORTED_VERSIONS = (1, 2)
 _META_FILE = "offline.meta"
 
 
-def save_offline(
-    index: PathIndex, context: ContextInformation, directory: str
-) -> None:
-    """Write the offline phase's artifacts into ``directory``.
+def _persist_store(index: PathIndex, directory: str) -> None:
+    """Materialize one index's store under ``directory``.
 
-    If the index is already backed by a :class:`DiskPathStore` in another
-    location (or by an in-memory store), its buckets are copied into a
-    fresh store under ``directory``; a store already living there is
-    flushed in place.
+    If the store is a :class:`DiskPathStore` already living there it is
+    flushed in place; otherwise (another location, or an in-memory
+    store) its buckets are copied into a fresh store under
+    ``directory``.
     """
-    os.makedirs(directory, exist_ok=True)
     store = index.store
     if isinstance(store, DiskPathStore) and os.path.samefile(
         store.directory, directory
     ):
         store.flush()
-    else:
-        target = DiskPathStore(directory)
-        for sequence in store.label_sequences():
-            for bucket, payload in store.scan_buckets(sequence, 0):
-                target.put_bucket(sequence, bucket, payload)
-        target.close()
+        return
+    target = DiskPathStore(directory)
+    for sequence in store.label_sequences():
+        for bucket, payload in store.scan_buckets(sequence, 0):
+            target.put_bucket(sequence, bucket, payload)
+    target.close()
+
+
+def clear_offline_artifacts(directory: str) -> None:
+    """Remove every offline artifact of earlier builds under ``directory``.
+
+    Deletes the metadata file, the root store files of an unsharded
+    bundle, and any ``shard-NN/`` subdirectories — but nothing else, so
+    a user-supplied output directory that happens to hold other files
+    is safe. Building into a reused directory without clearing first
+    would mix stale and fresh data: a reopened
+    :class:`DiskPathStore` appends to the old tree, and sequences that
+    no longer exist keep being served.
+    """
+    if not os.path.isdir(directory):
+        return
+    for name in (_META_FILE,) + DISK_STORE_FILENAMES:
+        path = os.path.join(directory, name)
+        if os.path.exists(path):
+            os.remove(path)
+    for stale in list_shard_directories(directory):
+        shutil.rmtree(stale, ignore_errors=True)
+
+
+def save_offline(
+    index, context: ContextInformation, directory: str
+) -> None:
+    """Write the offline phase's artifacts into ``directory``.
+
+    Accepts any index built by this package — a monolithic
+    :class:`PathIndex` or a :class:`ShardedPathIndex` (each shard store
+    goes into its own subdirectory).
+    """
+    os.makedirs(directory, exist_ok=True)
     meta = {
         "version": FORMAT_VERSION,
         "max_length": index.max_length,
         "beta": index.beta,
         "gamma": index.gamma,
-        "histograms": index.histograms,
         "build_stats": index.build_stats,
         "context": {
             "sigma": context.sigma,
@@ -61,6 +106,19 @@ def save_offline(
             "full_upper": context._full_upper,
         },
     }
+    if isinstance(index, ShardedPathIndex):
+        for shard_id, shard in enumerate(index.shards):
+            target = shard_directory(directory, shard_id)
+            os.makedirs(target, exist_ok=True)
+            _persist_store(shard, target)
+        meta["num_shards"] = index.num_shards
+        meta["shard_histograms"] = [
+            shard.histograms for shard in index.shards
+        ]
+    else:
+        _persist_store(index, directory)
+        meta["num_shards"] = 0
+        meta["histograms"] = index.histograms
     with open(os.path.join(directory, _META_FILE), "wb") as handle:
         pickle.dump(meta, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -68,27 +126,46 @@ def save_offline(
 def load_offline(directory: str) -> tuple:
     """Reopen a bundle written by :func:`save_offline`.
 
-    Returns ``(PathIndex, ContextInformation)``; raises
-    :class:`IndexError_` for missing or incompatible bundles.
+    Returns ``(index, ContextInformation)`` where the index is a
+    :class:`PathIndex` or :class:`ShardedPathIndex` matching what was
+    saved; raises :class:`IndexError_` for missing or incompatible
+    bundles.
     """
     meta_path = os.path.join(directory, _META_FILE)
     if not os.path.exists(meta_path):
         raise IndexError_(f"no offline bundle at {directory!r}")
     with open(meta_path, "rb") as handle:
         meta = pickle.load(handle)
-    if not isinstance(meta, dict) or meta.get("version") != FORMAT_VERSION:
+    if not isinstance(meta, dict) or meta.get("version") not in _SUPPORTED_VERSIONS:
         raise IndexError_(
             f"unsupported offline bundle version in {directory!r}"
         )
-    store = DiskPathStore(directory)
-    index = PathIndex(
-        store=store,
-        max_length=meta["max_length"],
-        beta=meta["beta"],
-        gamma=meta["gamma"],
-        histograms=meta["histograms"],
-        build_stats=meta["build_stats"],
-    )
+    num_shards = meta.get("num_shards", 0)
+    if num_shards:
+        shards = []
+        for shard_id, histograms in enumerate(meta["shard_histograms"]):
+            shards.append(
+                PathIndex(
+                    store=DiskPathStore(shard_directory(directory, shard_id)),
+                    max_length=meta["max_length"],
+                    beta=meta["beta"],
+                    gamma=meta["gamma"],
+                    histograms=histograms,
+                    build_stats={"shard_id": shard_id},
+                )
+            )
+        index: PathIndex | ShardedPathIndex = ShardedPathIndex(
+            shards, build_stats=meta["build_stats"]
+        )
+    else:
+        index = PathIndex(
+            store=DiskPathStore(directory),
+            max_length=meta["max_length"],
+            beta=meta["beta"],
+            gamma=meta["gamma"],
+            histograms=meta["histograms"],
+            build_stats=meta["build_stats"],
+        )
     raw = meta["context"]
     context = ContextInformation(
         sigma=raw["sigma"],

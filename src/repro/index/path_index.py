@@ -6,6 +6,10 @@ the paths whose probability under ``X`` falls in ``[π, π+γ)``, each with
 its ``Prle`` and ``Prn`` components. For undirected graphs, ``X`` and its
 reverse share one stored entry (symmetry optimisation); lookups
 transparently orient results to the requested sequence.
+
+:class:`PathIndex` is the monolithic implementation of the
+:class:`~repro.index.protocol.PathIndexProtocol`; see
+:mod:`repro.index.sharded` for the hash-partitioned one.
 """
 
 from __future__ import annotations
@@ -13,29 +17,24 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.index.histogram import CardinalityHistogram
-from repro.index.paths import IndexedPath, decode_paths
+from repro.index.paths import decode_paths
+from repro.index.protocol import (
+    PathIndexProtocol,
+    canonical_sequence,
+    is_palindrome,
+)
 from repro.storage.kvstore import PathStore
 from repro.utils.errors import IndexError_
 
-
-def canonical_sequence(label_seq: tuple) -> tuple:
-    """Canonical orientation of a label sequence (min of itself/reverse).
-
-    Labels are compared through ``repr`` so heterogeneous label types
-    cannot break ordering.
-    """
-    seq = tuple(label_seq)
-    rev = tuple(reversed(seq))
-    return seq if tuple(map(repr, seq)) <= tuple(map(repr, rev)) else rev
+__all__ = [
+    "PathIndex",
+    "canonical_sequence",
+    "is_palindrome",
+    "make_histogram",
+]
 
 
-def is_palindrome(label_seq: tuple) -> bool:
-    """True when a label sequence reads the same in both directions."""
-    seq = tuple(label_seq)
-    return seq == tuple(reversed(seq))
-
-
-class PathIndex:
+class PathIndex(PathIndexProtocol):
     """Two-level context-aware path index over a PEG.
 
     Constructed by :class:`~repro.index.builder.PathIndexBuilder`; query
@@ -95,44 +94,17 @@ class PathIndex:
         return tuple(points)
 
     # ------------------------------------------------------------------
-    # Lookup
+    # Lookup (the public lookup() lives on PathIndexProtocol)
     # ------------------------------------------------------------------
 
-    def lookup(self, label_seq: Sequence, alpha: float) -> list:
-        """All indexed paths matching ``label_seq`` with probability >= alpha.
-
-        Results are oriented so that ``result.nodes[i]`` carries
-        ``label_seq[i]``. For palindromic sequences, both alignments of
-        each stored path are returned (they are distinct embeddings).
-
-        Raises :class:`IndexError_` when ``alpha < beta`` — such paths are
-        not indexed; callers fall back to on-demand enumeration
-        (:func:`repro.index.builder.enumerate_paths_for_sequence`).
-        """
-        seq = tuple(label_seq)
-        if len(seq) - 1 > self.max_length:
-            raise IndexError_(
-                f"label sequence of length {len(seq) - 1} exceeds index "
-                f"max path length {self.max_length}"
-            )
-        if alpha < self.beta:
-            raise IndexError_(
-                f"alpha {alpha} below index lower bound beta {self.beta}; "
-                "compute paths on demand"
-            )
-        canonical = canonical_sequence(seq)
-        reverse_needed = canonical != seq
-        palindrome = is_palindrome(seq)
+    def lookup_canonical(self, canonical_seq: tuple, alpha: float) -> list:
+        """Stored paths of one canonical sequence with probability >= alpha."""
         min_bucket = self.bucket_for(alpha)
         results = []
-        for _, payload in self.store.scan_buckets(canonical, min_bucket):
+        for _, payload in self.store.scan_buckets(canonical_seq, min_bucket):
             for path in decode_paths(payload):
-                if path.probability < alpha:
-                    continue
-                oriented = path.reversed() if reverse_needed else path
-                results.append(oriented)
-                if palindrome and len(oriented.nodes) > 1:
-                    results.append(oriented.reversed())
+                if path.probability >= alpha:
+                    results.append(path)
         return results
 
     def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:

@@ -62,6 +62,26 @@ def encode_paths(paths: Iterable[IndexedPath]) -> bytes:
     return b"".join(parts)
 
 
+def payload_count(payload: bytes) -> int:
+    """Number of paths in a bucket payload (header only, no decode)."""
+    (count,) = _COUNT.unpack_from(payload, 0)
+    return count
+
+
+def concat_payloads(payloads: Iterable[bytes]) -> bytes:
+    """Merge bucket payloads of the same key without decoding.
+
+    The format is a count header followed by self-delimiting records, so
+    concatenation is summing the headers and joining the bodies — the
+    sharded builder's reduce phase merges spilled partitions this way.
+    """
+    payloads = list(payloads)
+    total = sum(payload_count(payload) for payload in payloads)
+    parts = [_COUNT.pack(total)]
+    parts.extend(payload[_COUNT.size:] for payload in payloads)
+    return b"".join(parts)
+
+
 def decode_paths(payload: bytes) -> list:
     """Deserialize a bucket payload back into :class:`IndexedPath` objects."""
     (count,) = _COUNT.unpack_from(payload, 0)

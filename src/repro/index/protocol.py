@@ -1,0 +1,147 @@
+"""The common lookup protocol every path-index implementation speaks.
+
+Three implementations share this contract:
+
+* :class:`~repro.index.path_index.PathIndex` — one store, the paper's
+  monolithic index,
+* :class:`~repro.index.sharded.ShardedPathIndex` — N hash shards, each
+  a :class:`PathIndex` over its own store,
+* :class:`~repro.index.batch.BatchLookupIndex` — a caching view used by
+  batched query execution.
+
+The protocol splits a lookup into the *canonical-space primitive*
+:meth:`PathIndexProtocol.lookup_canonical` (what a store/shard actually
+fetches) and the shared public :meth:`PathIndexProtocol.lookup`
+(argument validation plus orientation of results to the requested
+sequence), so every implementation validates, errors, and orients
+identically and downstream consumers — ``QueryEngine``,
+``index.bundle``, ``DiskPathStore``-backed serving — work transparently
+over any of them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.utils.errors import IndexError_
+
+
+def canonical_sequence(label_seq: tuple) -> tuple:
+    """Canonical orientation of a label sequence (min of itself/reverse).
+
+    Labels are compared through ``repr`` so heterogeneous label types
+    cannot break ordering.
+    """
+    seq = tuple(label_seq)
+    rev = tuple(reversed(seq))
+    return seq if tuple(map(repr, seq)) <= tuple(map(repr, rev)) else rev
+
+
+def is_palindrome(label_seq: tuple) -> bool:
+    """True when a label sequence reads the same in both directions."""
+    seq = tuple(label_seq)
+    return seq == tuple(reversed(seq))
+
+
+def orient_to_sequence(paths: list, label_seq: tuple) -> list:
+    """Orient canonical-space lookup results to a requested sequence.
+
+    ``paths`` must be stored (canonical-oriented) paths of
+    ``canonical_sequence(label_seq)``. Results are oriented so that
+    ``result.nodes[i]`` carries ``label_seq[i]``; for palindromic
+    sequences both alignments of each stored path are returned (they are
+    distinct embeddings).
+    """
+    seq = tuple(label_seq)
+    reverse_needed = canonical_sequence(seq) != seq
+    palindrome = is_palindrome(seq)
+    results = []
+    for path in paths:
+        oriented = path.reversed() if reverse_needed else path
+        results.append(oriented)
+        if palindrome and len(oriented.nodes) > 1:
+            results.append(oriented.reversed())
+    return results
+
+
+class PathIndexProtocol(ABC):
+    """Contract of a queryable context-aware path index.
+
+    Implementations carry the grid parameters ``max_length``, ``beta``
+    and ``gamma`` as attributes and provide the canonical-space
+    primitives; the public :meth:`lookup` — validation, canonicalisation
+    and orientation — is implemented once here.
+    """
+
+    max_length: int
+    beta: float
+    gamma: float
+
+    # -- canonical-space primitives ------------------------------------
+
+    @abstractmethod
+    def lookup_canonical(self, canonical_seq: tuple, alpha: float) -> list:
+        """Stored paths of one canonical sequence with probability >= alpha.
+
+        ``canonical_seq`` must already be canonical
+        (:func:`canonical_sequence`); results keep the stored canonical
+        orientation and are *not* palindrome-duplicated — that is
+        :func:`orient_to_sequence`'s job.
+        """
+
+    @abstractmethod
+    def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:
+        """Histogram estimate of ``|PIndex(label_seq, alpha)|``."""
+
+    # -- shared public lookup ------------------------------------------
+
+    def check_lookup(self, label_seq: Sequence, alpha: float) -> tuple:
+        """Validate lookup arguments; returns the sequence as a tuple.
+
+        Raises :class:`IndexError_` for sequences longer than the index
+        supports and for ``alpha < beta`` — such paths are not indexed;
+        callers fall back to on-demand enumeration
+        (:func:`repro.index.builder.enumerate_paths_for_sequence`).
+        """
+        seq = tuple(label_seq)
+        if len(seq) - 1 > self.max_length:
+            raise IndexError_(
+                f"label sequence of length {len(seq) - 1} exceeds index "
+                f"max path length {self.max_length}"
+            )
+        if alpha < self.beta:
+            raise IndexError_(
+                f"alpha {alpha} below index lower bound beta {self.beta} "
+                f"for label sequence {seq!r}; compute paths on demand"
+            )
+        return seq
+
+    def lookup(self, label_seq: Sequence, alpha: float) -> list:
+        """All indexed paths matching ``label_seq`` with probability >= alpha.
+
+        Results are oriented so that ``result.nodes[i]`` carries
+        ``label_seq[i]``; see :func:`orient_to_sequence` for the
+        palindrome contract and :meth:`check_lookup` for the errors.
+        """
+        seq = self.check_lookup(label_seq, alpha)
+        canonical = canonical_sequence(seq)
+        return orient_to_sequence(self.lookup_canonical(canonical, alpha), seq)
+
+    # -- introspection --------------------------------------------------
+
+    @abstractmethod
+    def num_sequences(self) -> int:
+        """Number of distinct canonical label sequences indexed."""
+
+    @abstractmethod
+    def num_paths(self) -> int:
+        """Total number of stored (canonical) paths."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate index footprint in bytes."""
+
+    @abstractmethod
+    def stats(self) -> dict:
+        """Summary including builder statistics."""

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.index.builder import enumerate_paths_for_sequence
 from repro.index.context import ContextInformation
-from repro.index.path_index import PathIndex
+from repro.index.protocol import PathIndexProtocol
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.decompose import QueryPath
 from repro.query.query_graph import QueryGraph
@@ -83,7 +83,7 @@ class CandidateFinder:
         peg: ProbabilisticEntityGraph,
         query: QueryGraph,
         alpha: float,
-        index: PathIndex | None = None,
+        index: PathIndexProtocol | None = None,
         context: ContextInformation | None = None,
         use_context: bool = True,
     ) -> None:

@@ -2,19 +2,24 @@
 
 :class:`QueryEngine` performs the offline phase at construction time
 (component probabilities are already embedded in the PEG; the engine
-builds the context-aware path index and the context tables) and answers
-probabilistic subgraph pattern matching queries online, producing both
-the matches and detailed statistics (timings, search-space progression)
-that the benchmark harness consumes.
+builds the context-aware path index — monolithic or hash-sharded — and
+the context tables) and answers probabilistic subgraph pattern matching
+queries online, producing both the matches and detailed statistics
+(timings, search-space progression) that the benchmark harness
+consumes. :meth:`QueryEngine.query_batch` evaluates many queries
+together, fetching each shared candidate label sequence from the index
+once per batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.index.batch import BatchLookupIndex
 from repro.index.builder import build_path_index
 from repro.index.context import ContextInformation, build_context
-from repro.index.path_index import PathIndex
+from repro.index.protocol import PathIndexProtocol, canonical_sequence
+from repro.index.sharded import ShardedPathIndex, build_sharded_path_index
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.candidates import CandidateFinder
 from repro.query.decompose import decompose_query
@@ -22,7 +27,7 @@ from repro.query.kpartite import CandidateKPartiteGraph
 from repro.query.matcher import generate_matches
 from repro.query.query_graph import QueryGraph
 from repro.storage.kvstore import PathStore
-from repro.utils.errors import QueryError
+from repro.utils.errors import IndexError_, QueryError
 from repro.utils.timing import StageTimings, Timer
 
 
@@ -78,9 +83,20 @@ class QueryEngine:
         Index threshold and resolution.
     store:
         Optional :class:`~repro.storage.kvstore.PathStore` for the index
-        (defaults to in-memory).
+        (defaults to in-memory; mutually exclusive with ``num_shards``).
     index_threads:
-        Worker threads for index construction.
+        Worker threads for monolithic index construction.
+    num_shards:
+        When >= 1, build a
+        :class:`~repro.index.sharded.ShardedPathIndex` with this many
+        hash shards instead of the monolithic index; 0 (the default)
+        keeps the paper's single-store shape.
+    shard_directory:
+        Base directory for the shard stores (in-memory shards when
+        omitted); required when ``build_processes > 1``.
+    build_processes:
+        Process-pool workers for the parallel sharded build (see
+        :class:`~repro.index.sharded.ShardedIndexBuilder`).
     """
 
     def __init__(
@@ -91,6 +107,9 @@ class QueryEngine:
         gamma: float = 0.1,
         store: PathStore | None = None,
         index_threads: int = 1,
+        num_shards: int = 0,
+        shard_directory: str | None = None,
+        build_processes: int = 0,
         _precomputed: tuple | None = None,
     ) -> None:
         self.peg = peg
@@ -98,15 +117,32 @@ class QueryEngine:
         if _precomputed is not None:
             self.index, self.context = _precomputed
             return
-        with self.offline_timings.time("path_index"):
-            self.index: PathIndex = build_path_index(
-                peg,
-                max_length=max_length,
-                beta=beta,
-                gamma=gamma,
-                store=store,
-                num_threads=index_threads,
-            )
+        if num_shards:
+            if store is not None:
+                raise IndexError_(
+                    "store and num_shards are mutually exclusive: a sharded "
+                    "index manages one store per shard"
+                )
+            with self.offline_timings.time("path_index"):
+                self.index: PathIndexProtocol = build_sharded_path_index(
+                    peg,
+                    num_shards,
+                    max_length=max_length,
+                    beta=beta,
+                    gamma=gamma,
+                    directory=shard_directory,
+                    num_processes=build_processes,
+                )
+        else:
+            with self.offline_timings.time("path_index"):
+                self.index = build_path_index(
+                    peg,
+                    max_length=max_length,
+                    beta=beta,
+                    gamma=gamma,
+                    store=store,
+                    num_threads=index_threads,
+                )
         with self.offline_timings.time("context"):
             self.context: ContextInformation = build_context(peg)
 
@@ -165,21 +201,101 @@ class QueryEngine:
 
         # 1. Path decomposition.
         with timings.time("decompose"):
-            decomposition = decompose_query(
-                query,
-                estimator=self.index.estimate_cardinality,
-                alpha=alpha,
-                max_length=self.max_length,
-                strategy=options.decomposition,
-                seed=options.seed,
-            )
+            decomposition = self._decompose(query, alpha, options)
 
+        return self._evaluate(
+            query, alpha, options, self.index, decomposition, timings
+        )
+
+    def query_batch(
+        self,
+        requests,
+        options: QueryOptions | None = None,
+    ) -> list:
+        """Evaluate a batch of ``(query, alpha)`` requests together.
+
+        Queries in a batch frequently share candidate label sequences
+        (the same decomposition path shapes recur across a workload);
+        evaluating them through one
+        :class:`~repro.index.batch.BatchLookupIndex` fetches every
+        distinct canonical sequence from the (possibly sharded) store
+        once per batch — prefetches are grouped by shard and issued at
+        the batch-wide minimum threshold per sequence — instead of once
+        per query. Results are returned in request order and are
+        identical to evaluating each request through :meth:`query`.
+        """
+        requests = [(query, float(alpha)) for query, alpha in requests]
+        options = options or QueryOptions()
+        plans = []
+        for query, alpha in requests:
+            if not 0.0 < alpha <= 1.0:
+                raise QueryError(f"alpha must be in (0, 1], got {alpha}")
+            timings = StageTimings()
+            with timings.time("decompose"):
+                decomposition = self._decompose(query, alpha, options)
+            plans.append((query, alpha, decomposition, timings))
+
+        batch_index = BatchLookupIndex(self.index)
+        for canonical, alpha in self._shared_lookups(plans):
+            batch_index.prefetch(canonical, alpha)
+
+        return [
+            self._evaluate(
+                query, alpha, options, batch_index, decomposition, timings
+            )
+            for query, alpha, decomposition, timings in plans
+        ]
+
+    def _shared_lookups(self, plans) -> list:
+        """Distinct canonical sequences a batch needs, with the minimum
+        alpha per sequence, ordered by owning shard for locality."""
+        needed: dict = {}
+        for query, alpha, decomposition, _ in plans:
+            if alpha < self.index.beta:
+                # Below-beta thresholds bypass the index entirely
+                # (on-demand enumeration); nothing to prefetch.
+                continue
+            for path in decomposition.paths:
+                canonical = canonical_sequence(
+                    query.label_sequence(path.nodes)
+                )
+                previous = needed.get(canonical)
+                if previous is None or alpha < previous:
+                    needed[canonical] = alpha
+        if isinstance(self.index, ShardedPathIndex):
+            def order(item):
+                return (self.index.shard_for(item[0]), repr(item[0]))
+        else:
+            def order(item):
+                return repr(item[0])
+        return sorted(needed.items(), key=order)
+
+    def _decompose(self, query: QueryGraph, alpha: float, options):
+        return decompose_query(
+            query,
+            estimator=self.index.estimate_cardinality,
+            alpha=alpha,
+            max_length=self.max_length,
+            strategy=options.decomposition,
+            seed=options.seed,
+        )
+
+    def _evaluate(
+        self,
+        query: QueryGraph,
+        alpha: float,
+        options: QueryOptions,
+        index: PathIndexProtocol,
+        decomposition,
+        timings: StageTimings,
+    ) -> QueryResult:
+        """Online phase stages 2-5 over an already-chosen decomposition."""
         # 2. Path candidates (index lookup + context pruning).
         finder = CandidateFinder(
             self.peg,
             query,
             alpha,
-            index=self.index,
+            index=index,
             context=self.context,
             use_context=options.use_context_pruning,
         )

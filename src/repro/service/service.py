@@ -12,6 +12,9 @@ and serves many online queries against it:
 * identical concurrent requests are collapsed by single-flight
   deduplication: the first becomes the leader, later arrivals attach to
   the leader's future instead of re-evaluating;
+* a batch of requests can be submitted as one grouped evaluation
+  (:meth:`QueryService.submit_batch`), fetching candidate label
+  sequences shared across the batch from the index store once;
 * the offline phase can be snapshotted to disk and warm-started on the
   next process via :meth:`snapshot` / :meth:`from_snapshot` /
   :meth:`open`.
@@ -29,7 +32,7 @@ from repro.query.engine import QueryEngine, QueryOptions, QueryResult
 from repro.query.query_graph import QueryGraph
 from repro.service.cache import ResultCache
 from repro.service.stats import ServiceStats
-from repro.utils.errors import ServiceError
+from repro.utils.errors import QueryError, ServiceError
 
 #: Engine of the current process-pool worker (set by the initializer).
 _WORKER_ENGINE: QueryEngine | None = None
@@ -44,6 +47,11 @@ def _process_worker_init(peg, snapshot_dir: str) -> None:
 def _process_worker_query(query, alpha, options):
     """Evaluate one request on the worker's warm-started engine."""
     return _WORKER_ENGINE.query(query, alpha, options)
+
+
+def _process_worker_query_batch(requests, options):
+    """Evaluate one grouped batch on the worker's warm-started engine."""
+    return _WORKER_ENGINE.query_batch(requests, options)
 
 
 def request_key(
@@ -156,13 +164,19 @@ class QueryService:
         gamma: float = 0.1,
         snapshot_dir: str | None = None,
         index_threads: int = 1,
+        num_shards: int = 0,
+        build_processes: int = 0,
         **service_kwargs,
     ) -> "QueryService":
         """Run the offline phase and wrap the engine in a service.
 
         When ``snapshot_dir`` is given the freshly built offline
         artifacts are persisted there immediately, ready for
-        :meth:`from_snapshot` on the next process.
+        :meth:`from_snapshot` on the next process. ``num_shards`` >= 1
+        builds a hash-sharded index instead of the monolithic one, and
+        ``build_processes`` > 1 parallelizes that build on a process
+        pool (the shard stores are then built directly inside
+        ``snapshot_dir``, which is required in that case).
         """
         engine = QueryEngine(
             peg,
@@ -170,6 +184,9 @@ class QueryService:
             beta=beta,
             gamma=gamma,
             index_threads=index_threads,
+            num_shards=num_shards,
+            shard_directory=snapshot_dir if num_shards else None,
+            build_processes=build_processes,
         )
         if snapshot_dir is not None:
             engine.save_offline(snapshot_dir)
@@ -203,6 +220,8 @@ class QueryService:
         beta: float = 0.1,
         gamma: float = 0.1,
         index_threads: int = 1,
+        num_shards: int = 0,
+        build_processes: int = 0,
         **service_kwargs,
     ) -> "QueryService":
         """Warm-start from ``snapshot_dir`` if possible, else build into it.
@@ -212,7 +231,8 @@ class QueryService:
         (``service.warm_started`` tells which happened).
 
         On a warm start the build parameters (``max_length``, ``beta``,
-        ``gamma``, ``index_threads``) are ignored — the snapshot's own
+        ``gamma``, ``index_threads``, ``num_shards``,
+        ``build_processes``) are ignored — the snapshot's own
         parameters win; check ``engine.max_length`` /
         ``engine.index.beta`` after opening. Delete the snapshot
         directory to rebuild with different parameters.
@@ -229,6 +249,8 @@ class QueryService:
                 gamma=gamma,
                 snapshot_dir=snapshot_dir,
                 index_threads=index_threads,
+                num_shards=num_shards,
+                build_processes=build_processes,
                 **service_kwargs,
             )
 
@@ -239,6 +261,50 @@ class QueryService:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+
+    def _admit(
+        self, query: QueryGraph, alpha: float, options: QueryOptions
+    ) -> tuple:
+        """Resolve one request against the cache and in-flight registry.
+
+        Returns ``(future, key)``: ``key`` is ``None`` when the future
+        is already settled (cache hit) or attached to an in-flight
+        evaluation (dedup); otherwise the request was registered
+        in-flight under ``key`` and the caller owns evaluating it and
+        completing the future (via :meth:`_finish` /
+        :meth:`_finish_batch` / :meth:`_abort_submission`).
+        """
+        key = request_key(query, alpha, options)
+        start = time.perf_counter()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.record_hit(time.perf_counter() - start)
+            future: Future = Future()
+            future.set_result(cached)
+            return future, None
+        with self._gate:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.stats.record_dedup()
+                return inflight, None
+            future = Future()
+            self._inflight[key] = future
+        self.stats.record_miss()
+        return future, key
+
+    def _abort_submission(self, key, future, start, exc) -> None:
+        """Unwind one registered request after an executor rejection.
+
+        close() can win the race after the in-flight registration: the
+        entry must be unregistered so attached followers fail instead
+        of hanging.
+        """
+        with self._gate:
+            self._inflight.pop(key, None)
+        self.stats.record_done(time.perf_counter() - start, error=True)
+        future.set_exception(
+            ServiceError(f"service is shutting down: {exc}")
+        )
 
     def submit(
         self,
@@ -255,22 +321,10 @@ class QueryService:
         if self._closed:
             raise ServiceError("service is closed")
         options = options or self.default_options
-        key = request_key(query, alpha, options)
-        start = time.perf_counter()
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.stats.record_hit(time.perf_counter() - start)
-            future: Future = Future()
-            future.set_result(cached)
+        future, key = self._admit(query, alpha, options)
+        if key is None:
             return future
-        with self._gate:
-            inflight = self._inflight.get(key)
-            if inflight is not None:
-                self.stats.record_dedup()
-                return inflight
-            future = Future()
-            self._inflight[key] = future
-        self.stats.record_miss()
+        start = time.perf_counter()
         try:
             if self.executor_kind == "process":
                 task = self._executor.submit(
@@ -281,14 +335,7 @@ class QueryService:
                     self.engine.query, query, alpha, options
                 )
         except RuntimeError as exc:
-            # close() won the race after the in-flight registration:
-            # unregister so attached followers fail instead of hanging.
-            with self._gate:
-                self._inflight.pop(key, None)
-            self.stats.record_done(time.perf_counter() - start, error=True)
-            future.set_exception(
-                ServiceError(f"service is shutting down: {exc}")
-            )
+            self._abort_submission(key, future, start, exc)
             return future
         task.add_done_callback(
             functools.partial(self._finish, key, future, start)
@@ -311,9 +358,104 @@ class QueryService:
         alpha: float,
         options: QueryOptions | None = None,
     ) -> list:
-        """Evaluate a batch concurrently; results in request order."""
+        """Evaluate a batch concurrently; results in request order.
+
+        Each query becomes its own evaluation task (maximum worker
+        parallelism). For workloads whose queries share candidate label
+        sequences, :meth:`submit_batch` trades that parallelism for
+        shared index fetches.
+        """
         futures = [self.submit(q, alpha, options) for q in queries]
         return [future.result() for future in futures]
+
+    def submit_batch(
+        self,
+        requests,
+        options: QueryOptions | None = None,
+    ) -> list:
+        """Enqueue ``(query, alpha)`` requests as one grouped evaluation.
+
+        Returns one future per request, in request order. Cache hits
+        resolve immediately and requests identical (up to node renaming)
+        to in-flight evaluations — including earlier entries of the same
+        batch — attach to the existing future; only the residual misses
+        are evaluated, together, through
+        :meth:`repro.query.engine.QueryEngine.query_batch`, so candidate
+        label sequences shared across the batch are fetched from the
+        (possibly sharded) index store once instead of once per query.
+
+        The grouped evaluation runs as a single task on one worker:
+        batching trades per-query worker parallelism for shared fetches,
+        which wins when the store is the bottleneck (disk-backed or
+        sharded indexes, I/O-bound serving) and mixed traffic keeps the
+        remaining workers busy.
+
+        A malformed request (invalid threshold, broken query) resolves
+        to its own error future without joining the grouped evaluation
+        — one bad request must not deny results to the rest of the
+        batch, and nothing is registered in-flight for it.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        options = options or self.default_options
+        futures: list = []
+        to_eval: list = []
+        for query, alpha in requests:
+            try:
+                if not 0.0 < alpha <= 1.0:
+                    raise QueryError(f"alpha must be in (0, 1], got {alpha}")
+                # _admit registers in-flight only after request_key
+                # succeeds, so a malformed request caught here has
+                # nothing to unwind. Dedup also covers duplicates
+                # earlier in this same batch.
+                future, key = self._admit(query, alpha, options)
+            except Exception as exc:
+                future = Future()
+                future.set_exception(
+                    exc if isinstance(exc, QueryError) else QueryError(
+                        f"malformed batch request: {exc}"
+                    )
+                )
+                futures.append(future)
+                continue
+            futures.append(future)
+            if key is not None:
+                to_eval.append((key, future, query, alpha))
+        if not to_eval:
+            return futures
+        batch = [(query, alpha) for _, _, query, alpha in to_eval]
+        start = time.perf_counter()
+        try:
+            if self.executor_kind == "process":
+                task = self._executor.submit(
+                    _process_worker_query_batch, batch, options
+                )
+            else:
+                task = self._executor.submit(
+                    self.engine.query_batch, batch, options
+                )
+        except RuntimeError as exc:
+            for key, future, _, _ in to_eval:
+                self._abort_submission(key, future, start, exc)
+            return futures
+        task.add_done_callback(
+            functools.partial(
+                self._finish_batch,
+                [(key, future) for key, future, _, _ in to_eval],
+                start,
+            )
+        )
+        return futures
+
+    def query_batch(
+        self,
+        requests,
+        options: QueryOptions | None = None,
+        timeout: float | None = None,
+    ) -> list:
+        """Blocking convenience wrapper around :meth:`submit_batch`."""
+        futures = self.submit_batch(requests, options)
+        return [future.result(timeout) for future in futures]
 
     def _finish(self, key, future, start, task) -> None:
         """Done-callback of one evaluation: publish, uncount, resolve."""
@@ -330,6 +472,25 @@ class QueryService:
             self._inflight.pop(key, None)
         self.stats.record_done(time.perf_counter() - start)
         future.set_result(result)
+
+    def _finish_batch(self, items, start, task) -> None:
+        """Done-callback of one grouped evaluation: resolve every member."""
+        exc = task.exception()
+        if exc is not None:
+            for key, future in items:
+                with self._gate:
+                    self._inflight.pop(key, None)
+                self.stats.record_done(
+                    time.perf_counter() - start, error=True
+                )
+                future.set_exception(exc)
+            return
+        for (key, future), result in zip(items, task.result()):
+            self.cache.put(key, result)
+            with self._gate:
+                self._inflight.pop(key, None)
+            self.stats.record_done(time.perf_counter() - start)
+            future.set_result(result)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

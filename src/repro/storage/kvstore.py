@@ -9,6 +9,14 @@ log and pointed to from the tree.
 Two implementations share the :class:`PathStore` interface:
 :class:`InMemoryPathStore` for tests and small workloads, and
 :class:`DiskPathStore` for the paper's disk-based setting.
+
+Both count the read operations they serve (``read_count``), which the
+batched query path and its benchmarks use to show that grouping queries
+fetches each shard bucket range once instead of once per query. A
+sharded index lays its per-shard stores out as ``shard-00/ ...
+shard-NN/`` subdirectories of one bundle directory; the
+:func:`shard_directory` / :func:`list_shard_directories` helpers define
+that naming in one place.
 """
 
 from __future__ import annotations
@@ -33,8 +41,18 @@ class PathStore(ABC):
 
     Buckets are integers in milli-probability units (``0..1000``);
     payloads are opaque byte strings (the index builder serializes path
-    lists into them).
+    lists into them). Every store counts the read operations
+    (:meth:`get_bucket` / :meth:`scan_buckets` calls) it serves in
+    ``read_count``.
     """
+
+    #: Read operations served; incremented by subclasses, reset with
+    #: :meth:`reset_read_count`.
+    read_count: int = 0
+
+    def reset_read_count(self) -> None:
+        """Zero the read-operation counter."""
+        self.read_count = 0
 
     @abstractmethod
     def put_bucket(self, label_seq: tuple, bucket: int, payload: bytes) -> None:
@@ -90,9 +108,11 @@ class InMemoryPathStore(PathStore):
         self._data.setdefault(tuple(label_seq), {})[bucket] = bytes(payload)
 
     def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+        self.read_count += 1
         return self._data.get(tuple(label_seq), {}).get(_check_bucket(bucket))
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
+        self.read_count += 1
         buckets = self._data.get(tuple(label_seq), {})
         for bucket in sorted(buckets):
             if bucket >= min_bucket:
@@ -115,12 +135,18 @@ class InMemoryPathStore(PathStore):
         pass
 
 
+#: Files a DiskPathStore creates under its directory; cleanup code
+#: (e.g. bundle rebuilds) iterates this instead of restating the names.
+DISK_STORE_FILENAMES = ("index.btree", "index.log", "index.dir")
+
+
 class DiskPathStore(PathStore):
     """Disk-backed path store: hash directory + B+ tree + record log.
 
-    Creates three files under ``directory``: ``index.btree`` (tree
-    pages), ``index.log`` (payload record log) and ``index.dir``
-    (pickled label-sequence directory, written on flush/close).
+    Creates the :data:`DISK_STORE_FILENAMES` files under ``directory``:
+    ``index.btree`` (tree pages), ``index.log`` (payload record log)
+    and ``index.dir`` (pickled label-sequence directory, written on
+    flush/close).
 
     All operations are serialized through one reentrant lock, so a store
     may be shared by concurrent readers (the tree's pager cache and the
@@ -133,9 +159,10 @@ class DiskPathStore(PathStore):
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._lock = threading.RLock()
-        self._tree = BPlusTree(os.path.join(self.directory, "index.btree"))
-        self._log = RecordLog(os.path.join(self.directory, "index.log"))
-        self._dir_path = os.path.join(self.directory, "index.dir")
+        tree_name, log_name, dir_name = DISK_STORE_FILENAMES
+        self._tree = BPlusTree(os.path.join(self.directory, tree_name))
+        self._log = RecordLog(os.path.join(self.directory, log_name))
+        self._dir_path = os.path.join(self.directory, dir_name)
         if os.path.exists(self._dir_path):
             with open(self._dir_path, "rb") as handle:
                 self._sequence_ids = pickle.load(handle)
@@ -163,6 +190,7 @@ class DiskPathStore(PathStore):
     def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
         _check_bucket(bucket)
         with self._lock:
+            self.read_count += 1
             seq_id = self._sequence_id(label_seq, create=False)
             if seq_id is None:
                 return None
@@ -174,6 +202,7 @@ class DiskPathStore(PathStore):
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
         with self._lock:
+            self.read_count += 1
             seq_id = self._sequence_id(label_seq, create=False)
             if seq_id is None:
                 return
@@ -208,3 +237,31 @@ class DiskPathStore(PathStore):
             self.flush()
             self._tree.close()
             self._log.close()
+
+
+# ----------------------------------------------------------------------
+# Shard-aware on-disk layout
+# ----------------------------------------------------------------------
+
+_SHARD_PREFIX = "shard-"
+
+
+def shard_directory(base_directory: str, shard_id: int) -> str:
+    """Directory holding shard ``shard_id``'s store under a bundle dir."""
+    if shard_id < 0:
+        raise StorageError(f"shard id must be >= 0, got {shard_id}")
+    return os.path.join(base_directory, f"{_SHARD_PREFIX}{shard_id:02d}")
+
+
+def list_shard_directories(base_directory: str) -> list:
+    """Existing shard store directories under ``base_directory``, in shard order."""
+    if not os.path.isdir(base_directory):
+        return []
+    shards = []
+    for name in os.listdir(base_directory):
+        if not name.startswith(_SHARD_PREFIX):
+            continue
+        suffix = name[len(_SHARD_PREFIX):]
+        if suffix.isdigit():
+            shards.append((int(suffix), os.path.join(base_directory, name)))
+    return [path for _, path in sorted(shards)]

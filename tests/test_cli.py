@@ -195,3 +195,148 @@ class TestServe:
             ["serve", peg_file, "--queries", str(workload)]
         ) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_serve_batch_mode(self, peg_file, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        assert main(
+            [
+                "serve", peg_file, "--queries", workload,
+                "--alpha", "0.2", "--batch", "--repeat", "2", "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query 0" in out and "query 1" in out
+        assert "hits" in out
+
+    def test_serve_cold_start_sharded(self, peg_file, tmp_path, capsys):
+        workload = self.write_workload(tmp_path)
+        snapshot = str(tmp_path / "sharded-bundle")
+        assert main(
+            [
+                "serve", peg_file, "--snapshot", snapshot,
+                "--queries", workload, "--alpha", "0.2", "--shards", "3",
+            ]
+        ) == 0
+        assert "cold start" in capsys.readouterr().out
+        assert (tmp_path / "sharded-bundle" / "shard-00").is_dir()
+
+
+class TestBuild:
+    def test_build_then_warm_serve(self, peg_file, tmp_path, capsys):
+        bundle = str(tmp_path / "bundle")
+        assert main(
+            [
+                "build", peg_file, "--out", bundle,
+                "--max-length", "2", "--beta", "0.1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "monolithic index" in out and "paths" in out
+
+        workload = tmp_path / "w.jsonl"
+        workload.write_text(json.dumps(
+            {"nodes": {"a": "L0", "b": "L1"}, "edges": [["a", "b"]]}
+        ))
+        assert main(
+            [
+                "serve", peg_file, "--snapshot", bundle,
+                "--queries", str(workload), "--alpha", "0.2",
+            ]
+        ) == 0
+        assert "warm start" in capsys.readouterr().out
+
+    def test_build_sharded(self, peg_file, tmp_path, capsys):
+        bundle = str(tmp_path / "bundle")
+        assert main(
+            [
+                "build", peg_file, "--out", bundle, "--shards", "4",
+                "--max-length", "1", "--beta", "0.2",
+            ]
+        ) == 0
+        assert "4 shards" in capsys.readouterr().out
+        assert (tmp_path / "bundle" / "shard-03").is_dir()
+
+    def test_build_processes_require_shards(self, peg_file, tmp_path, capsys):
+        assert main(
+            [
+                "build", peg_file, "--out", str(tmp_path / "b"),
+                "--build-processes", "2",
+            ]
+        ) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_rebuild_into_used_directory_drops_stale_data(
+        self, peg_file, tmp_path
+    ):
+        from repro.index.bundle import load_offline
+
+        bundle = str(tmp_path / "bundle")
+        # First build indexes far more paths (low beta) than the second;
+        # without cleanup the reopened store would still serve them.
+        assert main(
+            [
+                "build", peg_file, "--out", bundle,
+                "--max-length", "2", "--beta", "0.05",
+            ]
+        ) == 0
+        assert main(
+            [
+                "build", peg_file, "--out", bundle,
+                "--max-length", "1", "--beta", "0.5",
+            ]
+        ) == 0
+        index, _ = load_offline(bundle)
+        fresh = str(tmp_path / "fresh")
+        assert main(
+            [
+                "build", peg_file, "--out", fresh,
+                "--max-length", "1", "--beta", "0.5",
+            ]
+        ) == 0
+        expected, _ = load_offline(fresh)
+        assert index.num_paths() == expected.num_paths()
+        for seq in expected.histograms:
+            assert len(index.lookup(seq, 0.5)) == len(
+                expected.lookup(seq, 0.5)
+            )
+
+    def test_rebuild_unsharded_over_sharded(self, peg_file, tmp_path):
+        from repro.index import ShardedPathIndex
+        from repro.index.bundle import load_offline
+
+        bundle = str(tmp_path / "bundle")
+        assert main(
+            [
+                "build", peg_file, "--out", bundle, "--shards", "3",
+                "--max-length", "1", "--beta", "0.2",
+            ]
+        ) == 0
+        assert main(
+            [
+                "build", peg_file, "--out", bundle,
+                "--max-length", "1", "--beta", "0.2",
+            ]
+        ) == 0
+        index, _ = load_offline(bundle)
+        assert not isinstance(index, ShardedPathIndex)
+        assert not (tmp_path / "bundle" / "shard-00").exists()
+
+    def test_serve_build_processes_validation(self, peg_file, tmp_path, capsys):
+        workload = tmp_path / "w.jsonl"
+        workload.write_text(json.dumps(
+            {"nodes": {"a": "L0", "b": "L1"}, "edges": [["a", "b"]]}
+        ))
+        assert main(
+            [
+                "serve", peg_file, "--queries", str(workload),
+                "--build-processes", "2",
+            ]
+        ) == 1
+        assert "--shards" in capsys.readouterr().err
+        assert main(
+            [
+                "serve", peg_file, "--queries", str(workload),
+                "--shards", "2", "--build-processes", "2",
+            ]
+        ) == 1
+        assert "--snapshot" in capsys.readouterr().err

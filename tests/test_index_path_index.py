@@ -70,6 +70,17 @@ class TestLookupValidation:
         with pytest.raises(IndexError_):
             index.lookup(("L0", "L1"), 0.2)
 
+    def test_alpha_below_beta_error_carries_context(self):
+        """The error must name alpha, beta, and the label sequence."""
+        peg = small_random_peg(seed=8, num_references=40)
+        index = build_path_index(peg, max_length=1, beta=0.5)
+        with pytest.raises(IndexError_) as excinfo:
+            index.lookup(("L0", "L1"), 0.2)
+        message = str(excinfo.value)
+        assert "0.2" in message
+        assert "0.5" in message
+        assert "('L0', 'L1')" in message
+
     def test_overlong_sequence_rejected(self):
         peg = small_random_peg(seed=8, num_references=40)
         index = build_path_index(peg, max_length=1, beta=0.1)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.index.paths import IndexedPath, decode_paths, encode_paths
+from repro.index.paths import (
+    IndexedPath,
+    concat_payloads,
+    decode_paths,
+    encode_paths,
+    payload_count,
+)
 from repro.utils.errors import IndexError_
 
 
@@ -49,3 +55,17 @@ class TestSerialization:
         payload = encode_paths([IndexedPath((1, 2), 0.5, 0.5)])
         with pytest.raises(IndexError_):
             decode_paths(payload + b"junk")
+
+    def test_payload_count_without_decode(self):
+        paths = [IndexedPath((i, i + 1), 0.5, 0.9) for i in range(7)]
+        assert payload_count(encode_paths(paths)) == 7
+        assert payload_count(encode_paths([])) == 0
+
+    def test_concat_payloads_equals_encoding_concatenation(self):
+        first = [IndexedPath((0,), 1.0, 1.0), IndexedPath((1, 2), 0.5, 0.9)]
+        second = [IndexedPath((3, 4, 5), 0.25, 0.75)]
+        merged = concat_payloads(
+            [encode_paths(first), encode_paths(second), encode_paths([])]
+        )
+        assert decode_paths(merged) == first + second
+        assert payload_count(merged) == 3

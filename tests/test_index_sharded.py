@@ -1,0 +1,248 @@
+"""Sharded path index: partitioning invariants and builder equivalence.
+
+The property-based section pins down the shard-partitioning contract:
+
+* :func:`~repro.index.sharded.shard_for_sequence` is deterministic,
+  orientation-invariant, and in range;
+* every indexed canonical sequence lives in **exactly one** shard;
+* the union of per-shard lookups equals the unsharded lookup;
+* cardinality estimates sum correctly across shards (every non-owning
+  shard contributes exactly zero).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import (
+    PathIndexProtocol,
+    ShardedPathIndex,
+    build_path_index,
+    build_sharded_path_index,
+    canonical_sequence,
+    shard_for_sequence,
+)
+from repro.utils.errors import IndexError_
+
+from tests.conftest import small_random_peg
+
+MAX_LENGTH = 2
+BETA = 0.1
+NUM_SHARDS = 4
+
+_LABELS = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.text(alphabet="abcxyz", min_size=0, max_size=4),
+    st.booleans(),
+)
+_SEQUENCES = st.lists(_LABELS, min_size=1, max_size=5).map(tuple)
+
+
+# ----------------------------------------------------------------------
+# shard_for_sequence properties
+# ----------------------------------------------------------------------
+
+
+class TestShardHash:
+    @given(seq=_SEQUENCES, num_shards=st.integers(min_value=1, max_value=16))
+    def test_in_range_and_deterministic(self, seq, num_shards):
+        shard = shard_for_sequence(seq, num_shards)
+        assert 0 <= shard < num_shards
+        assert shard_for_sequence(seq, num_shards) == shard
+
+    @given(seq=_SEQUENCES, num_shards=st.integers(min_value=1, max_value=16))
+    def test_orientation_invariant(self, seq, num_shards):
+        reverse = tuple(reversed(seq))
+        assert shard_for_sequence(seq, num_shards) == shard_for_sequence(
+            reverse, num_shards
+        )
+        assert shard_for_sequence(
+            canonical_sequence(seq), num_shards
+        ) == shard_for_sequence(seq, num_shards)
+
+    def test_stable_across_runs(self):
+        # Pinned values: the hash must not depend on PYTHONHASHSEED or
+        # the process — a change here breaks every saved sharded bundle.
+        assert shard_for_sequence(("a", "b"), 4) == shard_for_sequence(
+            ("b", "a"), 4
+        )
+        assert shard_for_sequence((0, 1, 0), 1) == 0
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(IndexError_):
+            shard_for_sequence(("a",), 0)
+
+
+# ----------------------------------------------------------------------
+# Partitioning invariants of a built index
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    peg = small_random_peg(seed=11)
+    unsharded = build_path_index(peg, max_length=MAX_LENGTH, beta=BETA)
+    sharded = build_sharded_path_index(
+        peg, NUM_SHARDS, max_length=MAX_LENGTH, beta=BETA
+    )
+    return unsharded, sharded
+
+
+def _lookup_keys(index, seq, alpha):
+    return sorted(
+        (path.nodes, round(path.probability, 12))
+        for path in index.lookup(seq, alpha)
+    )
+
+
+class TestPartitioningInvariants:
+    def test_is_a_path_index(self, indexes):
+        _, sharded = indexes
+        assert isinstance(sharded, PathIndexProtocol)
+        assert sharded.num_shards == NUM_SHARDS
+
+    def test_no_sequence_in_two_shards(self, indexes):
+        _, sharded = indexes
+        seen: dict = {}
+        for shard_id, shard in enumerate(sharded.shards):
+            for seq in shard.histograms:
+                assert seq not in seen, (
+                    f"sequence {seq!r} stored in shards {seen[seq]} "
+                    f"and {shard_id}"
+                )
+                seen[seq] = shard_id
+                assert shard_id == sharded.shard_for(seq)
+        # ... and the store contents agree with the histograms.
+        for shard_id, shard in enumerate(sharded.shards):
+            for seq in shard.store.label_sequences():
+                assert sharded.shard_for(seq) == shard_id
+
+    def test_shards_cover_every_sequence(self, indexes):
+        unsharded, sharded = indexes
+        assert set(unsharded.histograms) == set(sharded.histograms)
+        assert unsharded.num_paths() == sharded.num_paths()
+        assert unsharded.num_sequences() == sharded.num_sequences()
+
+    @pytest.mark.parametrize("alpha", [BETA, 0.25, 0.6, 0.95])
+    def test_union_of_shard_lookups_equals_unsharded(self, indexes, alpha):
+        unsharded, sharded = indexes
+        for seq in unsharded.histograms:
+            expected = _lookup_keys(unsharded, seq, alpha)
+            assert _lookup_keys(sharded, seq, alpha) == expected
+            # The union over *all* shards is the same set: non-owning
+            # shards contribute nothing.
+            union = []
+            for shard in sharded.shards:
+                union.extend(
+                    (path.nodes, round(path.probability, 12))
+                    for path in shard.lookup(seq, alpha)
+                )
+            assert sorted(union) == expected
+
+    @pytest.mark.parametrize("alpha", [BETA, 0.3, 0.7])
+    def test_estimate_cardinality_sums_across_shards(self, indexes, alpha):
+        unsharded, sharded = indexes
+        for seq in unsharded.histograms:
+            expected = unsharded.estimate_cardinality(seq, alpha)
+            total = sum(
+                shard.estimate_cardinality(seq, alpha)
+                for shard in sharded.shards
+            )
+            assert total == pytest.approx(expected)
+            assert sharded.estimate_cardinality(seq, alpha) == pytest.approx(
+                expected
+            )
+
+    def test_unindexed_sequence_everywhere_empty(self, indexes):
+        unsharded, sharded = indexes
+        ghost = ("no-such-label", "really-not")
+        assert sharded.lookup(ghost, 0.5) == []
+        assert sharded.estimate_cardinality(ghost, 0.5) == 0.0
+        assert unsharded.lookup(ghost, 0.5) == []
+
+
+# ----------------------------------------------------------------------
+# Builder shapes and validation
+# ----------------------------------------------------------------------
+
+
+class TestShardedBuilder:
+    def test_parallel_build_matches_serial(self, indexes, tmp_path):
+        peg = small_random_peg(seed=11)
+        unsharded, _ = indexes
+        parallel = build_sharded_path_index(
+            peg,
+            3,
+            max_length=MAX_LENGTH,
+            beta=BETA,
+            directory=str(tmp_path),
+            num_processes=2,
+        )
+        assert parallel.num_paths() == unsharded.num_paths()
+        for seq in unsharded.histograms:
+            assert _lookup_keys(parallel, seq, 0.3) == _lookup_keys(
+                unsharded, seq, 0.3
+            )
+
+    def test_single_shard_equals_unsharded(self, indexes):
+        peg = small_random_peg(seed=11)
+        unsharded, _ = indexes
+        single = build_sharded_path_index(
+            peg, 1, max_length=MAX_LENGTH, beta=BETA
+        )
+        assert single.num_shards == 1
+        assert single.num_paths() == unsharded.num_paths()
+
+    def test_parallel_build_requires_directory(self):
+        peg = small_random_peg(seed=11)
+        with pytest.raises(IndexError_, match="directory"):
+            build_sharded_path_index(
+                peg, 2, max_length=1, beta=0.5, num_processes=2
+            )
+
+    def test_rejects_mismatched_shards(self, indexes):
+        unsharded, _ = indexes
+        peg = small_random_peg(seed=11)
+        other = build_path_index(peg, max_length=1, beta=0.5)
+        with pytest.raises(IndexError_, match="share max_length"):
+            ShardedPathIndex([unsharded, other])
+
+    def test_rebuild_clears_stale_state(self, indexes, tmp_path):
+        """Rebuilding into a used directory must not inherit anything."""
+        import os
+
+        peg = small_random_peg(seed=11)
+        unsharded, _ = indexes
+        directory = str(tmp_path)
+        build_sharded_path_index(
+            peg, 4, max_length=MAX_LENGTH, beta=BETA, directory=directory
+        )
+        # Simulate a crashed parallel build: leftover spill data that a
+        # naive rebuild would merge in as duplicates.
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        (spill / "part-000-shard-000.pkl").write_bytes(b"stale")
+        rebuilt = build_sharded_path_index(
+            peg, 2, max_length=MAX_LENGTH, beta=BETA, directory=directory
+        )
+        assert rebuilt.num_paths() == unsharded.num_paths()
+        assert not spill.exists()
+        # The shard-02/shard-03 stores of the 4-shard build are gone.
+        leftover = [
+            name for name in os.listdir(directory)
+            if name.startswith("shard-")
+        ]
+        assert sorted(leftover) == ["shard-00", "shard-01"]
+        for seq in unsharded.histograms:
+            assert _lookup_keys(rebuilt, seq, 0.3) == _lookup_keys(
+                unsharded, seq, 0.3
+            )
+
+    def test_stats_aggregate(self, indexes):
+        unsharded, sharded = indexes
+        stats = sharded.stats()
+        assert stats["num_shards"] == NUM_SHARDS
+        assert stats["paths"] == unsharded.num_paths()
+        assert sum(stats["paths_per_shard"]) == stats["paths"]
