@@ -9,16 +9,23 @@ Each result file is a whitespace-separated series written by
 :func:`benchmarks.harness.report`; this script groups rows into aligned
 tables and prefixes each with the figure it regenerates, giving a
 single artifact to diff against EXPERIMENTS.md.
+
+Machine-readable benchmark runs (``BENCH_*.json``, e.g. from
+``bench_reduction_core.py``) found at the repository root or under
+``results/`` are additionally merged into one perf-trajectory table:
+one column per run, one row per (flattened) metric.
 """
 
 from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import sys
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Figure captions, keyed by result-file stem.
 CAPTIONS = {
@@ -56,15 +63,58 @@ def _format_table(lines: list) -> list:
     ]
 
 
+def _flatten(value, prefix: str, row: dict) -> None:
+    """Flatten nested dicts into dotted scalar keys (lists are skipped)."""
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(sub, f"{prefix}.{key}" if prefix else str(key), row)
+    elif isinstance(value, bool):
+        row[prefix] = "yes" if value else "no"
+    elif isinstance(value, float):
+        row[prefix] = f"{value:.6g}"
+    elif isinstance(value, (int, str)):
+        row[prefix] = str(value).replace(" ", "_")
+
+
+def bench_trajectory(paths=None) -> str:
+    """Merge per-run ``BENCH_*.json`` files into one trajectory table.
+
+    ``paths`` defaults to every ``BENCH_*.json`` at the repository root
+    and under ``results/``. Columns are runs (file stems), rows are the
+    union of flattened metric keys; runs missing a metric show ``-``.
+    Returns an empty string when no run files exist.
+    """
+    if paths is None:
+        found = []
+        for directory in (REPO_ROOT, RESULTS_DIR):
+            found.extend(glob.glob(os.path.join(directory, "BENCH_*.json")))
+        paths = sorted(set(found), key=os.path.basename)
+    runs = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except ValueError:
+                continue
+        row: dict = {}
+        _flatten(data, "", row)
+        runs.append((os.path.splitext(os.path.basename(path))[0], row))
+    if not runs:
+        return ""
+    metrics = sorted({key for _, row in runs for key in row})
+    lines = [" ".join(["metric"] + [label for label, _ in runs])]
+    for metric in metrics:
+        lines.append(
+            " ".join([metric] + [row.get(metric, "-") for _, row in runs])
+        )
+    body = _format_table(lines)
+    return "\n".join(["== Performance trajectory (BENCH_*.json)", *body])
+
+
 def summarize(results_dir: str = RESULTS_DIR) -> str:
     """Render every result series into one aligned report string."""
     sections = []
     paths = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
-    if not paths:
-        return (
-            "no result series found; run "
-            "`pytest benchmarks/ --benchmark-only` first\n"
-        )
     for path in paths:
         stem = os.path.splitext(os.path.basename(path))[0]
         caption = CAPTIONS.get(stem, stem)
@@ -72,6 +122,14 @@ def summarize(results_dir: str = RESULTS_DIR) -> str:
             lines = handle.read().splitlines()
         body = _format_table(lines)
         sections.append("\n".join([f"== {caption}", *body]))
+    trajectory = bench_trajectory()
+    if trajectory:
+        sections.append(trajectory)
+    if not sections:
+        return (
+            "no result series found; run "
+            "`pytest benchmarks/ --benchmark-only` first\n"
+        )
     return "\n\n".join(sections) + "\n"
 
 

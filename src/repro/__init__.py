@@ -57,7 +57,7 @@ from repro.query import (
 from repro.relational import sql_baseline_matches
 from repro.service import QueryService, ResultCache, ServiceStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PGD",

@@ -18,7 +18,13 @@
   multi-query execution.
 """
 
-from repro.index.paths import IndexedPath, encode_paths, decode_paths
+from repro.index.paths import (
+    IndexedPath,
+    encode_paths,
+    decode_paths,
+    decode_path_arrays,
+    decode_paths_above,
+)
 from repro.index.context import ContextInformation, build_context
 from repro.index.histogram import CardinalityHistogram
 from repro.index.protocol import (
@@ -41,6 +47,8 @@ __all__ = [
     "IndexedPath",
     "encode_paths",
     "decode_paths",
+    "decode_path_arrays",
+    "decode_paths_above",
     "ContextInformation",
     "build_context",
     "CardinalityHistogram",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.index.histogram import CardinalityHistogram
-from repro.index.paths import decode_paths
+from repro.index.paths import decode_paths_above
 from repro.index.protocol import (
     PathIndexProtocol,
     canonical_sequence,
@@ -98,13 +98,16 @@ class PathIndex(PathIndexProtocol):
     # ------------------------------------------------------------------
 
     def lookup_canonical(self, canonical_seq: tuple, alpha: float) -> list:
-        """Stored paths of one canonical sequence with probability >= alpha."""
+        """Stored paths of one canonical sequence with probability >= alpha.
+
+        Bucket payloads are bulk-decoded (one ``frombuffer`` parse plus
+        an array threshold test per bucket) and only surviving paths are
+        materialized — see :func:`repro.index.paths.decode_paths_above`.
+        """
         min_bucket = self.bucket_for(alpha)
         results = []
         for _, payload in self.store.scan_buckets(canonical_seq, min_bucket):
-            for path in decode_paths(payload):
-                if path.probability >= alpha:
-                    results.append(path)
+            results.extend(decode_paths_above(payload, alpha))
         return results
 
     def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:

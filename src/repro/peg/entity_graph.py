@@ -165,6 +165,15 @@ class ProbabilisticEntityGraph:
         key = (id_a, id_b) if id_a < id_b else (id_b, id_a)
         return self._edge_dist_by_id.get(key)
 
+    def edge_ids(self):
+        """Iterate ``((id_a, id_b), merged distribution)`` with ``id_a < id_b``.
+
+        The bulk edge-probability tables of
+        :class:`repro.query.reduction.PegProbabilityArrays` are built
+        from this view.
+        """
+        return self._edge_dist_by_id.items()
+
     def edge_probability_id(self, id_a: int, id_b: int, label_a=None, label_b=None) -> float:
         """``Pr((a, b).e = T)`` by node ids (labels required when conditional)."""
         dist = self.edge_distribution_id(id_a, id_b)

@@ -25,11 +25,14 @@ def _min_degree_order(factors: Sequence[Factor], keep: set) -> list:
                 if var_a != var_b:
                     adjacency[var_a].add(var_b)
     to_eliminate = set(adjacency) - keep
+    # Tie-break keys are stable: compute each str(v) once instead of
+    # re-stringifying every remaining variable on every round.
+    str_key = {var: str(var) for var in to_eliminate}
     order = []
     while to_eliminate:
         var = min(
             to_eliminate,
-            key=lambda v: (len(adjacency[v] & to_eliminate), str(v)),
+            key=lambda v: (len(adjacency[v] & to_eliminate), str_key[v]),
         )
         order.append(var)
         neighbors = adjacency[var]

@@ -8,7 +8,10 @@ The five steps of the paper's online phase map to submodules:
    path-level context pruning,
 3. :mod:`repro.query.join_candidates` — join-candidate lookup tables,
 4. :mod:`repro.query.kpartite` — the candidate k-partite graph and
-   reduction by join-candidates (structure + upperbounds),
+   reduction by join-candidates (structure + upperbounds; the
+   pure-Python reference backend) with its vectorized numpy twin in
+   :mod:`repro.query.reduction` (selected via
+   ``QueryOptions.reduction_backend``, the default),
 5. :mod:`repro.query.matcher` — join ordering and full match generation.
 
 :class:`~repro.query.engine.QueryEngine` ties the offline and online

@@ -39,6 +39,15 @@ class QueryOptions:
     ``use_structure_reduction=use_upperbound_reduction=False`` gives the
     No-search-space-reduction baseline; ``use_context_pruning=False``
     ablates Section 5.2.2's context tests.
+
+    ``reduction_backend`` selects the joint search-space reduction
+    implementation: ``"vectorized"`` (the default) runs the whole-array
+    numpy backend of :mod:`repro.query.reduction` — flat ``w1``/``w2``/
+    alive arrays, CSR links, segment-max Jacobi rounds; ``"python"``
+    runs the incremental pure-Python reference of
+    :mod:`repro.query.kpartite`. Both produce identical matches,
+    partition sizes and removal counts; ``parallel_reduction`` and
+    ``num_threads`` only affect the Python backend.
     """
 
     decomposition: str = "greedy"
@@ -48,6 +57,7 @@ class QueryOptions:
     parallel_reduction: bool = False
     num_threads: int = 4
     seed: int | None = None
+    reduction_backend: str = "vectorized"
 
 
 @dataclass
@@ -114,6 +124,9 @@ class QueryEngine:
     ) -> None:
         self.peg = peg
         self.offline_timings = StageTimings()
+        # Lazily-built per-PEG probability tables shared by every
+        # vectorized reduction this engine runs.
+        self._peg_arrays = None
         if _precomputed is not None:
             self.index, self.context = _precomputed
             return
@@ -270,6 +283,41 @@ class QueryEngine:
                 return repr(item[0])
         return sorted(needed.items(), key=order)
 
+    def _make_kpartite(self, decomposition, candidates, alpha, options):
+        """Instantiate the selected reduction backend over one candidate set."""
+        backend = options.reduction_backend
+        if backend == "vectorized":
+            from repro.query.reduction import (
+                PegProbabilityArrays,
+                VectorizedKPartiteGraph,
+            )
+
+            # The per-label probability tables depend only on the PEG;
+            # one shared instance amortizes them across all queries of
+            # this engine.
+            if self._peg_arrays is None:
+                self._peg_arrays = PegProbabilityArrays(self.peg)
+            return VectorizedKPartiteGraph(
+                self.peg,
+                decomposition,
+                candidates,
+                alpha,
+                arrays=self._peg_arrays,
+            )
+        if backend == "python":
+            return CandidateKPartiteGraph(
+                self.peg,
+                decomposition,
+                candidates,
+                alpha,
+                parallel=options.parallel_reduction,
+                num_threads=options.num_threads,
+            )
+        raise QueryError(
+            f"unknown reduction backend {backend!r}; "
+            "expected 'vectorized' or 'python'"
+        )
+
     def _decompose(self, query: QueryGraph, alpha: float, options):
         return decompose_query(
             query,
@@ -325,13 +373,8 @@ class QueryEngine:
 
         # 3 & 4. Join candidates and joint search-space reduction.
         with timings.time("kpartite"):
-            kpartite = CandidateKPartiteGraph(
-                self.peg,
-                decomposition,
-                candidates,
-                alpha,
-                parallel=options.parallel_reduction,
-                num_threads=options.num_threads,
+            kpartite = self._make_kpartite(
+                decomposition, candidates, alpha, options
             )
         with timings.time("reduction"):
             reduction = kpartite.reduce(

@@ -19,6 +19,16 @@ link per satisfiable join. Two reduction principles run to fixpoint:
 Updates are incremental (only vertices whose neighborhood changed are
 recomputed) and optionally thread-parallel in Jacobi rounds, mirroring
 the paper's shared-memory implementation.
+
+This module is the pure-Python reference backend
+(``reduction_backend="python"``); :mod:`repro.query.reduction` holds
+the vectorized numpy backend. Both consume the link structure produced
+by :func:`build_candidate_links` and expose the same narrow interface
+(:meth:`CandidateKPartiteGraph.alive_counts`,
+:meth:`~CandidateKPartiteGraph.alive_vertex_ids`,
+:meth:`~CandidateKPartiteGraph.candidate_of`,
+:meth:`~CandidateKPartiteGraph.is_alive`,
+:meth:`~CandidateKPartiteGraph.linked`) the matcher joins through.
 """
 
 from __future__ import annotations
@@ -48,7 +58,13 @@ class _Vertex:
 
 @dataclass
 class ReductionStats:
-    """Sizes and work counters of one reduction run."""
+    """Sizes and work counters of one reduction run.
+
+    ``message_updates`` and ``rounds`` are backend-dependent work
+    counters (the incremental Python backend recomputes only dirty
+    vertices per round, the vectorized backend recomputes every alive
+    vertex); sizes and removal counts are backend-independent.
+    """
 
     initial_sizes: tuple = ()
     after_structure_sizes: tuple = ()
@@ -60,6 +76,10 @@ class ReductionStats:
 
     @staticmethod
     def _product(sizes: tuple) -> float:
+        # A query with zero partitions has an empty search space, not a
+        # singleton one; the empty product must not report size 1.
+        if not sizes:
+            return 0.0
         result = 1.0
         for size in sizes:
             result *= size
@@ -81,6 +101,42 @@ class ReductionStats:
         return self._product(self.final_sizes)
 
 
+def build_candidate_links(
+    peg: ProbabilisticEntityGraph,
+    decomposition: Decomposition,
+    candidates: dict,
+    alpha: float,
+) -> dict:
+    """Satisfiable join links between candidate partitions.
+
+    Returns ``{(i, j): [(vid, uid), ...]}`` for every joining partition
+    pair with ``i < j``: partition-``i`` vertex ``vid`` and
+    partition-``j`` vertex ``uid`` agree on the join predicates, their
+    joined subgraph is consistent (injective, reference-disjoint) and
+    its exact probability reaches ``alpha``. Both reduction backends
+    consume this one structure, so their link sets are identical by
+    construction.
+    """
+    tables = JoinCandidateTables(decomposition, candidates)
+    links: dict = {}
+    for i, joined in decomposition.joins_with.items():
+        for j in joined:
+            if j < i:
+                continue  # links are symmetric; build once per pair
+            pairs = []
+            for vid, candidate in enumerate(candidates[i]):
+                for uid in tables.joinable(i, vid, j):
+                    prob = joined_probability(
+                        peg, decomposition, i, candidate, j,
+                        candidates[j][uid],
+                    )
+                    if prob < alpha:
+                        continue
+                    pairs.append((vid, uid))
+            links[(i, j)] = pairs
+    return links
+
+
 class CandidateKPartiteGraph:
     """Definition 6: partitions = query paths, vertices = candidates."""
 
@@ -92,6 +148,7 @@ class CandidateKPartiteGraph:
         alpha: float,
         parallel: bool = False,
         num_threads: int = 4,
+        links: dict | None = None,
     ) -> None:
         self.peg = peg
         self.decomposition = decomposition
@@ -100,7 +157,7 @@ class CandidateKPartiteGraph:
         self.num_threads = max(int(num_threads), 1)
         self.k = len(decomposition.paths)
         self._build_vertices(candidates)
-        self._build_links(candidates)
+        self._build_links(candidates, links)
 
     # ------------------------------------------------------------------
     # Construction
@@ -138,26 +195,17 @@ class CandidateKPartiteGraph:
                 )
             self.partitions.append(vertices)
 
-    def _build_links(self, candidates: dict) -> None:
-        tables = JoinCandidateTables(self.decomposition, candidates)
-        peg = self.peg
-        decomposition = self.decomposition
-        alpha = self.alpha
-        for i, joined in decomposition.joins_with.items():
-            for j in joined:
-                if j < i:
-                    continue  # links are symmetric; build once per pair
-                for vid, vertex in enumerate(self.partitions[i]):
-                    for uid in tables.joinable(i, vid, j):
-                        other = self.partitions[j][uid]
-                        prob = joined_probability(
-                            peg, decomposition, i, vertex.candidate, j,
-                            other.candidate,
-                        )
-                        if prob < alpha:
-                            continue
-                        vertex.links.setdefault(j, set()).add(uid)
-                        other.links.setdefault(i, set()).add(vid)
+    def _build_links(self, candidates: dict, links: dict | None) -> None:
+        if links is None:
+            links = build_candidate_links(
+                self.peg, self.decomposition, candidates, self.alpha
+            )
+        for (i, j), pairs in links.items():
+            for vid, uid in pairs:
+                vertex = self.partitions[i][vid]
+                other = self.partitions[j][uid]
+                vertex.links.setdefault(j, set()).add(uid)
+                other.links.setdefault(i, set()).add(vid)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -183,6 +231,18 @@ class CandidateKPartiteGraph:
             for vid, vertex in enumerate(self.partitions[i])
             if vertex.alive
         )
+
+    def alive_vertex_ids(self, i: int) -> list:
+        """Vertex ids of partition ``i`` still alive, ascending."""
+        return [vid for vid, _ in self.alive_vertices(i)]
+
+    def candidate_of(self, i: int, vid: int):
+        """The candidate path match behind vertex ``vid`` of partition ``i``."""
+        return self.partitions[i][vid].candidate
+
+    def is_alive(self, i: int, vid: int) -> bool:
+        """Whether vertex ``vid`` of partition ``i`` survived so far."""
+        return self.partitions[i][vid].alive
 
     def linked(self, i: int, vid: int, j: int) -> frozenset:
         """Alive partition-``j`` vertices linked to vertex ``vid`` of ``i``."""
@@ -222,8 +282,14 @@ class CandidateKPartiteGraph:
                 if other.alive and touched is not None:
                     touched.add((j, uid))
 
-    def _reduce_structure(self) -> int:
-        """Delete vertices missing a link into a required partition."""
+    def _reduce_structure(self, changed_neighbors: set | None = None) -> int:
+        """Delete vertices missing a link into a required partition.
+
+        ``changed_neighbors``, when given, accumulates the ``(partition,
+        vertex id)`` pairs whose neighborhood shrank — the upperbound
+        loop re-marks them dirty so their perception vectors are
+        recomputed against the post-structure state.
+        """
         removed = 0
         worklist = [
             (i, vid)
@@ -244,6 +310,8 @@ class CandidateKPartiteGraph:
             touched: set = set()
             self._delete(i, vid, touched)
             removed += 1
+            if changed_neighbors is not None:
+                changed_neighbors |= touched
             for item in touched:
                 if item not in pending:
                     pending.add(item)
@@ -314,7 +382,7 @@ class CandidateKPartiteGraph:
                             if self.partitions[j][uid].alive:
                                 touched.add((j, uid))
             if use_structure and touched:
-                stats.structure_removed += self._reduce_structure()
+                stats.structure_removed += self._reduce_structure(touched)
             dirty |= {
                 item
                 for item in touched

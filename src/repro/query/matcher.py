@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from repro.peg.entity_graph import Match, ProbabilisticEntityGraph
 from repro.query.decompose import Decomposition
-from repro.query.kpartite import CandidateKPartiteGraph
 
 
 def determine_join_order(
@@ -53,13 +52,19 @@ def determine_join_order(
 def generate_matches(
     peg: ProbabilisticEntityGraph,
     decomposition: Decomposition,
-    kpartite: CandidateKPartiteGraph,
+    kpartite,
     alpha: float,
 ) -> list:
     """Enumerate all full query matches with probability >= alpha.
 
-    Returns deduplicated :class:`~repro.peg.entity_graph.Match` objects:
-    two embeddings inducing the same labeled subgraph are one match.
+    ``kpartite`` is a reduced candidate k-partite graph of either
+    backend (:class:`repro.query.kpartite.CandidateKPartiteGraph` or
+    :class:`repro.query.reduction.VectorizedKPartiteGraph`); only the
+    shared alive-mask/link interface (``alive_counts``,
+    ``alive_vertex_ids``, ``candidate_of``, ``is_alive``, ``linked``) is
+    consumed. Returns deduplicated
+    :class:`~repro.peg.entity_graph.Match` objects: two embeddings
+    inducing the same labeled subgraph are one match.
     """
     query = decomposition.query
     order = determine_join_order(
@@ -84,10 +89,10 @@ def generate_matches(
             kpartite, partition, joined_before, chosen
         )
         for vid in candidate_ids:
-            vertex = kpartite.partitions[partition][vid]
-            if not vertex.alive:
+            if not kpartite.is_alive(partition, vid):
                 continue
-            new_mapping = _try_extend(mapping, path, vertex.candidate)
+            candidate = kpartite.candidate_of(partition, vid)
+            new_mapping = _try_extend(mapping, path, candidate)
             if new_mapping is None:
                 continue
             if _partial_probability(new_mapping) < alpha:
@@ -98,7 +103,7 @@ def generate_matches(
 
     def _candidate_vertices(kpartite, partition, joined_before, chosen):
         if not joined_before:
-            return [vid for vid, _ in kpartite.alive_vertices(partition)]
+            return kpartite.alive_vertex_ids(partition)
         sets = [
             kpartite.linked(j, chosen[j], partition) for j in joined_before
         ]

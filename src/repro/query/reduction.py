@@ -1,0 +1,405 @@
+"""Vectorized (numpy) backend of the joint search-space reduction.
+
+:class:`VectorizedKPartiteGraph` is the flat-array counterpart of
+:class:`repro.query.kpartite.CandidateKPartiteGraph`: every partition
+becomes contiguous arrays (``w1``, ``w2``, an ``alive`` mask and the
+perception vectors as one ``(num_vertices, k)`` float64 matrix), links
+become CSR-style ``indptr``/``indices`` arrays per ordered partition
+pair, and both reduction principles run as whole-array passes:
+
+* **structure** — per partition and required neighbor partition, one
+  boolean scatter marks vertices with at least one alive CSR neighbor;
+  the complement is deleted, swept to fixpoint,
+* **upperbounds** — Jacobi rounds: a segment-max over each CSR
+  neighborhood (``np.maximum.reduceat``) rebuilds every perception
+  vector from the pre-round state, and one row-product threshold test
+  against α deletes vertices in bulk.
+
+The candidate scores ``w1`` are computed by vectorized gather over
+per-label node-probability arrays and a ``searchsorted`` edge-probability
+table (:class:`PegProbabilityArrays`), built once per query from the
+PEG.
+
+Both backends consume the identical link structure
+(:func:`repro.query.kpartite.build_candidate_links`) and perform
+floating-point operations in the same per-element order, so alive sets,
+partition sizes and removal counts agree with the Python reference; the
+work counters (``message_updates``, ``rounds``) are backend-dependent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.peg.entity_graph import ProbabilisticEntityGraph
+from repro.query.decompose import Decomposition
+from repro.query.kpartite import (
+    _CONVERGENCE_EPSILON,
+    ReductionStats,
+    build_candidate_links,
+)
+
+
+class PegProbabilityArrays:
+    """Probability arrays gathered from a PEG, cached per label.
+
+    ``label_probabilities(σ)`` is a dense float64 array over node ids;
+    ``edge_probabilities`` answers bulk edge-probability gathers through
+    a sorted composite-key table (``min_id * num_nodes + max_id``) and
+    ``np.searchsorted``. Arrays are built lazily per label (pair).
+
+    The tables depend only on the immutable PEG, so one instance should
+    be shared across queries (``QueryEngine`` keeps one per engine and
+    hands it to every :class:`VectorizedKPartiteGraph`); repeated
+    queries then pay a pure array gather, not an O(nodes) rebuild.
+    Concurrent readers are safe: cache entries are idempotent values
+    inserted under the GIL.
+    """
+
+    def __init__(self, peg: ProbabilisticEntityGraph) -> None:
+        self.peg = peg
+        self.num_nodes = peg.num_nodes
+        self._label_probs: dict = {}
+        self._edge_keys = None
+        self._edge_dists = None
+        self._edge_probs: dict = {}
+
+    def label_probabilities(self, label) -> np.ndarray:
+        """``Pr(v.l = label)`` for every node id, as one dense array."""
+        array = self._label_probs.get(label)
+        if array is None:
+            peg = self.peg
+            array = np.fromiter(
+                (
+                    peg.label_probability_id(node, label)
+                    for node in range(self.num_nodes)
+                ),
+                dtype=np.float64,
+                count=self.num_nodes,
+            )
+            self._label_probs[label] = array
+        return array
+
+    def _edge_table(self) -> tuple:
+        if self._edge_keys is None:
+            n = self.num_nodes
+            items = sorted(self.peg.edge_ids(), key=lambda item: item[0])
+            keys = np.fromiter(
+                (id_a * n + id_b for (id_a, id_b), _ in items),
+                dtype=np.int64,
+                count=len(items),
+            )
+            # Publish keys last: concurrent readers gate on _edge_keys,
+            # so _edge_dists must already be visible when they pass.
+            self._edge_dists = [dist for _, dist in items]
+            self._edge_keys = keys
+        return self._edge_keys, self._edge_dists
+
+    def edge_probabilities(
+        self, ids_a: np.ndarray, ids_b: np.ndarray, label_a, label_b
+    ) -> np.ndarray:
+        """Bulk ``Pr((a, b).e = T)`` under the two endpoint labels.
+
+        Conditional edge CPTs canonicalize their label pair, so one
+        cached value array per unordered label pair serves both
+        orientations; missing edges gather 0.0.
+        """
+        keys, dists = self._edge_table()
+        pair = tuple(sorted((label_a, label_b), key=repr))
+        values = self._edge_probs.get(pair)
+        if values is None:
+            values = np.fromiter(
+                (dist.probability(label_a, label_b) for dist in dists),
+                dtype=np.float64,
+                count=len(dists),
+            )
+            self._edge_probs[pair] = values
+        ids_a = np.asarray(ids_a, dtype=np.int64)
+        ids_b = np.asarray(ids_b, dtype=np.int64)
+        wanted = (
+            np.minimum(ids_a, ids_b) * self.num_nodes
+            + np.maximum(ids_a, ids_b)
+        )
+        if keys.size == 0:
+            return np.zeros(wanted.shape, dtype=np.float64)
+        position = np.searchsorted(keys, wanted).clip(0, keys.size - 1)
+        found = keys[position] == wanted
+        return np.where(found, values[position], 0.0)
+
+
+class VectorizedKPartiteGraph:
+    """Flat-array candidate k-partite graph (Definition 6, vectorized).
+
+    Same constructor contract and reduction semantics as
+    :class:`repro.query.kpartite.CandidateKPartiteGraph`; ``parallel``
+    and ``num_threads`` are accepted for signature parity but ignored
+    (whole-array numpy passes replace the thread pool). Pass a shared
+    ``arrays`` (:class:`PegProbabilityArrays`) to amortize the
+    per-label probability tables across queries.
+    """
+
+    def __init__(
+        self,
+        peg: ProbabilisticEntityGraph,
+        decomposition: Decomposition,
+        candidates: dict,
+        alpha: float,
+        parallel: bool = False,
+        num_threads: int = 4,
+        links: dict | None = None,
+        arrays: PegProbabilityArrays | None = None,
+    ) -> None:
+        self.peg = peg
+        self.decomposition = decomposition
+        self.alpha = float(alpha)
+        self.k = len(decomposition.paths)
+        self.arrays = arrays if arrays is not None else PegProbabilityArrays(peg)
+        self.candidates = [list(candidates[i]) for i in range(self.k)]
+        self._build_vertices()
+        if links is None:
+            links = build_candidate_links(
+                peg, decomposition, candidates, self.alpha
+            )
+        self._build_csr(links)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_vertices(self) -> None:
+        decomposition = self.decomposition
+        query = decomposition.query
+        arrays = self.arrays
+        self.node_matrix: list = []
+        self.w1: list = []
+        self.w2: list = []
+        self.alive: list = []
+        self.vectors: list = []
+        for i, path in enumerate(decomposition.paths):
+            cands = self.candidates[i]
+            n = len(cands)
+            positions = len(path.nodes)
+            nodes = np.array(
+                [candidate.nodes for candidate in cands], dtype=np.int64
+            ).reshape(n, positions)
+            position_of = {node: pos for pos, node in enumerate(path.nodes)}
+            # Multiply factors in the reference backend's order so the
+            # float results are bit-identical.
+            w1 = np.ones(n, dtype=np.float64)
+            for query_node in decomposition.covered_nodes[i]:
+                probs = arrays.label_probabilities(query.label(query_node))
+                w1 *= probs[nodes[:, position_of[query_node]]]
+            for edge in decomposition.covered_edges[i]:
+                node_a, node_b = tuple(edge)
+                w1 *= arrays.edge_probabilities(
+                    nodes[:, position_of[node_a]],
+                    nodes[:, position_of[node_b]],
+                    query.label(node_a),
+                    query.label(node_b),
+                )
+            w2 = np.fromiter(
+                (candidate.prn for candidate in cands),
+                dtype=np.float64,
+                count=n,
+            )
+            vectors = np.ones((n, self.k), dtype=np.float64)
+            vectors[:, i] = w1
+            self.node_matrix.append(nodes)
+            self.w1.append(w1)
+            self.w2.append(w2)
+            self.alive.append(np.ones(n, dtype=bool))
+            self.vectors.append(vectors)
+
+    def _build_csr(self, links: dict) -> None:
+        # One CSR per ordered joining pair (i, j): row = partition-i
+        # vertex id, column entries = linked partition-j vertex ids.
+        self._csr: dict = {}
+        for i, joined in self.decomposition.joins_with.items():
+            for j in joined:
+                if i < j:
+                    pairs = links.get((i, j), ())
+                    edge_rows = [vid for vid, _ in pairs]
+                    edge_cols = [uid for _, uid in pairs]
+                else:
+                    pairs = links.get((j, i), ())
+                    edge_rows = [uid for _, uid in pairs]
+                    edge_cols = [vid for vid, _ in pairs]
+                n_i = len(self.candidates[i])
+                rows = np.asarray(edge_rows, dtype=np.int64)
+                cols = np.asarray(edge_cols, dtype=np.int64)
+                if rows.size:
+                    order = np.lexsort((cols, rows))
+                    rows = rows[order]
+                    cols = cols[order]
+                counts = np.bincount(rows, minlength=n_i)
+                indptr = np.zeros(n_i + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+                self._csr[(i, j)] = (indptr, cols, rows)
+
+    # ------------------------------------------------------------------
+    # Introspection (the matcher's interface)
+    # ------------------------------------------------------------------
+
+    def alive_counts(self) -> tuple:
+        """Number of surviving vertices per partition."""
+        return tuple(int(mask.sum()) for mask in self.alive)
+
+    def search_space_size(self) -> float:
+        """Product of surviving partition sizes (the paper's metric)."""
+        result = 1.0
+        for count in self.alive_counts():
+            result *= count
+        return result
+
+    def alive_vertex_ids(self, i: int) -> list:
+        """Vertex ids of partition ``i`` still alive, ascending."""
+        return np.nonzero(self.alive[i])[0].tolist()
+
+    def candidate_of(self, i: int, vid: int):
+        """The candidate path match behind vertex ``vid`` of partition ``i``."""
+        return self.candidates[i][vid]
+
+    def is_alive(self, i: int, vid: int) -> bool:
+        """Whether vertex ``vid`` of partition ``i`` survived so far."""
+        return bool(self.alive[i][vid])
+
+    def linked(self, i: int, vid: int, j: int) -> frozenset:
+        """Alive partition-``j`` vertices linked to vertex ``vid`` of ``i``."""
+        entry = self._csr.get((i, j))
+        if entry is None:
+            return frozenset()
+        indptr, cols, _ = entry
+        neighbors = cols[indptr[vid]:indptr[vid + 1]]
+        return frozenset(neighbors[self.alive[j][neighbors]].tolist())
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+
+    def reduce(
+        self,
+        use_structure: bool = True,
+        use_upperbounds: bool = True,
+        max_rounds: int = 1000,
+    ) -> ReductionStats:
+        """Run both reductions to fixpoint and return statistics."""
+        stats = ReductionStats(initial_sizes=self.alive_counts())
+        if use_structure:
+            stats.structure_removed += self._structure_fixpoint()
+        stats.after_structure_sizes = self.alive_counts()
+        if use_upperbounds:
+            self._upperbound_rounds(stats, use_structure, max_rounds)
+        stats.final_sizes = self.alive_counts()
+        return stats
+
+    def _structure_fixpoint(self) -> int:
+        """Delete vertices missing an alive link into a required partition."""
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for i in range(self.k):
+                required = self.decomposition.joins_with.get(i, frozenset())
+                alive_i = self.alive[i]
+                if not required or not alive_i.any():
+                    continue
+                fail = np.zeros(alive_i.shape, dtype=bool)
+                for j in required:
+                    indptr, cols, rows = self._csr[(i, j)]
+                    has_neighbor = np.zeros(alive_i.shape, dtype=bool)
+                    if rows.size:
+                        has_neighbor[rows[self.alive[j][cols]]] = True
+                    fail |= ~has_neighbor
+                kill = alive_i & fail
+                if kill.any():
+                    alive_i[kill] = False
+                    removed += int(kill.sum())
+                    changed = True
+        return removed
+
+    def _segment_max(self, i: int, j: int) -> np.ndarray:
+        """``(n_i, k)`` column-wise max over alive CSR neighbors in ``j``."""
+        indptr, cols, _ = self._csr[(i, j)]
+        n_i = self.alive[i].shape[0]
+        if cols.size == 0:
+            return np.zeros((n_i, self.k), dtype=np.float64)
+        neighbor_vectors = self.vectors[j][cols]
+        dead = ~self.alive[j][cols]
+        if dead.any():
+            neighbor_vectors[dead] = 0.0
+        # Pad one zero row so every indptr start is a valid reduceat
+        # index (trailing empty rows point one past the end); rows with
+        # empty neighborhoods are zeroed explicitly afterwards.
+        padded = np.vstack(
+            (neighbor_vectors, np.zeros((1, self.k), dtype=np.float64))
+        )
+        segmax = np.maximum.reduceat(padded, indptr[:-1], axis=0)
+        empty = indptr[:-1] == indptr[1:]
+        if empty.any():
+            segmax[empty] = 0.0
+        return segmax
+
+    def _upperbound_rounds(
+        self, stats: ReductionStats, use_structure: bool, max_rounds: int
+    ) -> None:
+        eps = _CONVERGENCE_EPSILON
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            new_vectors: list = []
+            deletions: list = []
+            changes: list = []
+            # Jacobi: every partition computed from the pre-round state.
+            for i in range(self.k):
+                old = self.vectors[i]
+                alive_i = self.alive[i]
+                required = self.decomposition.joins_with.get(i, frozenset())
+                if required and alive_i.any():
+                    best = None
+                    for j in sorted(required):
+                        segmax = self._segment_max(i, j)
+                        best = (
+                            segmax if best is None
+                            else np.minimum(best, segmax)
+                        )
+                    new = np.minimum(old, best)
+                    new[:, i] = old[:, i]  # the own entry stays fixed
+                else:
+                    new = old.copy()
+                # Row-product threshold test, multiplying in the
+                # reference backend's column order.
+                bound = self.w2[i].copy()
+                for p in range(self.k):
+                    bound *= new[:, p]
+                deleted = alive_i & (bound < self.alpha)
+                changed_rows = (
+                    alive_i & ~deleted & ((old - new) > eps).any(axis=1)
+                )
+                stats.message_updates += int(alive_i.sum())
+                new_vectors.append(new)
+                deletions.append(deleted)
+                changes.append(changed_rows)
+            any_deleted = False
+            any_changed = False
+            for i in range(self.k):
+                deleted = deletions[i]
+                keep = self.alive[i] & ~deleted
+                self.vectors[i] = np.where(
+                    keep[:, None], new_vectors[i], self.vectors[i]
+                )
+                if deleted.any():
+                    self.alive[i][deleted] = False
+                    stats.upperbound_removed += int(deleted.sum())
+                    any_deleted = True
+                if changes[i].any():
+                    any_changed = True
+            if not any_deleted and not any_changed:
+                break
+            # Structure eligibility depends only on alive masks and
+            # links; a change-only round cannot create new structure
+            # deletions, so the fixpoint sweep runs only after actual
+            # deletions (the Python backend runs it then too — and it
+            # removes nothing, keeping the counters identical).
+            if use_structure and any_deleted:
+                stats.structure_removed += self._structure_fixpoint()
+        stats.rounds += rounds

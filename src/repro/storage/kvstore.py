@@ -40,10 +40,14 @@ class PathStore(ABC):
     """Bucketed key/value store keyed by ``(label sequence, bucket)``.
 
     Buckets are integers in milli-probability units (``0..1000``);
-    payloads are opaque byte strings (the index builder serializes path
-    lists into them). Every store counts the read operations
-    (:meth:`get_bucket` / :meth:`scan_buckets` calls) it serves in
-    ``read_count``.
+    payloads are opaque bytes-like buffers (the index builder
+    serializes path lists into them). Reads return ``bytes`` or — for
+    zero-copy implementations — a read-only ``memoryview``; consumers
+    must treat payloads as buffers (``struct.unpack_from``,
+    ``np.frombuffer``, ``bytes(payload)``) and call ``bytes()`` before
+    pickling or using one as a dict key. Every store counts the read
+    operations (:meth:`get_bucket` / :meth:`scan_buckets` calls) it
+    serves in ``read_count``.
     """
 
     #: Read operations served; incremented by subclasses, reset with
@@ -59,7 +63,9 @@ class PathStore(ABC):
         """Store ``payload`` under ``(label_seq, bucket)`` (replaces)."""
 
     @abstractmethod
-    def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+    def get_bucket(
+        self, label_seq: tuple, bucket: int
+    ) -> "bytes | memoryview | None":
         """Fetch the payload of one bucket, or ``None``."""
 
     @abstractmethod
@@ -148,6 +154,13 @@ class DiskPathStore(PathStore):
     and ``index.dir`` (pickled label-sequence directory, written on
     flush/close).
 
+    With ``mmap_reads`` (the default), payloads are returned as
+    zero-copy ``memoryview`` slices over an mmap of the record log —
+    bucket payloads feed ``np.frombuffer`` bulk decoding without an
+    intermediate copy. Views stay valid for the process lifetime (the
+    log is append-only and the mapping survives :meth:`close` while
+    referenced). Pass ``mmap_reads=False`` to get fresh ``bytes``.
+
     All operations are serialized through one reentrant lock, so a store
     may be shared by concurrent readers (the tree's pager cache and the
     log's file handle are position-stateful and would otherwise race);
@@ -155,10 +168,11 @@ class DiskPathStore(PathStore):
     yielding.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, mmap_reads: bool = True) -> None:
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._lock = threading.RLock()
+        self._mmap_reads = bool(mmap_reads)
         tree_name, log_name, dir_name = DISK_STORE_FILENAMES
         self._tree = BPlusTree(os.path.join(self.directory, tree_name))
         self._log = RecordLog(os.path.join(self.directory, log_name))
@@ -187,7 +201,14 @@ class DiskPathStore(PathStore):
             key = _COMPOSITE.pack(seq_id, bucket)
             self._tree.put(key, _POINTER.pack(offset, length))
 
-    def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+    def _read_payload(self, offset: int, length: int):
+        if self._mmap_reads:
+            return self._log.read_view(offset, length)
+        return self._log.read(offset, length)
+
+    def get_bucket(
+        self, label_seq: tuple, bucket: int
+    ) -> "bytes | memoryview | None":
         _check_bucket(bucket)
         with self._lock:
             self.read_count += 1
@@ -198,7 +219,7 @@ class DiskPathStore(PathStore):
             if pointer is None:
                 return None
             offset, length = _POINTER.unpack(pointer)
-            return self._log.read(offset, length)
+            return self._read_payload(offset, length)
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
         with self._lock:
@@ -212,7 +233,7 @@ class DiskPathStore(PathStore):
             for key, pointer in self._tree.range(lo, hi):
                 _, bucket = _COMPOSITE.unpack(key)
                 offset, length = _POINTER.unpack(pointer)
-                results.append((bucket, self._log.read(offset, length)))
+                results.append((bucket, self._read_payload(offset, length)))
         yield from results
 
     def label_sequences(self):

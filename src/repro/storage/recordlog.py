@@ -4,10 +4,18 @@ Bucket payloads (serialized path lists) are variable-length and often
 much larger than a page, so the B+ tree stores fixed-size *pointers*
 ``(offset, length)`` into this log instead of inlining values — the
 classic indirection KyotoCabinet applies for large records.
+
+Reads come in two flavors: :meth:`RecordLog.read` copies the record
+into fresh bytes, while :meth:`RecordLog.read_view` returns a zero-copy
+``memoryview`` over an mmap of the log — the payload feeds
+``np.frombuffer`` bulk decoding without an intermediate copy. The log
+is append-only, so mapped regions are immutable; the mapping is lazily
+(re)created when a read reaches past its current size.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import struct
 
@@ -25,6 +33,8 @@ class RecordLog:
         self._file = open(self.path, "r+b" if existed else "w+b")
         self._file.seek(0, os.SEEK_END)
         self._end = self._file.tell()
+        self._map: mmap.mmap | None = None
+        self._map_size = 0
 
     def append(self, payload: bytes) -> tuple:
         """Append ``payload`` and return its ``(offset, length)`` pointer."""
@@ -54,6 +64,57 @@ class RecordLog:
             raise StorageError(f"short record read at offset {offset}")
         return payload
 
+    def _drop_map(self) -> None:
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # Zero-copy views (numpy arrays, memoryviews) still
+                # reference the mapping; it stays alive until they are
+                # collected, which keeps those views valid.
+                pass
+            self._map = None
+            self._map_size = 0
+
+    def _mapped(self, end: int) -> mmap.mmap | None:
+        """A read-only mapping covering ``[0, end)``, or ``None``."""
+        if self._map is None or self._map_size < end:
+            self._drop_map()
+            self._file.flush()
+            size = os.path.getsize(self.path)
+            if size < end:
+                return None
+            try:
+                self._map = mmap.mmap(
+                    self._file.fileno(), size, access=mmap.ACCESS_READ
+                )
+            except (OSError, ValueError):  # pragma: no cover - platform quirk
+                return None
+            self._map_size = size
+        return self._map
+
+    def read_view(self, offset: int, length: int):
+        """Zero-copy read: a ``memoryview`` over the mapped record.
+
+        The view aliases the mmap directly (no payload copy); the
+        length prefix is verified exactly like :meth:`read`. Falls back
+        to the copying :meth:`read` when the log cannot be mapped
+        (e.g. it is empty).
+        """
+        if offset < 0 or offset + _HEADER.size > self._end:
+            raise StorageError(f"record offset {offset} out of range")
+        end = offset + _HEADER.size + length
+        mapping = self._mapped(end)
+        if mapping is None:
+            return self.read(offset, length)
+        (stored_length,) = _HEADER.unpack_from(mapping, offset)
+        if stored_length != length:
+            raise StorageError(
+                f"record length mismatch at {offset}: "
+                f"stored {stored_length}, requested {length}"
+            )
+        return memoryview(mapping)[offset + _HEADER.size:end]
+
     def size_bytes(self) -> int:
         """Total bytes written to the log."""
         return self._end
@@ -62,6 +123,7 @@ class RecordLog:
         self._file.flush()
 
     def close(self) -> None:
+        self._drop_map()
         if not self._file.closed:
             self._file.flush()
             self._file.close()

@@ -1,13 +1,17 @@
 """Randomized differential harness: sharded vs unsharded vs brute force.
 
-For a stream of small random PEGs and random queries, three independent
+For a stream of small random PEGs and random queries, four independent
 evaluation routes must agree *exactly* — same match sets, same
 probabilities:
 
-1. the optimized engine over the monolithic :class:`PathIndex`,
-2. the optimized engine over a :class:`ShardedPathIndex` (both per
+1. the optimized engine over the monolithic :class:`PathIndex` with the
+   vectorized (numpy) reduction backend,
+2. the same engine with the pure-Python reference reduction backend —
+   which must additionally agree with the vectorized backend on the
+   reduction statistics (partition sizes and removal counts),
+3. the optimized engine over a :class:`ShardedPathIndex` (both per
    query and through batched execution), and
-3. brute-force possible-worlds enumeration
+4. brute-force possible-worlds enumeration
    (:mod:`repro.peg.possible_worlds` via
    :func:`repro.query.baselines.exhaustive_matches` — the literal
    Eq. 8 semantics).
@@ -27,7 +31,10 @@ import pytest
 
 from repro.datasets import SyntheticConfig, generate_synthetic_pgd, random_query
 from repro.peg import build_peg
-from repro.query import QueryEngine, exhaustive_matches
+from repro.query import QueryEngine, QueryOptions, exhaustive_matches
+
+PYTHON_BACKEND = QueryOptions(reduction_backend="python")
+VECTOR_BACKEND = QueryOptions(reduction_backend="vectorized")
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260730"))
 NUM_GRAPHS = 25
@@ -44,6 +51,25 @@ TOTAL_CASES = NUM_GRAPHS * QUERIES_PER_GRAPH * len(ALPHAS)
 def match_keys(matches):
     return sorted(
         (m.nodes, m.edges, round(m.probability, 9)) for m in matches
+    )
+
+
+def reduction_key(result):
+    """Backend-independent reduction facts of one query result.
+
+    Work counters (``message_updates``, ``rounds``) are excluded — they
+    legitimately differ between the incremental Python backend and the
+    whole-array vectorized one.
+    """
+    stats = result.reduction
+    if stats is None:
+        return None
+    return (
+        stats.initial_sizes,
+        stats.after_structure_sizes,
+        stats.final_sizes,
+        stats.structure_removed,
+        stats.upperbound_removed,
     )
 
 
@@ -108,13 +134,22 @@ def test_differential_agreement(graph_index, config, query_seed):
     for query in queries:
         for alpha in ALPHAS:
             oracle = match_keys(exhaustive_matches(peg, query, alpha))
-            via_unsharded = match_keys(unsharded.query(query, alpha).matches)
+            vectorized = unsharded.query(query, alpha, VECTOR_BACKEND)
+            python = unsharded.query(query, alpha, PYTHON_BACKEND)
             via_sharded = match_keys(sharded.query(query, alpha).matches)
             via_batch = match_keys(batched_results[case].matches)
             context = (graph_index, config.seed, query.nodes, alpha)
-            assert via_unsharded == oracle, context
+            assert match_keys(vectorized.matches) == oracle, context
+            assert match_keys(python.matches) == oracle, context
             assert via_sharded == oracle, context
             assert via_batch == oracle, context
+            # Backend parity beyond matches: identical partition sizes
+            # and removal counts, and the same search-space numbers.
+            assert reduction_key(vectorized) == reduction_key(python), context
+            assert vectorized.search_space_final == python.search_space_final, \
+                context
+            assert vectorized.candidate_counts == python.candidate_counts, \
+                context
             case += 1
     assert case == QUERIES_PER_GRAPH * len(ALPHAS)
 

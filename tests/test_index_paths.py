@@ -1,11 +1,15 @@
 """Unit tests for repro.index.paths serialization."""
 
+import numpy as np
 import pytest
 
 from repro.index.paths import (
     IndexedPath,
+    _decode_paths_scalar,
     concat_payloads,
+    decode_path_arrays,
     decode_paths,
+    decode_paths_above,
     encode_paths,
     payload_count,
 )
@@ -69,3 +73,70 @@ class TestSerialization:
         )
         assert decode_paths(merged) == first + second
         assert payload_count(merged) == 3
+
+
+class TestBulkDecode:
+    """The np.frombuffer fast path must be indistinguishable from the
+    record-by-record reference decoder."""
+
+    def _paths(self, count=50, num_nodes=3, seed=11):
+        rng = np.random.default_rng(seed)
+        return [
+            IndexedPath(
+                tuple(int(n) for n in rng.integers(0, 2**32, num_nodes)),
+                float(rng.random()),
+                float(rng.random()),
+            )
+            for _ in range(count)
+        ]
+
+    def test_arrays_match_scalar_decoder(self):
+        paths = self._paths()
+        payload = encode_paths(paths)
+        nodes, prle, prn = decode_path_arrays(payload)
+        assert nodes.shape == (50, 3)
+        for i, path in enumerate(_decode_paths_scalar(payload)):
+            assert tuple(nodes[i]) == path.nodes
+            assert prle[i] == path.prle  # bit-exact, not approx
+            assert prn[i] == path.prn
+
+    def test_bulk_decode_equals_scalar(self):
+        payload = encode_paths(self._paths(count=17, num_nodes=4))
+        assert decode_paths(payload) == _decode_paths_scalar(payload)
+
+    def test_heterogeneous_payload_falls_back(self):
+        mixed = [IndexedPath((1,), 0.5, 0.5), IndexedPath((1, 2), 0.5, 0.5)]
+        payload = encode_paths(mixed)
+        assert decode_path_arrays(payload) is None
+        assert decode_paths(payload) == mixed
+
+    def test_decode_above_threshold(self):
+        paths = self._paths(count=200)
+        payload = encode_paths(paths)
+        for alpha in (0.0, 0.25, 0.5, 1.1):
+            expected = [p for p in paths if p.probability >= alpha]
+            assert decode_paths_above(payload, alpha) == expected
+
+    def test_decode_above_heterogeneous(self):
+        mixed = [IndexedPath((1,), 0.9, 0.9), IndexedPath((1, 2), 0.1, 0.1)]
+        payload = encode_paths(mixed)
+        assert decode_paths_above(payload, 0.5) == [mixed[0]]
+
+    def test_decode_from_memoryview(self):
+        paths = self._paths(count=5)
+        payload = memoryview(encode_paths(paths))
+        assert decode_paths(payload) == paths
+        assert decode_paths_above(payload, 0.0) == paths
+
+    def test_empty_payload(self):
+        payload = encode_paths([])
+        nodes, prle, prn = decode_path_arrays(payload)
+        assert nodes.shape[0] == 0 and prle.size == 0 and prn.size == 0
+        assert decode_paths_above(payload, 0.0) == []
+
+    def test_corrupt_payload_still_detected(self):
+        payload = encode_paths([IndexedPath((1, 2), 0.5, 0.5)])
+        with pytest.raises(IndexError_):
+            decode_paths(payload + b"junk")
+        with pytest.raises(IndexError_):
+            decode_paths(encode_paths([]) + b"junk")

@@ -195,3 +195,33 @@ class TestConditionalEngine:
             assert result.matches[0].probability == pytest.approx(
                 0.7 * 0.5 * 0.9 * 0.8
             )
+
+
+class TestReductionBackendOption:
+    def test_unknown_backend_rejected(self, engine_setup):
+        peg, engine = engine_setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1]}, [("a", "b")]
+        )
+        with pytest.raises(QueryError):
+            engine.query(
+                query, 0.3, QueryOptions(reduction_backend="gpu")
+            )
+
+    def test_backends_agree_end_to_end(self, engine_setup):
+        peg, engine = engine_setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph(
+            {"a": sigma[0], "b": sigma[1], "c": sigma[0]},
+            [("a", "b"), ("b", "c")],
+        )
+        for alpha in (0.2, 0.4):
+            python = engine.query(
+                query, alpha, QueryOptions(reduction_backend="python")
+            )
+            vectorized = engine.query(
+                query, alpha, QueryOptions(reduction_backend="vectorized")
+            )
+            assert match_keys(python.matches) == match_keys(vectorized.matches)
+            assert python.search_space_final == vectorized.search_space_final

@@ -174,3 +174,108 @@ class TestReductionStats:
         _, both = build_kpartite(peg, query, alpha=0.4)
         s2 = both.reduce()
         assert s2.final_search_space <= s1.final_search_space
+
+
+def build_vectorized(peg, query, alpha, use_context=True, max_length=2):
+    from repro.query.reduction import VectorizedKPartiteGraph
+
+    index = build_path_index(peg, max_length=max_length, beta=0.05)
+    context = build_context(peg)
+    decomposition = decompose_query(
+        query, index.estimate_cardinality, alpha, max_length
+    )
+    finder = CandidateFinder(
+        peg, query, alpha, index=index, context=context,
+        use_context=use_context,
+    )
+    candidates = {
+        i: finder.find(path)[0] for i, path in enumerate(decomposition.paths)
+    }
+    return decomposition, VectorizedKPartiteGraph(
+        peg, decomposition, candidates, alpha
+    )
+
+
+class TestVectorizedBackend:
+    """The numpy backend must mirror the Python reference exactly."""
+
+    def _compare(self, peg, query, alpha, **kwargs):
+        _, python = build_kpartite(peg, query, alpha, **kwargs)
+        _, vectorized = build_vectorized(peg, query, alpha, **kwargs)
+        # Identical w1/w2 before any reduction (bit-exact scoring).
+        for i in range(python.k):
+            for vid, vertex in enumerate(python.partitions[i]):
+                assert vectorized.w1[i][vid] == vertex.w1, (i, vid)
+                assert vectorized.w2[i][vid] == vertex.w2, (i, vid)
+        stats_py = python.reduce()
+        stats_vec = vectorized.reduce()
+        assert stats_vec.initial_sizes == stats_py.initial_sizes
+        assert stats_vec.after_structure_sizes == stats_py.after_structure_sizes
+        assert stats_vec.final_sizes == stats_py.final_sizes
+        assert stats_vec.structure_removed == stats_py.structure_removed
+        assert stats_vec.upperbound_removed == stats_py.upperbound_removed
+        for i in range(python.k):
+            assert (
+                vectorized.alive_vertex_ids(i) == python.alive_vertex_ids(i)
+            ), i
+            for vid in vectorized.alive_vertex_ids(i):
+                for j in range(python.k):
+                    if i == j:
+                        continue
+                    assert vectorized.linked(i, vid, j) == \
+                        python.linked(i, vid, j), (i, vid, j)
+        return python, vectorized
+
+    def test_chain_agreement(self, chain_peg):
+        for alpha in (0.1, 0.5, 0.75):
+            self._compare(
+                chain_peg, chain_query(), alpha, use_context=False,
+                max_length=1,
+            )
+
+    def test_random_graph_agreement(self):
+        for seed in (41, 42, 43):
+            peg = small_random_peg(seed=seed, num_references=60)
+            sigma = sorted(peg.sigma)
+            query = QueryGraph(
+                {"a": sigma[0], "b": sigma[1], "c": sigma[0]},
+                [("a", "b"), ("b", "c")],
+            )
+            self._compare(peg, query, alpha=0.3)
+
+    def test_interface_methods(self, chain_peg):
+        _, vectorized = build_vectorized(
+            chain_peg, chain_query(), alpha=0.1, use_context=False,
+            max_length=1,
+        )
+        vectorized.reduce()
+        counts = vectorized.alive_counts()
+        assert vectorized.search_space_size() == pytest.approx(
+            float(counts[0]) * float(counts[1]) if len(counts) == 2
+            else float(counts[0])
+        )
+        for i in range(vectorized.k):
+            for vid in vectorized.alive_vertex_ids(i):
+                assert vectorized.is_alive(i, vid)
+                assert vectorized.candidate_of(i, vid) is not None
+
+
+class TestReductionStatsProduct:
+    def test_empty_sizes_report_zero_search_space(self):
+        from repro.query.kpartite import ReductionStats
+
+        stats = ReductionStats()
+        assert stats.initial_search_space == 0.0
+        assert stats.after_structure_search_space == 0.0
+        assert stats.final_search_space == 0.0
+
+    def test_nonempty_sizes_multiply(self):
+        from repro.query.kpartite import ReductionStats
+
+        stats = ReductionStats(
+            initial_sizes=(3, 4), after_structure_sizes=(2, 2),
+            final_sizes=(0, 2),
+        )
+        assert stats.initial_search_space == 12.0
+        assert stats.after_structure_search_space == 4.0
+        assert stats.final_search_space == 0.0

@@ -127,3 +127,56 @@ class TestConcurrentReaders:
             for thread in threads:
                 thread.join()
             assert errors == []
+
+
+class TestMmapReads:
+    """DiskPathStore zero-copy read path (mmap_reads=True, the default)."""
+
+    def test_get_bucket_returns_view(self, tmp_path):
+        with DiskPathStore(str(tmp_path / "zc")) as store:
+            store.put_bucket(SEQ_A, 500, b"zero-copy")
+            payload = store.get_bucket(SEQ_A, 500)
+            assert isinstance(payload, memoryview)
+            assert payload == b"zero-copy"
+            assert bytes(payload) == b"zero-copy"
+
+    def test_scan_buckets_returns_views(self, tmp_path):
+        with DiskPathStore(str(tmp_path / "zc")) as store:
+            for bucket in (300, 700):
+                store.put_bucket(SEQ_A, bucket, str(bucket).encode())
+            scanned = dict(store.scan_buckets(SEQ_A, 0))
+            assert scanned[300] == b"300" and scanned[700] == b"700"
+
+    def test_mmap_disabled_returns_bytes(self, tmp_path):
+        with DiskPathStore(str(tmp_path / "plain"), mmap_reads=False) as store:
+            store.put_bucket(SEQ_A, 500, b"copied")
+            payload = store.get_bucket(SEQ_A, 500)
+            assert isinstance(payload, bytes)
+            assert payload == b"copied"
+
+    def test_view_survives_store_close(self, tmp_path):
+        store = DiskPathStore(str(tmp_path / "zc"))
+        store.put_bucket(SEQ_A, 500, b"still-valid")
+        payload = store.get_bucket(SEQ_A, 500)
+        store.close()  # must not raise despite the exported view
+        assert payload == b"still-valid"
+
+    def test_interleaved_put_get(self, tmp_path):
+        with DiskPathStore(str(tmp_path / "zc")) as store:
+            views = []
+            for i in range(10):
+                body = bytes([65 + i]) * (50 * (i + 1))
+                store.put_bucket(SEQ_A, 100 + i, body)
+                views.append((store.get_bucket(SEQ_A, 100 + i), body))
+            for view, body in views:
+                assert view == body
+
+    def test_frombuffer_over_view(self, tmp_path):
+        import numpy as np
+
+        with DiskPathStore(str(tmp_path / "zc")) as store:
+            data = np.arange(16, dtype=np.uint8).tobytes()
+            store.put_bucket(SEQ_A, 500, data)
+            view = store.get_bucket(SEQ_A, 500)
+            array = np.frombuffer(view, dtype=np.uint8)
+            assert array.tolist() == list(range(16))

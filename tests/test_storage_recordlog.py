@@ -56,3 +56,42 @@ class TestRecordLog:
             before = log.size_bytes()
             log.append(b"12345")
             assert log.size_bytes() == before + 4 + 5
+
+
+class TestReadView:
+    def test_zero_copy_roundtrip(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            pointer = log.append(b"hello world")
+            view = log.read_view(*pointer)
+            assert isinstance(view, memoryview)
+            assert view == b"hello world"
+            assert bytes(view) == log.read(*pointer)
+
+    def test_view_after_append_remaps(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            first = log.append(b"a" * 100)
+            assert log.read_view(*first) == b"a" * 100
+            second = log.append(b"b" * 100)
+            # The second record lies past the first mapping's size.
+            assert log.read_view(*second) == b"b" * 100
+            assert log.read_view(*first) == b"a" * 100
+
+    def test_view_survives_close(self, tmp_path):
+        log = RecordLog(str(tmp_path / "log.bin"))
+        pointer = log.append(b"payload")
+        view = log.read_view(*pointer)
+        log.close()  # must not raise despite the exported view
+        assert view == b"payload"
+
+    def test_view_length_mismatch_detected(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            offset, length = log.append(b"abcdef")
+            with pytest.raises(StorageError):
+                log.read_view(offset, length + 1)
+            with pytest.raises(StorageError):
+                log.read_view(10_000, 5)
+
+    def test_view_of_empty_record(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            pointer = log.append(b"")
+            assert log.read_view(*pointer) == b""
