@@ -1,0 +1,303 @@
+"""Live-update benchmark: delta-overlay maintenance vs full rebuild.
+
+Measures the cost model the :mod:`repro.delta` subsystem promises:
+
+* **apply throughput** — mutation batches absorbed per second by a
+  running engine (PEG surgery + dirty-neighborhood re-enumeration +
+  context rebuild), against the offline-rebuild time the same batch
+  would otherwise cost,
+* **overlay lookup overhead** — online query latency through the
+  :class:`~repro.delta.overlay.DeltaOverlayIndex` (dirty-node masking +
+  delta union) relative to a freshly rebuilt index,
+* **compaction** — the cost of folding the delta back into the base
+  stores, after which lookups are overhead-free again.
+
+A correctness spot check (overlay vs rebuild match sets) runs inside
+the benchmark: a fast wrong answer must fail, not impress. Results are
+written as machine-readable ``BENCH_delta.json``; with ``--trajectory``
+a versioned copy goes under ``benchmarks/results/`` for the
+perf-trajectory table in ``benchmarks/summarize.py``. With ``--smoke``
+(the CI gate) the script exits non-zero when absorbing a mutation
+batch is not faster than rebuilding the offline phase from scratch —
+the whole point of the subsystem.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_delta_updates.py --trajectory
+    PYTHONPATH=src python benchmarks/bench_delta_updates.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+if __package__ in (None, ""):  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from repro import __version__
+from repro.datasets import SyntheticConfig, generate_synthetic_pgd, random_query
+from repro.delta import AddEdge, AddEntity, UpdateLabelProbability
+from repro.peg import build_peg
+from repro.pgd import BernoulliEdge
+from repro.query import QueryEngine
+
+ALPHA = 0.3
+MAX_LENGTH = 2
+BETA = 0.05
+
+
+def _build_peg(num_references: int):
+    config = SyntheticConfig(
+        num_references=num_references,
+        edges_per_node=2,
+        num_labels=4,
+        uncertainty=0.3,
+        groups=max(1, num_references // 20),
+        seed=20260730,
+    )
+    return build_peg(generate_synthetic_pgd(config))
+
+
+def _random_dist(rng: random.Random, sigma) -> dict:
+    chosen = rng.sample(sigma, rng.randint(1, min(3, len(sigma))))
+    weights = [rng.uniform(0.1, 1.0) for _ in chosen]
+    total = sum(weights)
+    return {label: w / total for label, w in zip(chosen, weights)}
+
+
+def _mutation_batches(rng: random.Random, peg, sigma, num_batches: int,
+                      batch_size: int) -> list:
+    """Mixed update/add batches addressing the live graph."""
+    batches = []
+    fresh = 0
+    live = [n for n in peg.node_ids() if not peg.is_removed_id(n)]
+    for _ in range(num_batches):
+        batch = []
+        for _ in range(batch_size):
+            roll = rng.random()
+            if roll < 0.6:
+                node = rng.choice(live)
+                batch.append(
+                    UpdateLabelProbability(
+                        tuple(sorted(peg.entity_of(node), key=repr)),
+                        _random_dist(rng, sigma),
+                    )
+                )
+            elif roll < 0.8:
+                fresh += 1
+                batch.append(
+                    AddEntity(
+                        (f"bench-dyn-{fresh}",),
+                        _random_dist(rng, sigma),
+                        rng.uniform(0.6, 1.0),
+                    )
+                )
+            else:
+                anchor = rng.choice(live)
+                fresh += 1
+                batch.append(AddEntity(
+                    (f"bench-dyn-{fresh}",),
+                    _random_dist(rng, sigma),
+                    rng.uniform(0.6, 1.0),
+                ))
+                batch.append(AddEdge(
+                    tuple(sorted(peg.entity_of(anchor), key=repr)),
+                    (f"bench-dyn-{fresh}",),
+                    BernoulliEdge(rng.uniform(0.4, 1.0)),
+                ))
+        batches.append(batch)
+    return batches
+
+
+def _query_workload(rng: random.Random, sigma, count: int) -> list:
+    queries = []
+    for _ in range(count):
+        num_nodes = rng.choice((2, 3))
+        num_edges = 1 if num_nodes == 2 else rng.choice((2, 3))
+        queries.append(
+            random_query(num_nodes, num_edges, sigma,
+                         seed=rng.randrange(2**31))
+        )
+    return queries
+
+
+def _time_queries(engine, queries) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        engine.query(query, ALPHA)
+    return time.perf_counter() - start
+
+
+def match_keys(matches):
+    return sorted(
+        (m.nodes, m.edges, round(m.probability, 9)) for m in matches
+    )
+
+
+def run(num_references: int, num_batches: int, batch_size: int,
+        num_queries: int) -> dict:
+    rng = random.Random(4173)
+    peg = _build_peg(num_references)
+    sigma = sorted(peg.sigma, key=repr)
+
+    build_start = time.perf_counter()
+    engine = QueryEngine(peg, max_length=MAX_LENGTH, beta=BETA)
+    rebuild_seconds = time.perf_counter() - build_start
+
+    queries = _query_workload(rng, sigma, num_queries)
+    baseline_query_seconds = _time_queries(engine, queries)
+
+    batches = _mutation_batches(rng, peg, sigma, num_batches, batch_size)
+    total_ops = sum(len(batch) for batch in batches)
+    # The first-batch time is the headline number: the delta a serving
+    # system absorbs between compactions. Later batches pay for the
+    # *cumulative* dirty neighborhood (the overlay re-enumerates it in
+    # full), so the total also shows how cost grows until a compaction
+    # resets it.
+    apply_start = time.perf_counter()
+    engine.apply_updates(batches[0])
+    first_batch_seconds = time.perf_counter() - apply_start
+    for batch in batches[1:]:
+        engine.apply_updates(batch)
+    apply_seconds = time.perf_counter() - apply_start
+
+    overlay_query_seconds = _time_queries(engine, queries)
+
+    rebuilt = QueryEngine(peg, max_length=MAX_LENGTH, beta=BETA)
+    agreement = all(
+        match_keys(engine.query(q, ALPHA).matches)
+        == match_keys(rebuilt.query(q, ALPHA).matches)
+        for q in queries
+    )
+
+    compact_start = time.perf_counter()
+    compact_stats = engine.compact_updates()
+    compact_seconds = time.perf_counter() - compact_start
+    compacted_query_seconds = _time_queries(engine, queries)
+
+    apply_per_batch = apply_seconds / max(1, num_batches)
+    return {
+        "nodes": peg.num_nodes,
+        "rebuild_seconds": rebuild_seconds,
+        "apply": {
+            "batches": num_batches,
+            "ops": total_ops,
+            "seconds_total": apply_seconds,
+            "seconds_per_batch": apply_per_batch,
+            "seconds_first_batch": first_batch_seconds,
+            "ops_per_second": total_ops / apply_seconds
+            if apply_seconds else float("inf"),
+            "speedup_vs_rebuild": rebuild_seconds / first_batch_seconds
+            if first_batch_seconds else float("inf"),
+        },
+        "lookup": {
+            "queries": len(queries),
+            "baseline_seconds": baseline_query_seconds,
+            "overlay_seconds": overlay_query_seconds,
+            "compacted_seconds": compacted_query_seconds,
+            "overlay_overhead_ratio": (
+                overlay_query_seconds / baseline_query_seconds
+                if baseline_query_seconds else float("inf")
+            ),
+        },
+        "compact": dict(compact_stats, seconds=compact_seconds),
+        "agreement": agreement,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + CI gate: applying a batch must beat a rebuild",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_delta.json",
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="also write benchmarks/results/BENCH_delta-v<version>.json "
+        "(the committed perf-trajectory point for this version)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="override the synthetic graph size (references)",
+    )
+    args = parser.parse_args(argv)
+
+    num_references = args.size or (120 if args.smoke else 400)
+    num_batches = 4 if args.smoke else 10
+    batch_size = 2 if args.smoke else 3
+    num_queries = 10 if args.smoke else 25
+
+    results = run(num_references, num_batches, batch_size, num_queries)
+    report = {
+        "benchmark": "delta_updates",
+        "repro_version": __version__,
+        "mode": "smoke" if args.smoke else "large",
+        "workload": {
+            "references": num_references,
+            "batches": num_batches,
+            "batch_size": batch_size,
+            "queries": num_queries,
+            "alpha": ALPHA,
+        },
+        "delta": results,
+    }
+    outputs = [args.out]
+    if args.trajectory:
+        outputs.append(
+            os.path.join(
+                os.path.dirname(os.path.abspath(__file__)),
+                "results",
+                f"BENCH_delta-v{__version__}.json",
+            )
+        )
+    for out in outputs:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    apply = results["apply"]
+    lookup = results["lookup"]
+    print(
+        f"[apply]   {apply['ops']} ops in {apply['batches']} batches: "
+        f"first batch {apply['seconds_first_batch']:.4f}s vs rebuild "
+        f"{results['rebuild_seconds']:.4f}s "
+        f"({apply['speedup_vs_rebuild']:.1f}x), "
+        f"{apply['seconds_per_batch']:.4f}s/batch cumulative, "
+        f"{apply['ops_per_second']:.0f} ops/s"
+    )
+    print(
+        f"[lookup]  {lookup['queries']} queries: baseline "
+        f"{lookup['baseline_seconds']:.4f}s, overlay "
+        f"{lookup['overlay_seconds']:.4f}s "
+        f"({lookup['overlay_overhead_ratio']:.2f}x), post-compact "
+        f"{lookup['compacted_seconds']:.4f}s"
+    )
+    print(
+        f"[compact] {results['compact']['sequences_rewritten']} sequences "
+        f"in {results['compact']['seconds']:.4f}s; agreement="
+        f"{results['agreement']}"
+    )
+    print("wrote " + ", ".join(outputs))
+
+    if not results["agreement"]:
+        print("FAIL: overlay results disagree with a from-scratch rebuild")
+        return 1
+    if args.smoke and apply["speedup_vs_rebuild"] < 1.0:
+        print("FAIL: absorbing a mutation batch is slower than a rebuild")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

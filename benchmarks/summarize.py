@@ -47,6 +47,13 @@ CAPTIONS = {
     "ablation": "Design ablations (DESIGN.md §3)",
 }
 
+#: Captions for machine-readable benchmark families (``BENCH_<family>``
+#: stems, version suffixes stripped).
+BENCH_CAPTIONS = {
+    "BENCH_reduction": "Online-phase core: vectorized vs Python backend",
+    "BENCH_delta": "Live updates: delta overlay vs full rebuild",
+}
+
 
 def _format_table(lines: list) -> list:
     """Align whitespace-separated rows into columns."""
@@ -76,20 +83,28 @@ def _flatten(value, prefix: str, row: dict) -> None:
         row[prefix] = str(value).replace(" ", "_")
 
 
+def _bench_family(stem: str) -> str:
+    """Benchmark family of a run stem (version suffix stripped)."""
+    return stem.split("-v")[0]
+
+
 def bench_trajectory(paths=None) -> str:
-    """Merge per-run ``BENCH_*.json`` files into one trajectory table.
+    """Merge per-run ``BENCH_*.json`` files into trajectory tables.
 
     ``paths`` defaults to every ``BENCH_*.json`` at the repository root
-    and under ``results/``. Columns are runs (file stems), rows are the
-    union of flattened metric keys; runs missing a metric show ``-``.
-    Returns an empty string when no run files exist.
+    and under ``results/``. Runs are grouped into one table per
+    benchmark *family* (``BENCH_delta``, ``BENCH_reduction``, ...;
+    captions from :data:`BENCH_CAPTIONS`) so each table's metric rows
+    stay dense — columns are that family's runs, rows the union of its
+    flattened metric keys, with ``-`` for metrics a run lacks. Returns
+    an empty string when no run files exist.
     """
     if paths is None:
         found = []
         for directory in (REPO_ROOT, RESULTS_DIR):
             found.extend(glob.glob(os.path.join(directory, "BENCH_*.json")))
         paths = sorted(set(found), key=os.path.basename)
-    runs = []
+    families: dict = {}
     for path in paths:
         with open(path, "r", encoding="utf-8") as handle:
             try:
@@ -98,17 +113,25 @@ def bench_trajectory(paths=None) -> str:
                 continue
         row: dict = {}
         _flatten(data, "", row)
-        runs.append((os.path.splitext(os.path.basename(path))[0], row))
-    if not runs:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        families.setdefault(_bench_family(stem), []).append((stem, row))
+    if not families:
         return ""
-    metrics = sorted({key for _, row in runs for key in row})
-    lines = [" ".join(["metric"] + [label for label, _ in runs])]
-    for metric in metrics:
-        lines.append(
-            " ".join([metric] + [row.get(metric, "-") for _, row in runs])
+    sections = []
+    for family in sorted(families):
+        runs = families[family]
+        caption = BENCH_CAPTIONS.get(family, family)
+        metrics = sorted({key for _, row in runs for key in row})
+        lines = [" ".join(["metric"] + [label for label, _ in runs])]
+        for metric in metrics:
+            lines.append(
+                " ".join([metric] + [row.get(metric, "-") for _, row in runs])
+            )
+        body = _format_table(lines)
+        sections.append(
+            "\n".join([f"== Performance trajectory — {caption}", *body])
         )
-    body = _format_table(lines)
-    return "\n".join(["== Performance trajectory (BENCH_*.json)", *body])
+    return "\n\n".join(sections)
 
 
 def summarize(results_dir: str = RESULTS_DIR) -> str:

@@ -56,8 +56,18 @@ from repro.query import (
 )
 from repro.relational import sql_baseline_matches
 from repro.service import QueryService, ResultCache, ServiceStats
+from repro.delta import (
+    AddEdge,
+    AddEntity,
+    DeltaOverlayIndex,
+    MergeEntities,
+    MutationLog,
+    UpdateEdgeDistribution,
+    UpdateLabelProbability,
+    apply_mutations,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PGD",
@@ -90,5 +100,13 @@ __all__ = [
     "QueryService",
     "ResultCache",
     "ServiceStats",
+    "AddEdge",
+    "AddEntity",
+    "DeltaOverlayIndex",
+    "MergeEntities",
+    "MutationLog",
+    "UpdateEdgeDistribution",
+    "UpdateLabelProbability",
+    "apply_mutations",
     "__version__",
 ]

@@ -12,6 +12,12 @@ Commands
     Run the offline phase ahead of time: build the (optionally
     hash-sharded, optionally process-parallel) path index and context
     tables and persist them as an offline bundle.
+``apply-updates``
+    Apply a batch of live-graph mutations (JSON ops) to a saved PEG —
+    and, when an offline bundle is given, to its index via the delta
+    overlay (re-enumerating only dirty neighborhoods) with compaction,
+    instead of a full rebuild. Ops can be appended to a durable
+    mutation log for idempotent replay.
 ``serve``
     Serve a batch of queries through the concurrent
     :class:`~repro.service.QueryService` (result cache, single-flight
@@ -153,6 +159,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "process-pool workers for the parallel sharded build "
             "(requires --shards; 0 builds in-process)"
+        ),
+    )
+
+    apply_updates = commands.add_parser(
+        "apply-updates",
+        help=(
+            "apply live-graph mutations to a saved PEG (and its offline "
+            "bundle) without a full rebuild"
+        ),
+    )
+    apply_updates.add_argument("peg", help="path to a saved PEG")
+    apply_updates.add_argument(
+        "--ops", required=True,
+        help=(
+            "mutation ops file (JSON lines or one JSON list); each op is "
+            'e.g. {"op": "add_edge", "refs_a": [1], "refs_b": [2], '
+            '"edge": 0.8} — see repro.delta.ops'
+        ),
+    )
+    apply_updates.add_argument(
+        "--out",
+        help="where to save the mutated PEG (default: overwrite the input)",
+    )
+    apply_updates.add_argument(
+        "--snapshot",
+        help=(
+            "offline-bundle directory to update through the delta overlay; "
+            "must exist (build it first with `build` or `serve`)"
+        ),
+    )
+    apply_updates.add_argument(
+        "--log", dest="mutation_log",
+        help=(
+            "append the ops to this durable mutation log before applying "
+            "(replay skips already-applied sequence numbers)"
+        ),
+    )
+    apply_updates.add_argument(
+        "--no-compact", action="store_true",
+        help=(
+            "skip folding the delta into the bundle stores (only allowed "
+            "without --snapshot: an updated bundle must be compacted "
+            "before it can be persisted)"
         ),
     )
 
@@ -347,6 +396,72 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _load_ops(path: str):
+    """Parse a mutation-ops file: JSON lines or one JSON list of specs."""
+    from repro.delta import op_from_json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read().strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        specs = json.loads(text)
+    else:
+        specs = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    return [op_from_json(spec) for spec in specs]
+
+
+def _cmd_apply_updates(args) -> int:
+    from repro.delta import MutationLog
+    from repro.index.bundle import load_offline
+    from repro.query.engine import QueryEngine
+
+    if args.no_compact and args.snapshot:
+        raise ReproError(
+            "--no-compact requires omitting --snapshot: an updated bundle "
+            "must be compacted before it can be persisted"
+        )
+    peg = load_peg(args.peg)
+    ops = _load_ops(args.ops)
+    if not ops:
+        print("no ops to apply")
+        return 0
+    if args.snapshot:
+        index, context = load_offline(args.snapshot)
+        engine = QueryEngine(peg, _precomputed=(index, context))
+    else:
+        # No bundle to maintain: a throwaway minimal index still lets
+        # the delta layer validate and version the mutations.
+        engine = QueryEngine(peg, max_length=1, beta=0.5)
+    log = MutationLog(args.mutation_log) if args.mutation_log else None
+    try:
+        summary = engine.apply_updates(ops, log=log)
+        print(
+            f"applied {summary['applied']} ops "
+            f"({summary['dirty_nodes']} dirty nodes, "
+            f"graph version {summary['graph_version']})"
+        )
+        if not args.no_compact:
+            stats = engine.compact_updates()
+            print(
+                f"compacted: {stats['sequences_rewritten']} sequences "
+                f"rewritten, {stats['paths_dropped']} stale paths dropped, "
+                f"{stats['paths_added']} paths added"
+            )
+        if args.snapshot:
+            engine.save_offline(args.snapshot)
+            print(f"updated offline bundle at {args.snapshot}")
+    finally:
+        if log is not None:
+            log.close()
+    out = args.out or args.peg
+    save_peg(peg, out)
+    print(f"wrote updated PEG to {out}")
+    return 0
+
+
 def _load_workload(path: str | None) -> list:
     """Parse a serve workload: JSON lines or one JSON list of specs."""
     if path is None:
@@ -481,6 +596,7 @@ def main(argv=None) -> int:
         "info": _cmd_info,
         "query": _cmd_query,
         "build": _cmd_build,
+        "apply-updates": _cmd_apply_updates,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
     }

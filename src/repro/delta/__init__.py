@@ -1,0 +1,122 @@
+"""Live updates — absorbing PEG mutations without an offline rebuild.
+
+The paper's offline/online split assumes a frozen probabilistic entity
+graph; production graphs are not frozen. This package lets a running
+:class:`~repro.query.engine.QueryEngine` (and the
+:class:`~repro.service.QueryService` above it) absorb typed mutations —
+new references, linkage-probability revisions, entity merges — while
+staying queryable and exact:
+
+* :mod:`repro.delta.ops` — the typed operations (``add_entity``,
+  ``add_edge``, ``update_label_probability``,
+  ``update_edge_distribution``, ``merge_entities``),
+* :mod:`repro.delta.log` — the append-only
+  :class:`~repro.delta.log.MutationLog` on
+  :class:`~repro.storage.recordlog.RecordLog`, replayable idempotently,
+* :mod:`repro.delta.mutate` — op application and dirty-node tracking,
+* :mod:`repro.delta.overlay` — the
+  :class:`~repro.delta.overlay.DeltaOverlayIndex` serving exact lookups
+  through mutations, with :meth:`~repro.delta.overlay.DeltaOverlayIndex.compact`
+  folding the delta back into the base stores.
+
+:func:`apply_mutations` is the engine-level entry point; it bumps the
+engine's ``graph_version`` so the serving layer's caches invalidate
+themselves (the version is part of every request key).
+"""
+
+from __future__ import annotations
+
+from repro.delta.log import LoggedOp, MutationLog
+from repro.delta.mutate import apply_op, resolve_entity_id
+from repro.delta.ops import (
+    OP_TYPES,
+    AddEdge,
+    AddEntity,
+    MergeEntities,
+    UpdateEdgeDistribution,
+    UpdateLabelProbability,
+    op_from_json,
+    op_to_json,
+)
+from repro.delta.overlay import DeltaOverlayIndex
+
+__all__ = [
+    "AddEdge",
+    "AddEntity",
+    "DeltaOverlayIndex",
+    "LoggedOp",
+    "MergeEntities",
+    "MutationLog",
+    "OP_TYPES",
+    "UpdateEdgeDistribution",
+    "UpdateLabelProbability",
+    "apply_mutations",
+    "apply_op",
+    "op_from_json",
+    "op_to_json",
+    "resolve_entity_id",
+]
+
+
+def apply_mutations(engine, ops, log: MutationLog | None = None) -> dict:
+    """Apply a batch of mutations to a live engine; returns a summary.
+
+    ``ops`` may mix plain operations and :class:`LoggedOp` entries
+    (e.g. from :meth:`MutationLog.replay`); logged entries at or below
+    the engine's ``applied_mutation_seq`` high-water mark are skipped,
+    which is what makes replay idempotent. When ``log`` is given, every
+    *plain* op is appended to it immediately after it applies
+    successfully — a rejected op is never logged, so a replay of the
+    log cannot re-fail at it and strand the entries behind it;
+    already-logged entries are not re-logged.
+
+    On success the engine's index is (re)wrapped in a
+    :class:`DeltaOverlayIndex`, its context tables and cached
+    probability arrays are rebuilt/invalidated, and ``graph_version``
+    is bumped — exactly once per batch. If an op fails midway, the
+    dirtied prefix is still absorbed and the version still bumped (the
+    PEG has changed), then the error propagates.
+    """
+    from repro.index.context import build_context
+
+    applied = 0
+    skipped = 0
+    dirty: set = set()
+    error = None
+    for entry in ops:
+        if isinstance(entry, LoggedOp):
+            if entry.seq <= engine.applied_mutation_seq:
+                skipped += 1
+                continue
+            op, seq = entry.op, entry.seq
+        else:
+            op, seq = entry, None
+        try:
+            dirty |= apply_op(engine.peg, op)
+        except Exception as exc:
+            error = exc
+            break
+        applied += 1
+        if seq is None and log is not None:
+            seq = log.append(op)
+        if seq is not None:
+            engine.applied_mutation_seq = max(
+                engine.applied_mutation_seq, seq
+            )
+    if log is not None:
+        log.flush()
+    if dirty:
+        if not isinstance(engine.index, DeltaOverlayIndex):
+            engine.index = DeltaOverlayIndex(engine.index, engine.peg)
+        engine.index.absorb(dirty)
+        engine.context = build_context(engine.peg)
+        engine._peg_arrays = None
+        engine.graph_version += 1
+    if error is not None:
+        raise error
+    return {
+        "applied": applied,
+        "skipped": skipped,
+        "dirty_nodes": len(dirty),
+        "graph_version": engine.graph_version,
+    }

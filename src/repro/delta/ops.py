@@ -1,0 +1,205 @@
+"""Typed mutation operations against a live probabilistic entity graph.
+
+Each operation is a small frozen dataclass addressing entities by their
+*reference sets* (not node ids) — reference sets are the PEG's stable
+external identity, so a logged operation stays meaningful across
+process restarts and index rebuilds. Edge distributions are the same
+objects the PGD layer uses (:class:`~repro.pgd.distributions.BernoulliEdge`
+/ :class:`~repro.pgd.distributions.ConditionalEdge`).
+
+Operations round-trip through plain JSON dictionaries
+(:func:`op_to_json` / :func:`op_from_json`) for the ``apply-updates``
+CLI, and pickle cleanly for the binary
+:class:`~repro.delta.log.MutationLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.pgd.distributions import BernoulliEdge, ConditionalEdge
+from repro.utils.errors import DeltaError
+
+
+@dataclass(frozen=True)
+class AddEntity:
+    """Add a new entity node with fresh references."""
+
+    references: tuple
+    label_probabilities: Mapping
+    existence_probability: float = 1.0
+
+    kind = "add_entity"
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Add an edge between two existing entities."""
+
+    references_a: tuple
+    references_b: tuple
+    distribution: object
+
+    kind = "add_edge"
+
+
+@dataclass(frozen=True)
+class UpdateLabelProbability:
+    """Replace an entity's label distribution (a linkage revision)."""
+
+    references: tuple
+    label_probabilities: Mapping
+
+    kind = "update_label_probability"
+
+
+@dataclass(frozen=True)
+class UpdateEdgeDistribution:
+    """Replace the distribution of an existing edge."""
+
+    references_a: tuple
+    references_b: tuple
+    distribution: object
+
+    kind = "update_edge_distribution"
+
+
+@dataclass(frozen=True)
+class MergeEntities:
+    """Merge two entities into one (an entity-resolution decision)."""
+
+    references_a: tuple
+    references_b: tuple
+    label_probabilities: Mapping | None = None
+    existence_probability: float | None = None
+
+    kind = "merge_entities"
+
+
+#: Every mutation type, keyed by its ``kind`` tag.
+OP_TYPES = {
+    op.kind: op
+    for op in (
+        AddEntity,
+        AddEdge,
+        UpdateLabelProbability,
+        UpdateEdgeDistribution,
+        MergeEntities,
+    )
+}
+
+
+def _edge_to_json(dist) -> object:
+    if isinstance(dist, BernoulliEdge):
+        return dist.probability()
+    if isinstance(dist, ConditionalEdge):
+        return {
+            "cpt": [[a, b, p] for (a, b), p in sorted(dist.items(), key=repr)],
+            "default": dist.default,
+        }
+    raise DeltaError(f"unsupported edge distribution {dist!r}")
+
+
+def _edge_from_json(value) -> object:
+    if isinstance(value, (int, float)):
+        return BernoulliEdge(float(value))
+    if isinstance(value, dict) and "cpt" in value:
+        cpt = {}
+        for entry in value["cpt"]:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise DeltaError(
+                    f"CPT entries must be [label, label, p] triples, "
+                    f"got {entry!r}"
+                )
+            cpt[(entry[0], entry[1])] = float(entry[2])
+        return ConditionalEdge(cpt, default=float(value.get("default", 0.0)))
+    raise DeltaError(
+        f"edge distribution must be a probability or a CPT object, "
+        f"got {value!r}"
+    )
+
+
+def op_to_json(op) -> dict:
+    """Plain-JSON form of one operation (the CLI's wire format)."""
+    if isinstance(op, AddEntity):
+        return {
+            "op": op.kind,
+            "refs": list(op.references),
+            "labels": dict(op.label_probabilities),
+            "existence": op.existence_probability,
+        }
+    if isinstance(op, (AddEdge, UpdateEdgeDistribution)):
+        return {
+            "op": op.kind,
+            "refs_a": list(op.references_a),
+            "refs_b": list(op.references_b),
+            "edge": _edge_to_json(op.distribution),
+        }
+    if isinstance(op, UpdateLabelProbability):
+        return {
+            "op": op.kind,
+            "refs": list(op.references),
+            "labels": dict(op.label_probabilities),
+        }
+    if isinstance(op, MergeEntities):
+        payload: dict = {
+            "op": op.kind,
+            "refs_a": list(op.references_a),
+            "refs_b": list(op.references_b),
+        }
+        if op.label_probabilities is not None:
+            payload["labels"] = dict(op.label_probabilities)
+        if op.existence_probability is not None:
+            payload["existence"] = op.existence_probability
+        return payload
+    raise DeltaError(f"unknown mutation operation {op!r}")
+
+
+def op_from_json(spec: Mapping):
+    """Parse one operation from its JSON form; raises :class:`DeltaError`."""
+    if not isinstance(spec, Mapping) or "op" not in spec:
+        raise DeltaError(
+            f"a mutation spec must be an object with an 'op' tag, got {spec!r}"
+        )
+    kind = spec["op"]
+    try:
+        if kind == AddEntity.kind:
+            return AddEntity(
+                references=tuple(spec["refs"]),
+                label_probabilities=dict(spec["labels"]),
+                existence_probability=float(spec.get("existence", 1.0)),
+            )
+        if kind in (AddEdge.kind, UpdateEdgeDistribution.kind):
+            op_type = OP_TYPES[kind]
+            return op_type(
+                references_a=tuple(spec["refs_a"]),
+                references_b=tuple(spec["refs_b"]),
+                distribution=_edge_from_json(spec["edge"]),
+            )
+        if kind == UpdateLabelProbability.kind:
+            return UpdateLabelProbability(
+                references=tuple(spec["refs"]),
+                label_probabilities=dict(spec["labels"]),
+            )
+        if kind == MergeEntities.kind:
+            labels = spec.get("labels")
+            existence = spec.get("existence")
+            return MergeEntities(
+                references_a=tuple(spec["refs_a"]),
+                references_b=tuple(spec["refs_b"]),
+                label_probabilities=(
+                    dict(labels) if labels is not None else None
+                ),
+                existence_probability=(
+                    float(existence) if existence is not None else None
+                ),
+            )
+    except KeyError as exc:
+        raise DeltaError(
+            f"mutation spec {spec!r} is missing field {exc}"
+        ) from None
+    raise DeltaError(
+        f"unknown mutation kind {kind!r}; expected one of "
+        f"{sorted(OP_TYPES)}"
+    )

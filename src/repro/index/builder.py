@@ -358,9 +358,27 @@ def _joint_prn(peg, comp_counts, ids, prn, neighbor) -> float:
     return prn * peg.existence_probability_id(neighbor)
 
 
+def _milli(probability: float) -> int:
+    """Probability in milli-units — THE rounding rule of the bucket grid.
+
+    One shared rule for grid construction, builder-side bucket
+    assignment and lookup-side bucket selection. Mixing rules broke
+    grid boundaries: ``round`` maps the float ``0.7`` (repr
+    ``0.6999999...``) to 700 while truncation maps it to 699, so a
+    builder and a reader disagreeing by one rule put (or look for)
+    boundary probabilities one bucket low. Any single monotone rule is
+    sound — lookups re-filter decoded paths against the exact float
+    threshold — and ``round`` keeps human-entered grid parameters like
+    ``beta=0.7`` on the buckets they name.
+    """
+    return int(round(probability * 1000))
+
+
 def _grid_milli(beta: float, gamma: float) -> tuple:
-    start = int(round(beta * 1000))
-    step = max(1, int(round(gamma * 1000)))
+    start = _milli(beta)
+    if start > 1000:
+        raise IndexError_(f"beta must be in (0, 1], got {beta}")
+    step = max(1, _milli(gamma))
     points = list(range(start, 1001, step))
     if points[-1] != 1000:
         points.append(1000)
@@ -368,7 +386,7 @@ def _grid_milli(beta: float, gamma: float) -> tuple:
 
 
 def _bucket_for(prob: float, grid: Sequence[int]) -> int:
-    milli = int(prob * 1000)
+    milli = _milli(prob)
     bucket = grid[0]
     for point in grid:
         if point <= milli:

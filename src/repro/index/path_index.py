@@ -73,10 +73,16 @@ class PathIndex(PathIndexProtocol):
         """Grid bucket (milli-units) containing ``probability``.
 
         The largest grid point not exceeding the probability; the grid
-        always ends with a 1000 point (probability exactly 1), matching
-        the builder's bucketing.
+        always ends with a 1000 point (probability exactly 1). Uses the
+        builder's one rounding rule (:func:`repro.index.builder._milli`)
+        so grid-boundary probabilities — e.g. ``alpha == beta == 0.7``,
+        whose float repr truncates to 699 milli — resolve to the same
+        bucket the builder stored them in instead of falling one bucket
+        (or below ``beta``) short.
         """
-        milli = int(probability * 1000)
+        from repro.index.builder import _milli
+
+        milli = _milli(probability)
         if milli < self._beta_milli:
             raise IndexError_(
                 f"probability {probability} below index lower bound {self.beta}"

@@ -143,6 +143,89 @@ class IdentityComponent:
         )
 
 
+class DynamicComponent:
+    """A single-entity identity component created by a live update.
+
+    Entities added (or produced by merges) after the offline phase get
+    their own component with an explicitly supplied existence
+    probability instead of a configuration distribution — dynamic
+    updates require fresh, non-overlapping reference sets (enforced by
+    :meth:`repro.peg.entity_graph.ProbabilisticEntityGraph.graph_add_entity`),
+    so there is never a joint distribution to maintain. The class
+    mirrors the :class:`IdentityComponent` surface the rest of the
+    system consumes.
+    """
+
+    def __init__(
+        self, index: int, entity: FrozenSet, existence_probability: float
+    ) -> None:
+        if not 0.0 <= existence_probability <= 1.0:
+            raise ModelError(
+                "existence probability must be in [0, 1], got "
+                f"{existence_probability}"
+            )
+        self.index = index
+        self.references = frozenset(entity)
+        self.entities = (frozenset(entity),)
+        self._existence = float(existence_probability)
+        # Real configurations keep exact tooling — most importantly the
+        # possible-worlds oracle — working over mutated graphs: the
+        # entity either exists (p) or does not (1 - p).
+        configurations = [
+            ComponentConfiguration(
+                chosen=frozenset((self.entities[0],)),
+                probability=self._existence,
+            )
+        ]
+        if self._existence < 1.0:
+            configurations.append(
+                ComponentConfiguration(
+                    chosen=frozenset(),
+                    probability=1.0 - self._existence,
+                )
+            )
+        self.configurations: Tuple[ComponentConfiguration, ...] = tuple(
+            configurations
+        )
+
+    @property
+    def is_exact(self) -> bool:
+        """Marginals are exact (a single entity, explicit probability)."""
+        return True
+
+    @property
+    def is_trivial(self) -> bool:
+        """Trivial only when the entity exists with certainty."""
+        return self._existence >= 1.0
+
+    def existence_probability(self, entity: FrozenSet) -> float:
+        """``Pr(entity.n = T)`` — the supplied probability."""
+        if frozenset(entity) != self.entities[0]:
+            raise ModelError(
+                f"entity {sorted(entity, key=repr)} is not in component "
+                f"{self.index}"
+            )
+        return self._existence
+
+    def existence_marginal(self, entities: Iterable[FrozenSet]) -> float:
+        """Joint marginal; only the component's own entity is legal."""
+        key = {frozenset(e) for e in entities}
+        if not key:
+            return 1.0
+        if key != {self.entities[0]}:
+            unknown = sorted(map(sorted, key - {self.entities[0]}))
+            raise ModelError(
+                f"entities {unknown} are not in component {self.index}"
+            )
+        return self._existence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicComponent(index={self.index}, "
+            f"references={len(self.references)}, p={self._existence:.3g})"
+        )
+
+
 def partition_into_components(
     set_potentials: Mapping[FrozenSet, float],
 ) -> Sequence[Tuple[frozenset, tuple]]:

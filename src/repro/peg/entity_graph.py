@@ -16,11 +16,18 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Mapping, Tuple
 
 from repro.pgd.distributions import LabelDistribution
-from repro.peg.components import IdentityComponent
+from repro.peg.components import DynamicComponent, IdentityComponent
 from repro.utils.errors import ModelError, QueryError
 
 #: An entity is identified by its underlying frozen set of references.
 Entity = FrozenSet
+
+
+def _dist_max_probability(dist) -> float:
+    """Upper bound of an edge distribution (used to pick merge winners)."""
+    if dist.conditional:
+        return dist.max_probability()
+    return dist.probability()
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,13 @@ class ProbabilisticEntityGraph:
             entity_a, entity_b = tuple(pair)
             self._adjacency[entity_a].add(entity_b)
             self._adjacency[entity_b].add(entity_a)
+        # Live-update bookkeeping: ids of tombstoned (merged-away)
+        # entities, and every reference claimed by an identity component
+        # (dynamic adds must use fresh references).
+        self._removed_ids: set = set()
+        self._refs_in_use: set = set()
+        for component in self.components:
+            self._refs_in_use |= component.references
         self._build_id_view()
 
     def _build_id_view(self) -> None:
@@ -212,6 +226,229 @@ class ProbabilisticEntityGraph:
         return self.existence_marginal(
             [self._entity_list[i] for i in node_ids]
         )
+
+    # ------------------------------------------------------------------
+    # Live updates (graph surgery)
+    # ------------------------------------------------------------------
+    #
+    # The ``graph_*`` methods mutate ``G_U`` in place while keeping the
+    # entity view and the integer-id fast path consistent. Node ids are
+    # *stable*: new entities take fresh ids at the end, merged-away
+    # entities keep their id slot as a tombstone (existence probability
+    # zero, no adjacency), so paths stored by an offline index remain
+    # addressable. Callers go through :mod:`repro.delta`, which also
+    # tracks the dirtied nodes for overlay index maintenance.
+
+    def is_removed_id(self, node_id: int) -> bool:
+        """True when the id belongs to a merged-away (tombstoned) entity."""
+        return node_id in self._removed_ids
+
+    def _live_id(self, node_id: int, role: str) -> int:
+        if not 0 <= node_id < len(self._entity_list):
+            raise ModelError(f"unknown {role} node id {node_id}")
+        if node_id in self._removed_ids:
+            raise ModelError(
+                f"{role} node id {node_id} was merged away; it cannot be "
+                "mutated further"
+            )
+        return node_id
+
+    def _insert_entity(
+        self, entity: Entity, label_dist: LabelDistribution, existence: float
+    ) -> int:
+        """Append one entity as its own :class:`DynamicComponent`."""
+        component = DynamicComponent(len(self.components), entity, existence)
+        self.components = self.components + (component,)
+        self._labels[entity] = label_dist
+        self._component_of[entity] = component
+        self._adjacency[entity] = set()
+        node_id = len(self._entity_list)
+        self._entity_list.append(entity)
+        self._id_of[entity] = node_id
+        self._component_index.append(component.index)
+        self._adj_ids.append(())
+        self._existence_by_id.append(component.existence_probability(entity))
+        self._label_dist_by_id.append(label_dist)
+        return node_id
+
+    def graph_add_entity(
+        self,
+        references: Iterable,
+        label_dist: LabelDistribution,
+        existence_probability: float = 1.0,
+    ) -> int:
+        """Add a new entity node; returns its (fresh) node id.
+
+        The reference set must be disjoint from every existing identity
+        component — overlapping references would require re-running
+        entity resolution over the affected component, which is an
+        offline operation.
+        """
+        entity = frozenset(references)
+        if not entity:
+            raise ModelError("entity reference set must not be empty")
+        if entity in self._id_of:
+            raise ModelError(
+                f"entity {sorted(entity, key=repr)} already exists"
+            )
+        overlap = self._refs_in_use & entity
+        if overlap:
+            raise ModelError(
+                f"references {sorted(overlap, key=repr)} already belong to "
+                "an identity component; dynamic adds need fresh references"
+            )
+        node_id = self._insert_entity(entity, label_dist, existence_probability)
+        self._refs_in_use |= entity
+        return node_id
+
+    def graph_add_edge(self, id_a: int, id_b: int, dist) -> None:
+        """Add an edge between two live entity nodes."""
+        id_a = self._live_id(id_a, "edge endpoint")
+        id_b = self._live_id(id_b, "edge endpoint")
+        if id_a == id_b:
+            raise ModelError("an entity cannot have an edge to itself")
+        entity_a, entity_b = self._entity_list[id_a], self._entity_list[id_b]
+        if self.shares_references_id(id_a, id_b):
+            raise ModelError(
+                "entities sharing references never co-exist; an edge "
+                "between them is meaningless"
+            )
+        pair = frozenset((entity_a, entity_b))
+        if pair in self._edges:
+            raise ModelError(
+                "edge already exists; use update_edge_distribution"
+            )
+        self._set_edge(id_a, id_b, dist)
+
+    def graph_update_edge(self, id_a: int, id_b: int, dist) -> None:
+        """Replace the distribution of an existing edge."""
+        id_a = self._live_id(id_a, "edge endpoint")
+        id_b = self._live_id(id_b, "edge endpoint")
+        pair = frozenset((self._entity_list[id_a], self._entity_list[id_b]))
+        if pair not in self._edges:
+            raise ModelError(
+                f"no edge between node ids {id_a} and {id_b}; use add_edge"
+            )
+        self._set_edge(id_a, id_b, dist)
+
+    def _set_edge(self, id_a: int, id_b: int, dist) -> None:
+        entity_a, entity_b = self._entity_list[id_a], self._entity_list[id_b]
+        self._edges[frozenset((entity_a, entity_b))] = dist
+        self._adjacency[entity_a].add(entity_b)
+        self._adjacency[entity_b].add(entity_a)
+        key = (id_a, id_b) if id_a < id_b else (id_b, id_a)
+        self._edge_dist_by_id[key] = dist
+        if id_b not in self._adj_ids[id_a]:
+            self._adj_ids[id_a] = tuple(sorted(self._adj_ids[id_a] + (id_b,)))
+        if id_a not in self._adj_ids[id_b]:
+            self._adj_ids[id_b] = tuple(sorted(self._adj_ids[id_b] + (id_a,)))
+        self.conditional = self.conditional or bool(dist.conditional)
+
+    def graph_update_label(self, node_id: int, label_dist: LabelDistribution) -> None:
+        """Replace the label distribution of a live entity node."""
+        node_id = self._live_id(node_id, "entity")
+        entity = self._entity_list[node_id]
+        self._labels[entity] = label_dist
+        self._label_dist_by_id[node_id] = label_dist
+
+    def _remove_entity(self, node_id: int) -> None:
+        """Tombstone one entity: drop its edges, zero its existence."""
+        entity = self._entity_list[node_id]
+        for other in tuple(self._adjacency[entity]):
+            other_id = self._id_of[other]
+            self._edges.pop(frozenset((entity, other)), None)
+            self._adjacency[other].discard(entity)
+            key = (
+                (node_id, other_id) if node_id < other_id
+                else (other_id, node_id)
+            )
+            self._edge_dist_by_id.pop(key, None)
+            self._adj_ids[other_id] = tuple(
+                n for n in self._adj_ids[other_id] if n != node_id
+            )
+        del self._adjacency[entity]
+        del self._labels[entity]
+        del self._component_of[entity]
+        self._adj_ids[node_id] = ()
+        self._existence_by_id[node_id] = 0.0
+        self._removed_ids.add(node_id)
+
+    def graph_merge_entities(
+        self,
+        id_a: int,
+        id_b: int,
+        label_dist: LabelDistribution | None = None,
+        existence_probability: float | None = None,
+    ) -> int:
+        """Merge two entity nodes into one; returns the merged node's id.
+
+        Both entities must be the *sole* entity of their identity
+        component (always true for dynamically added entities and for
+        certain resolutions); merging inside a multi-entity component
+        would change the other entities' marginals and requires an
+        offline rebuild. The merged entity unions the reference sets,
+        inherits the union of both adjacency lists (when both sides had
+        an edge to the same neighbor, the distribution with the larger
+        maximum probability wins; an edge between the two merged
+        entities disappears), and defaults to the average of the two
+        label distributions and the maximum of the two existence
+        probabilities.
+        """
+        id_a = self._live_id(id_a, "merge source")
+        id_b = self._live_id(id_b, "merge source")
+        if id_a == id_b:
+            raise ModelError("cannot merge an entity with itself")
+        entity_a, entity_b = self._entity_list[id_a], self._entity_list[id_b]
+        for entity, node_id in ((entity_a, id_a), (entity_b, id_b)):
+            component = self._component_of[entity]
+            if len(component.entities) != 1:
+                raise ModelError(
+                    f"entity at node id {node_id} shares an identity "
+                    "component with other entities; merging inside an "
+                    "uncertain component requires an offline rebuild"
+                )
+        # Resolve and validate every input *before* the first
+        # tombstone: a failure past that point would leave the graph
+        # half-mutated with the overlay never told about the dirt.
+        if label_dist is None:
+            from repro.pgd.merge import average_labels
+
+            label_dist = average_labels(
+                [self._labels[entity_a], self._labels[entity_b]]
+            )
+        if existence_probability is None:
+            existence_probability = max(
+                self._existence_by_id[id_a], self._existence_by_id[id_b]
+            )
+        elif not 0.0 <= existence_probability <= 1.0:
+            raise ModelError(
+                "existence probability must be in [0, 1], got "
+                f"{existence_probability}"
+            )
+        # Capture surviving neighbor edges before tombstoning.
+        inherited: dict = {}
+        for source in (entity_a, entity_b):
+            for other in self._adjacency[source]:
+                if other == entity_a or other == entity_b:
+                    continue
+                dist = self._edges[frozenset((source, other))]
+                previous = inherited.get(other)
+                if previous is None or (
+                    _dist_max_probability(dist)
+                    > _dist_max_probability(previous)
+                ):
+                    inherited[other] = dist
+        self._remove_entity(id_a)
+        self._remove_entity(id_b)
+        merged = entity_a | entity_b
+        merged_id = self._insert_entity(
+            merged, label_dist, existence_probability
+        )
+        for other, dist in sorted(
+            inherited.items(), key=lambda kv: self._id_of[kv[0]]
+        ):
+            self._set_edge(merged_id, self._id_of[other], dist)
+        return merged_id
 
     # ------------------------------------------------------------------
     # Structure access

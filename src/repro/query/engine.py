@@ -127,6 +127,13 @@ class QueryEngine:
         # Lazily-built per-PEG probability tables shared by every
         # vectorized reduction this engine runs.
         self._peg_arrays = None
+        #: Monotone counter bumped by every applied mutation batch
+        #: (:meth:`apply_updates`); the serving layer mixes it into
+        #: request keys so caches invalidate across updates.
+        self.graph_version = 0
+        #: High-water mark of applied :class:`repro.delta.log.MutationLog`
+        #: sequence numbers — what makes log replay idempotent.
+        self.applied_mutation_seq = -1
         if _precomputed is not None:
             self.index, self.context = _precomputed
             return
@@ -165,8 +172,14 @@ class QueryEngine:
 
     def save_offline(self, directory: str) -> None:
         """Persist this engine's offline artifacts (index + context)."""
+        from repro.delta import DeltaOverlayIndex
         from repro.index.bundle import save_offline
 
+        if isinstance(self.index, DeltaOverlayIndex):
+            raise IndexError_(
+                "engine has uncompacted live updates; call "
+                "compact_updates() before save_offline()"
+            )
         save_offline(self.index, self.context, directory)
 
     @classmethod
@@ -183,6 +196,47 @@ class QueryEngine:
 
         index, context = load_offline(directory)
         return cls(peg, _precomputed=(index, context))
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+
+    def apply_updates(self, ops, log=None) -> dict:
+        """Absorb a batch of PEG mutations without an offline rebuild.
+
+        Thin façade over :func:`repro.delta.apply_mutations`: applies
+        the ops to the PEG, wraps the index in a
+        :class:`~repro.delta.overlay.DeltaOverlayIndex` (first time),
+        refreshes the delta for the dirtied nodes, rebuilds the context
+        tables, invalidates the cached probability arrays and bumps
+        :attr:`graph_version`. Not safe to call concurrently with
+        queries on this engine — the serving layer
+        (:meth:`repro.service.QueryService.apply_updates`) provides the
+        drained-quiescence discipline.
+        """
+        from repro.delta import apply_mutations
+
+        return apply_mutations(self, ops, log=log)
+
+    def compact_updates(self) -> dict:
+        """Fold the delta overlay back into the base index stores.
+
+        After compaction the engine's index is the (updated) base index
+        again — e.g. ready for :meth:`save_offline`. No-op for an
+        engine that never absorbed updates.
+        """
+        from repro.delta import DeltaOverlayIndex
+
+        if not isinstance(self.index, DeltaOverlayIndex):
+            return {
+                "sequences_rewritten": 0,
+                "paths_dropped": 0,
+                "paths_added": 0,
+            }
+        overlay = self.index
+        stats = overlay.compact()
+        self.index = overlay.base
+        return stats
 
     # ------------------------------------------------------------------
 

@@ -58,7 +58,10 @@ class PegProbabilityArrays:
 
     def __init__(self, peg: ProbabilisticEntityGraph) -> None:
         self.peg = peg
-        self.num_nodes = peg.num_nodes
+        # Size by the *id space*, not the live-entity count: after live
+        # entity merges (repro.delta), tombstoned ids remain and new ids
+        # are appended, so ids can exceed peg.num_nodes.
+        self.num_nodes = len(peg.node_ids())
         self._label_probs: dict = {}
         self._edge_keys = None
         self._edge_dists = None

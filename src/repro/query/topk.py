@@ -43,9 +43,14 @@ def top_k_matches(
     Notes
     -----
     The probe sequence is monotone decreasing, so the final α-query's
-    result is a superset of all earlier ones; matches are globally
-    sorted by probability and truncated to ``k``. The k-th match is
-    exact whenever it lies above ``floor``.
+    result is a superset of all earlier ones; the final probe's matches
+    are explicitly re-sorted by probability descending — the engine's
+    emission order is *not* part of its contract — with ties broken by
+    the match's canonical key ascending (rendered hash-seed
+    independently), so the returned prefix is deterministic: when
+    several matches tie at the k-th probability, the ones with the
+    smallest canonical keys are kept. The k-th match is exact whenever
+    it lies above ``floor``.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -59,8 +64,32 @@ def top_k_matches(
     alpha = start_alpha
     matches = []
     while True:
-        matches = engine.query(query, alpha, options).matches
+        matches = list(engine.query(query, alpha, options).matches)
         if len(matches) >= k or alpha <= floor:
             break
         alpha = max(alpha * shrink, floor)
+    matches.sort(key=_rank_key)
     return matches[:k]
+
+
+def _rank_key(match) -> tuple:
+    """Sort key: probability descending, canonical key ascending.
+
+    The canonical key is rendered with every reference set expanded in
+    sorted order — ``repr`` of a frozenset follows hash-table order,
+    which varies with ``PYTHONHASHSEED`` for string references, so it
+    must not leak into the ranking.
+    """
+    nodes = tuple(
+        sorted(
+            (tuple(sorted(map(repr, entity))), repr(label))
+            for entity, label in match.nodes
+        )
+    )
+    edges = tuple(
+        sorted(
+            tuple(sorted(tuple(sorted(map(repr, e))) for e in pair))
+            for pair in match.edges
+        )
+    )
+    return (-match.probability, nodes, edges)

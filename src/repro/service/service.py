@@ -25,7 +25,12 @@ from __future__ import annotations
 import functools
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.engine import QueryEngine, QueryOptions, QueryResult
@@ -55,15 +60,22 @@ def _process_worker_query_batch(requests, options):
 
 
 def request_key(
-    query: QueryGraph, alpha: float, options: QueryOptions
+    query: QueryGraph,
+    alpha: float,
+    options: QueryOptions,
+    graph_version: int = 0,
 ) -> tuple:
     """Canonical cache/dedup key of one request.
 
-    Combines the query's canonical form (rename-invariant), alpha, and
-    the :class:`QueryOptions` fields that change the *result* —
-    execution knobs (``parallel_reduction``, ``num_threads``) are
-    deliberately excluded so the same logical query shares one entry
-    regardless of how it is executed.
+    Combines the query's canonical form (rename-invariant), alpha, the
+    :class:`QueryOptions` fields that change the *result*, and the
+    engine's ``graph_version`` — execution knobs
+    (``parallel_reduction``, ``num_threads``) are deliberately excluded
+    so the same logical query shares one entry regardless of how it is
+    executed. The graph version makes cache invalidation versioned
+    instead of explicit: every applied mutation batch bumps it, so
+    entries computed against the pre-mutation graph simply stop being
+    addressable and age out of the LRU.
     """
     return (
         query.canonical_form(),
@@ -73,6 +85,7 @@ def request_key(
         options.use_structure_reduction,
         options.use_upperbound_reduction,
         options.seed,
+        int(graph_version),
     )
 
 
@@ -149,6 +162,12 @@ class QueryService:
             )
         self._inflight: dict = {}
         self._gate = threading.Lock()
+        #: Signalled when a mutation batch finishes; admissions wait on
+        #: it so no evaluation overlaps graph surgery.
+        self._apply_done = threading.Condition(self._gate)
+        self._applying = False
+        #: Serializes whole apply_updates() calls against each other.
+        self._apply_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -274,15 +293,32 @@ class QueryService:
         completing the future (via :meth:`_finish` /
         :meth:`_finish_batch` / :meth:`_abort_submission`).
         """
-        key = request_key(query, alpha, options)
         start = time.perf_counter()
-        cached = self.cache.get(key)
-        if cached is not None:
-            self.stats.record_hit(time.perf_counter() - start)
-            future: Future = Future()
-            future.set_result(cached)
-            return future, None
         with self._gate:
+            # Admission is atomic with respect to apply_updates: the
+            # whole resolve-key / cache-check / in-flight registration
+            # happens under one gate hold, so a request is either
+            # registered before an update's drain snapshot (and hence
+            # drained) or admitted after the update completed (keyed
+            # and evaluated against the post-update graph). Splitting
+            # this into separate gate holds would let a request slip
+            # between the drain snapshot and the graph surgery.
+            while self._applying:
+                self._apply_done.wait()
+            if self._closed:
+                raise ServiceError("service is closed")
+            # Engine-like test doubles may not carry a version; treat
+            # them as frozen graphs.
+            key = request_key(
+                query, alpha, options,
+                getattr(self.engine, "graph_version", 0),
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.record_hit(time.perf_counter() - start)
+                future: Future = Future()
+                future.set_result(cached)
+                return future, None
             inflight = self._inflight.get(key)
             if inflight is not None:
                 self.stats.record_dedup()
@@ -409,6 +445,10 @@ class QueryService:
                 # nothing to unwind. Dedup also covers duplicates
                 # earlier in this same batch.
                 future, key = self._admit(query, alpha, options)
+            except ServiceError:
+                # The service closed mid-batch; the remaining requests
+                # cannot be admitted at all.
+                raise
             except Exception as exc:
                 future = Future()
                 future.set_exception(
@@ -457,25 +497,53 @@ class QueryService:
         futures = self.submit_batch(requests, options)
         return [future.result(timeout) for future in futures]
 
+    @staticmethod
+    def _task_outcome(task) -> tuple:
+        """``(exception, result)`` of a finished task, cancellation-safe.
+
+        ``close(wait=False)`` cancels queued tasks; their done-callbacks
+        still run, but ``task.exception()`` would itself raise
+        ``CancelledError`` — which, uncaught inside a callback, would
+        leave the request future unresolved and its waiters hanging.
+        """
+        if task.cancelled():
+            return ServiceError("service closed before the request ran"), None
+        exc = task.exception()
+        if exc is not None:
+            return exc, None
+        return None, task.result()
+
+    @staticmethod
+    def _resolve(future, exc=None, result=None) -> None:
+        """Complete a request future unless close() already failed it."""
+        try:
+            if future.done():
+                return
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+        except InvalidStateError:  # lost the race against close()
+            pass
+
     def _finish(self, key, future, start, task) -> None:
         """Done-callback of one evaluation: publish, uncount, resolve."""
-        exc = task.exception()
+        exc, result = self._task_outcome(task)
         if exc is not None:
             with self._gate:
                 self._inflight.pop(key, None)
             self.stats.record_done(time.perf_counter() - start, error=True)
-            future.set_exception(exc)
+            self._resolve(future, exc=exc)
             return
-        result = task.result()
         self.cache.put(key, result)
         with self._gate:
             self._inflight.pop(key, None)
         self.stats.record_done(time.perf_counter() - start)
-        future.set_result(result)
+        self._resolve(future, result=result)
 
     def _finish_batch(self, items, start, task) -> None:
         """Done-callback of one grouped evaluation: resolve every member."""
-        exc = task.exception()
+        exc, results = self._task_outcome(task)
         if exc is not None:
             for key, future in items:
                 with self._gate:
@@ -483,14 +551,14 @@ class QueryService:
                 self.stats.record_done(
                     time.perf_counter() - start, error=True
                 )
-                future.set_exception(exc)
+                self._resolve(future, exc=exc)
             return
-        for (key, future), result in zip(items, task.result()):
+        for (key, future), result in zip(items, results):
             self.cache.put(key, result)
             with self._gate:
                 self._inflight.pop(key, None)
             self.stats.record_done(time.perf_counter() - start)
-            future.set_result(result)
+            self._resolve(future, result=result)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -506,10 +574,75 @@ class QueryService:
         snap["warm_started"] = self.warm_started
         return snap
 
+    def apply_updates(self, ops, log=None) -> dict:
+        """Absorb a batch of PEG mutations with versioned invalidation.
+
+        Admission is paused, every in-flight evaluation is drained, and
+        only then is the mutation batch applied to the shared engine
+        (:meth:`repro.query.engine.QueryEngine.apply_updates`) — graph
+        surgery never overlaps an evaluation. The engine's
+        ``graph_version`` bump re-keys all subsequent requests, so once
+        this method returns no cached or deduplicated pre-mutation
+        result can be served again; stale entries age out of the LRU on
+        their own. Requests submitted concurrently with the update
+        block briefly in admission and then run against (and are cached
+        under) the post-update graph.
+
+        Only thread-executor services support live updates: process
+        pool workers hold their own warm-started engine copies, which a
+        mutation here would silently not reach.
+        """
+        if self.executor_kind == "process":
+            raise ServiceError(
+                "live updates require executor='thread': process pool "
+                "workers hold independent engine copies"
+            )
+        with self._apply_lock:
+            with self._gate:
+                if self._closed:
+                    raise ServiceError("service is closed")
+                self._applying = True
+                pending = list(self._inflight.values())
+            try:
+                for future in pending:
+                    try:
+                        future.result()
+                    except Exception:
+                        pass  # delivered to its own waiters
+                return self.engine.apply_updates(ops, log=log)
+            finally:
+                with self._gate:
+                    self._applying = False
+                    self._apply_done.notify_all()
+
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests and shut the worker pool down."""
-        self._closed = True
-        self._executor.shutdown(wait=wait)
+        """Stop accepting requests and shut the worker pool down.
+
+        Idempotent. Submits racing the close either fail in admission
+        with :class:`ServiceError` or — when they reached the executor
+        first — run to completion (``wait=True``) or are cancelled and
+        resolved with :class:`ServiceError` (``wait=False``). Either
+        way the single-flight table is left empty and every registered
+        future is completed, so no deduplicated waiter can hang on a
+        request that will never run.
+        """
+        with self._gate:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+        if already:
+            return
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
+        with self._gate:
+            leftover = list(self._inflight.items())
+            self._inflight.clear()
+        for _key, future in leftover:
+            self._resolve(
+                future,
+                exc=ServiceError("service closed before the request completed"),
+            )
 
     def __enter__(self) -> "QueryService":
         return self

@@ -115,6 +115,29 @@ class RecordLog:
             )
         return memoryview(mapping)[offset + _HEADER.size:end]
 
+    def records(self):
+        """Iterate ``(offset, payload)`` over every record, in write order.
+
+        The length prefixes make the log self-delimiting, so a reopened
+        log can be replayed without an external offset directory — this
+        is what :class:`repro.delta.log.MutationLog` recovery uses. A
+        truncated tail (e.g. a crash mid-append) raises
+        :class:`StorageError` rather than yielding a partial record.
+        """
+        offset = 0
+        while offset < self._end:
+            if offset + _HEADER.size > self._end:
+                raise StorageError(
+                    f"truncated record header at offset {offset}"
+                )
+            self._file.seek(offset)
+            (length,) = _HEADER.unpack(self._file.read(_HEADER.size))
+            payload = self._file.read(length)
+            if len(payload) != length:
+                raise StorageError(f"short record read at offset {offset}")
+            yield offset, payload
+            offset += _HEADER.size + length
+
     def size_bytes(self) -> int:
         """Total bytes written to the log."""
         return self._end

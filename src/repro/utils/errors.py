@@ -37,3 +37,13 @@ class QueryError(ReproError):
 
 class ServiceError(ReproError):
     """Misuse of the query-serving layer (e.g. submitting after close)."""
+
+
+class DeltaError(ReproError):
+    """Invalid live-update operation against a running engine.
+
+    Raised for mutations addressing unknown entities, edges that do not
+    exist, reference sets that collide with existing identity
+    components, and other violations of the delta subsystem's
+    contracts (see :mod:`repro.delta`).
+    """

@@ -340,3 +340,87 @@ class TestBuild:
             ]
         ) == 1
         assert "--snapshot" in capsys.readouterr().err
+
+
+class TestApplyUpdates:
+    @staticmethod
+    def _write_ops(tmp_path, ops):
+        path = str(tmp_path / "ops.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for op in ops:
+                handle.write(json.dumps(op) + "\n")
+        return path
+
+    def test_apply_updates_bundle_round_trip(self, peg_file, tmp_path, capsys):
+        bundle = str(tmp_path / "bundle")
+        assert main(
+            ["build", peg_file, "--out", bundle,
+             "--max-length", "2", "--beta", "0.05"]
+        ) == 0
+        ops = self._write_ops(tmp_path, [
+            {"op": "add_entity", "refs": ["dyn-1"],
+             "labels": {"L0": 0.6, "L1": 0.4}, "existence": 0.9},
+            {"op": "add_edge", "refs_a": [0], "refs_b": ["dyn-1"],
+             "edge": 0.8},
+            {"op": "update_label_probability", "refs": [1],
+             "labels": {"L1": 1.0}},
+        ])
+        out_peg = str(tmp_path / "updated.peg")
+        log = str(tmp_path / "mutations.log")
+        assert main(
+            ["apply-updates", peg_file, "--ops", ops, "--snapshot", bundle,
+             "--log", log, "--out", out_peg]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "applied 3 ops" in out
+        assert "compacted" in out
+
+        from repro.delta import MutationLog
+        from repro.query import QueryEngine, QueryGraph
+
+        with MutationLog(log) as mutation_log:
+            assert len(mutation_log) == 3
+
+        peg = load_peg(out_peg)
+        reopened = QueryEngine.from_saved(peg, bundle)
+        rebuilt = QueryEngine(peg, max_length=2, beta=0.05)
+        query = QueryGraph({"a": "L0", "b": "L1"}, [("a", "b")])
+        def keys(matches):
+            return sorted(
+                (m.nodes, round(m.probability, 9)) for m in matches
+            )
+        assert keys(reopened.query(query, 0.2).matches) == keys(
+            rebuilt.query(query, 0.2).matches
+        )
+
+    def test_apply_updates_without_snapshot(self, peg_file, tmp_path, capsys):
+        ops = self._write_ops(tmp_path, [
+            {"op": "update_label_probability", "refs": [2],
+             "labels": {"L0": 1.0}},
+        ])
+        assert main(["apply-updates", peg_file, "--ops", ops]) == 0
+        out = capsys.readouterr().out
+        assert "applied 1 ops" in out
+        # Default output overwrites the input PEG.
+        updated = load_peg(peg_file)
+        assert updated.label_probability(frozenset({2}), "L0") == 1.0
+
+    def test_apply_updates_rejects_bad_op(self, peg_file, tmp_path, capsys):
+        ops = self._write_ops(tmp_path, [
+            {"op": "update_label_probability", "refs": ["missing"],
+             "labels": {"L0": 1.0}},
+        ])
+        assert main(["apply-updates", peg_file, "--ops", ops]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_no_compact_conflicts_with_snapshot(self, peg_file, tmp_path,
+                                                capsys):
+        ops = self._write_ops(tmp_path, [
+            {"op": "update_label_probability", "refs": [2],
+             "labels": {"L0": 1.0}},
+        ])
+        assert main(
+            ["apply-updates", peg_file, "--ops", ops,
+             "--snapshot", str(tmp_path / "b"), "--no-compact"]
+        ) == 1
+        assert "no-compact" in capsys.readouterr().err

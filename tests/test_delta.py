@@ -1,0 +1,469 @@
+"""Live-update subsystem: mutation log, overlay index, versioned caches."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.delta import (
+    AddEdge,
+    AddEntity,
+    DeltaOverlayIndex,
+    MergeEntities,
+    MutationLog,
+    UpdateEdgeDistribution,
+    UpdateLabelProbability,
+    apply_mutations,
+    op_from_json,
+    op_to_json,
+)
+from repro.datasets import random_query
+from repro.pgd import BernoulliEdge, ConditionalEdge
+from repro.peg import build_peg
+from repro.query import QueryEngine, QueryGraph
+from repro.service import QueryService
+from repro.utils.errors import DeltaError, IndexError_, ServiceError
+from tests.conftest import small_random_peg
+
+
+def match_keys(matches):
+    return sorted(
+        (m.nodes, m.edges, round(m.probability, 9)) for m in matches
+    )
+
+
+def path_keys(paths):
+    return sorted((p.nodes, round(p.prle, 12), round(p.prn, 12)) for p in paths)
+
+
+def all_sequences(engine_a, engine_b):
+    """Union of canonical sequences both indexes know about."""
+    def sequences(index):
+        base = index.base if isinstance(index, DeltaOverlayIndex) else index
+        return set(base.histograms)
+
+    return sequences(engine_a.index) | sequences(engine_b.index)
+
+
+def assert_index_agrees(engine, rebuilt, alphas=(0.1, 0.3, 0.6)):
+    """Overlay lookups must equal a from-scratch rebuild, sequence by
+    sequence."""
+    for seq in all_sequences(engine, rebuilt):
+        for alpha in alphas:
+            got = path_keys(engine.index.lookup_canonical(seq, alpha))
+            want = path_keys(rebuilt.index.lookup_canonical(seq, alpha))
+            assert got == want, (seq, alpha)
+
+
+def singleton_ids(peg):
+    """Live node ids whose identity component has exactly one entity."""
+    return [
+        node
+        for node in peg.node_ids()
+        if not peg.is_removed_id(node)
+        and len(peg.component_of(peg.entity_of(node)).entities) == 1
+    ]
+
+
+def refs(peg, node_id):
+    return tuple(sorted(peg.entity_of(node_id), key=repr))
+
+
+@pytest.fixture
+def peg():
+    return small_random_peg(seed=1234, num_references=40)
+
+
+@pytest.fixture
+def engine(peg):
+    return QueryEngine(peg, max_length=2, beta=0.05)
+
+
+class TestMutationOps:
+    def test_json_round_trip(self):
+        ops = [
+            AddEntity(("x", "y"), {"A": 0.6, "B": 0.4}, 0.9),
+            AddEdge(("x",), ("y",), BernoulliEdge(0.8)),
+            UpdateLabelProbability(("x",), {"A": 1.0}),
+            UpdateEdgeDistribution(
+                ("x",), ("y",),
+                ConditionalEdge({("A", "B"): 0.7}, default=0.1),
+            ),
+            MergeEntities(("x",), ("y",), {"A": 1.0}, 0.5),
+            MergeEntities(("x",), ("y",)),
+        ]
+        for op in ops:
+            assert op_from_json(op_to_json(op)) == op
+
+    def test_malformed_specs_rejected(self):
+        with pytest.raises(DeltaError):
+            op_from_json({"op": "no_such_op"})
+        with pytest.raises(DeltaError):
+            op_from_json({"nodes": {}})
+        with pytest.raises(DeltaError):
+            op_from_json({"op": "add_entity", "refs": [1]})
+        with pytest.raises(DeltaError):
+            op_from_json(
+                {"op": "add_edge", "refs_a": [1], "refs_b": [2],
+                 "edge": "high"}
+            )
+
+
+class TestMutationLog:
+    def test_append_replay_and_reopen(self, tmp_path):
+        path = str(tmp_path / "mutations.log")
+        ops = [
+            AddEntity(("f1",), {"A": 1.0}),
+            UpdateLabelProbability(("f1",), {"A": 0.5, "B": 0.5}),
+        ]
+        with MutationLog(path) as log:
+            assert log.append_all(ops) == [0, 1]
+            assert len(log) == 2
+        with MutationLog(path) as log:
+            assert len(log) == 2
+            entries = log.replay()
+            assert [e.seq for e in entries] == [0, 1]
+            assert [e.op for e in entries] == ops
+            assert log.append(ops[0]) == 2
+            assert [e.seq for e in log.replay(after=1)] == [2]
+
+    def test_replay_is_idempotent(self, tmp_path, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        anchor = singleton_ids(peg)[0]
+        log = MutationLog(str(tmp_path / "mutations.log"))
+        ops = [
+            AddEntity(("fresh-a",), {sigma[0]: 1.0}, 0.9),
+            AddEdge(refs(peg, anchor), ("fresh-a",), BernoulliEdge(0.7)),
+        ]
+        summary = apply_mutations(engine, ops, log=log)
+        assert summary["applied"] == 2
+        assert engine.graph_version == 1
+        assert engine.applied_mutation_seq == 1
+        before = {
+            seq: path_keys(engine.index.lookup_canonical(seq, 0.1))
+            for seq in engine.index.base.histograms
+        }
+
+        # Replaying the whole log over the same engine applies nothing.
+        replayed = apply_mutations(engine, log.replay())
+        assert replayed["applied"] == 0
+        assert replayed["skipped"] == 2
+        assert engine.graph_version == 1
+        for seq, want in before.items():
+            assert path_keys(engine.index.lookup_canonical(seq, 0.1)) == want
+
+        # A cold engine over the same (already mutated) PEG replays the
+        # log as a no-op too: its graph already contains the changes,
+        # so replay must be guarded by the high-water mark, which a
+        # warm-started engine restores by applying the log exactly once.
+        log.close()
+
+
+class TestOverlayLookup:
+    def test_fall_through_without_mutations(self, peg, engine):
+        overlay = DeltaOverlayIndex(engine.index, peg)
+        for seq in engine.index.histograms:
+            assert path_keys(overlay.lookup_canonical(seq, 0.1)) == path_keys(
+                engine.index.lookup_canonical(seq, 0.1)
+            )
+        assert overlay.num_paths() == engine.index.num_paths()
+        assert overlay.dirty_nodes == frozenset()
+        assert overlay.delta_path_count() == 0
+
+    def test_clean_sequences_keep_base_results(self, peg, engine):
+        """Paths that avoid dirty nodes are served verbatim from base."""
+        base = engine.index
+        base_content = {
+            seq: path_keys(base.lookup_canonical(seq, 0.1))
+            for seq in base.histograms
+        }
+        sigma = sorted(peg.sigma, key=repr)
+        engine.apply_updates(
+            [AddEntity(("island",), {sigma[0]: 1.0}, 0.8)]
+        )
+        overlay = engine.index
+        assert isinstance(overlay, DeltaOverlayIndex)
+        (island_id,) = overlay.dirty_nodes
+        for seq, want in base_content.items():
+            got = overlay.lookup_canonical(seq, 0.1)
+            kept = [p for p in want if island_id not in p[0]]
+            extra = [k for k in path_keys(got) if island_id in k[0]]
+            assert sorted(set(path_keys(got)) - set(extra)) == kept
+
+    def test_overlays_do_not_nest(self, peg, engine):
+        overlay = DeltaOverlayIndex(engine.index, peg)
+        with pytest.raises(DeltaError):
+            DeltaOverlayIndex(overlay, peg)
+
+    def test_estimate_includes_delta(self, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        anchor = singleton_ids(peg)[0]
+        label = sigma[0]
+        engine.apply_updates([
+            AddEntity(("fresh-b",), {label: 1.0}, 1.0),
+            AddEdge(refs(peg, anchor), ("fresh-b",), BernoulliEdge(1.0)),
+        ])
+        seq = (label,)
+        estimate = engine.index.estimate_cardinality(seq, 0.9)
+        base_estimate = engine.index.base.estimate_cardinality(seq, 0.9)
+        assert estimate >= base_estimate + 1
+
+
+class TestApplyAndCompact:
+    def test_each_op_kind_matches_rebuild(self, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        ids = singleton_ids(peg)
+        a, b = ids[0], ids[1]
+        # A pair without an existing edge, for add_edge.
+        c = next(
+            i for i in ids[2:]
+            if a not in peg.neighbor_ids(i) and i != a
+        )
+        existing_edge = next(
+            (i, j) for i in ids for j in peg.neighbor_ids(i) if i < j
+        )
+        ops = [
+            AddEntity(("n-1",), {sigma[0]: 0.6, sigma[1]: 0.4}, 0.9),
+            AddEdge(refs(peg, a), ("n-1",), BernoulliEdge(0.75)),
+            UpdateLabelProbability(refs(peg, b), {sigma[1]: 1.0}),
+            UpdateEdgeDistribution(
+                refs(peg, existing_edge[0]),
+                refs(peg, existing_edge[1]),
+                BernoulliEdge(0.2),
+            ),
+            MergeEntities(refs(peg, a), refs(peg, c)),
+        ]
+        summary = engine.apply_updates(ops)
+        assert summary["applied"] == len(ops)
+        assert summary["graph_version"] == 1
+
+        rebuilt = QueryEngine(peg, max_length=2, beta=0.05)
+        assert_index_agrees(engine, rebuilt)
+        stats = engine.compact_updates()
+        assert stats["sequences_rewritten"] > 0
+        assert not isinstance(engine.index, DeltaOverlayIndex)
+        assert_index_agrees(engine, rebuilt)
+        # Histograms trued up: path counts match the rebuild exactly.
+        assert engine.index.num_paths() == rebuilt.index.num_paths()
+
+    def test_sharded_compact_matches_rebuild(self, peg):
+        engine = QueryEngine(peg, max_length=2, beta=0.05, num_shards=3)
+        sigma = sorted(peg.sigma, key=repr)
+        anchor = singleton_ids(peg)[0]
+        engine.apply_updates([
+            AddEntity(("s-1",), {sigma[0]: 1.0}, 0.9),
+            AddEdge(refs(peg, anchor), ("s-1",), BernoulliEdge(0.8)),
+        ])
+        rebuilt = QueryEngine(peg, max_length=2, beta=0.05, num_shards=3)
+        assert_index_agrees(engine, rebuilt)
+        engine.compact_updates()
+        assert_index_agrees(engine, rebuilt)
+        assert engine.index.num_paths() == rebuilt.index.num_paths()
+
+    def test_save_offline_requires_compaction(self, tmp_path, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        engine.apply_updates([AddEntity(("u-1",), {sigma[0]: 1.0})])
+        with pytest.raises(IndexError_):
+            engine.save_offline(str(tmp_path / "bundle"))
+        engine.compact_updates()
+        engine.save_offline(str(tmp_path / "bundle"))
+        reopened = QueryEngine.from_saved(peg, str(tmp_path / "bundle"))
+        assert_index_agrees(engine, reopened)
+
+    def test_invalid_ops_rejected(self, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        anchor = singleton_ids(peg)[0]
+        existing = refs(peg, anchor)
+        with pytest.raises(DeltaError):
+            engine.apply_updates(
+                [UpdateLabelProbability(("nope",), {sigma[0]: 1.0})]
+            )
+        with pytest.raises(DeltaError):
+            engine.apply_updates(
+                [AddEntity(existing, {sigma[0]: 1.0})]
+            )
+        neighbor = peg.neighbor_ids(anchor)[0]
+        with pytest.raises(DeltaError):
+            engine.apply_updates(
+                [AddEdge(existing, refs(peg, neighbor), BernoulliEdge(0.5))]
+            )
+        non_neighbor = next(
+            i for i in singleton_ids(peg)
+            if i != anchor and i not in peg.neighbor_ids(anchor)
+        )
+        with pytest.raises(DeltaError):
+            engine.apply_updates([
+                UpdateEdgeDistribution(
+                    existing, refs(peg, non_neighbor), BernoulliEdge(0.5)
+                )
+            ])
+
+    def test_merge_requires_singleton_components(self, peg, engine):
+        shared = next(
+            (
+                node
+                for node in peg.node_ids()
+                if len(peg.component_of(peg.entity_of(node)).entities) > 1
+            ),
+            None,
+        )
+        assert shared is not None, "fixture should have uncertain components"
+        other = singleton_ids(peg)[0]
+        with pytest.raises(DeltaError):
+            engine.apply_updates(
+                [MergeEntities(refs(peg, shared), refs(peg, other))]
+            )
+
+    def test_merged_entity_cannot_be_mutated_again(self, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        ids = singleton_ids(peg)
+        a, b = ids[0], ids[1]
+        refs_a = refs(peg, a)
+        engine.apply_updates([MergeEntities(refs_a, refs(peg, b))])
+        with pytest.raises(DeltaError):
+            engine.apply_updates(
+                [UpdateLabelProbability(refs_a, {sigma[0]: 1.0})]
+            )
+
+
+class TestServiceVersioning:
+    def test_cache_never_serves_pre_mutation_results(self, peg):
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        sigma = sorted(peg.sigma, key=repr)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        with QueryService(engine, num_workers=2) as service:
+            before = service.query(query, 0.2)
+            # Second call is a cache hit.
+            assert service.query(query, 0.2) is before
+            assert service.stats_snapshot()["hits"] == 1
+
+            # Raise one endpoint label to certainty: match set changes.
+            target = next(
+                node
+                for node in singleton_ids(peg)
+                if peg.label_probability_id(node, sigma[0]) > 0.0
+            )
+            service.apply_updates(
+                [UpdateLabelProbability(refs(peg, target), {sigma[0]: 1.0})]
+            )
+            after = service.query(query, 0.2)
+            assert after is not before
+            rebuilt = QueryEngine(peg, max_length=2, beta=0.05)
+            assert match_keys(after.matches) == match_keys(
+                rebuilt.query(query, 0.2).matches
+            )
+
+    def test_process_executor_rejects_live_updates(self, tmp_path, peg):
+        snapshot = str(tmp_path / "bundle")
+        service = QueryService.build(
+            peg, max_length=1, beta=0.2, snapshot_dir=snapshot,
+            executor="process", num_workers=1,
+        )
+        try:
+            with pytest.raises(ServiceError):
+                service.apply_updates([AddEntity(("p-1",), {"x": 1.0})])
+        finally:
+            service.close()
+
+    def test_updates_visible_under_concurrent_load(self, peg):
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        sigma = sorted(peg.sigma, key=repr)
+        rng = random.Random(7)
+        queries = [
+            random_query(2, 1, sigma, seed=rng.randrange(2**31))
+            for _ in range(6)
+        ]
+        with QueryService(engine, num_workers=4, cache_size=64) as service:
+            futures = [service.submit(q, 0.2) for q in queries for _ in (0, 1)]
+            target = singleton_ids(peg)[0]
+            service.apply_updates(
+                [UpdateLabelProbability(refs(peg, target), {sigma[0]: 1.0})]
+            )
+            for future in futures:
+                future.result(timeout=30)
+            rebuilt = QueryEngine(peg, max_length=2, beta=0.05)
+            for query in queries:
+                assert match_keys(service.query(query, 0.2).matches) == \
+                    match_keys(rebuilt.query(query, 0.2).matches)
+
+
+class TestReviewRegressions:
+    def test_invalid_merge_existence_leaves_graph_untouched(self, peg, engine):
+        """Validation must precede tombstoning (no half-applied merges)."""
+        ids = singleton_ids(peg)
+        a, b = ids[0], ids[1]
+        with pytest.raises(DeltaError):
+            engine.apply_updates([
+                MergeEntities(refs(peg, a), refs(peg, b),
+                              existence_probability=1.5)
+            ])
+        assert not peg.is_removed_id(a) and not peg.is_removed_id(b)
+        assert engine.graph_version == 0
+        assert not isinstance(engine.index, DeltaOverlayIndex)
+
+    def test_rejected_op_is_not_logged(self, tmp_path, peg, engine):
+        """A failing op must not poison the durable log for replay."""
+        sigma = sorted(peg.sigma, key=repr)
+        log = MutationLog(str(tmp_path / "mutations.log"))
+        good = AddEntity(("log-1",), {sigma[0]: 1.0}, 0.9)
+        bad = UpdateLabelProbability(("missing",), {sigma[0]: 1.0})
+        good2 = AddEntity(("log-2",), {sigma[0]: 1.0}, 0.9)
+        with pytest.raises(DeltaError):
+            engine.apply_updates([good, bad, good2], log=log)
+        # Only the successfully applied prefix was logged; a fresh
+        # engine replays it cleanly.
+        assert len(log) == 1
+        other_peg = small_random_peg(seed=1234, num_references=40)
+        other = QueryEngine(other_peg, max_length=2, beta=0.05)
+        summary = apply_mutations(other, log.replay())
+        assert summary["applied"] == 1
+        log.close()
+
+    def test_admission_waits_for_apply(self, peg):
+        """No evaluation may overlap graph surgery, even for requests
+        admitted mid-update."""
+        import threading
+
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        sigma = sorted(peg.sigma, key=repr)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        in_apply = threading.Event()
+        release_apply = threading.Event()
+        original_apply = engine.apply_updates
+
+        def slow_apply(ops, log=None):
+            in_apply.set()
+            release_apply.wait(timeout=10)
+            return original_apply(ops, log=log)
+
+        engine.apply_updates = slow_apply
+        target = singleton_ids(peg)[0]
+        with QueryService(engine, num_workers=2) as service:
+            applier = threading.Thread(
+                target=service.apply_updates,
+                args=([UpdateLabelProbability(
+                    refs(peg, target), {sigma[0]: 1.0}
+                )],),
+            )
+            applier.start()
+            assert in_apply.wait(timeout=10)
+            # A submit issued while the update is in progress must not
+            # be admitted (and must not evaluate) until it completes.
+            admitted = []
+            submitter = threading.Thread(
+                target=lambda: admitted.append(service.submit(query, 0.2))
+            )
+            submitter.start()
+            submitter.join(timeout=0.3)
+            assert submitter.is_alive(), "admission should block during apply"
+            assert service._inflight == {}
+            release_apply.set()
+            applier.join(timeout=10)
+            submitter.join(timeout=10)
+            assert not submitter.is_alive()
+            result = admitted[0].result(timeout=30)
+            rebuilt = QueryEngine(peg, max_length=2, beta=0.05)
+            assert match_keys(result.matches) == match_keys(
+                rebuilt.query(query, 0.2).matches
+            )

@@ -157,3 +157,177 @@ def test_differential_agreement(graph_index, config, query_seed):
 def test_case_count_meets_floor():
     """The harness must exercise at least 200 random PEG/query cases."""
     assert TOTAL_CASES >= 200
+
+
+# ----------------------------------------------------------------------
+# Mutate-then-query mode: live updates vs rebuild vs possible worlds
+# ----------------------------------------------------------------------
+
+NUM_MUTATION_GRAPHS = 10
+MUTATIONS_PER_GRAPH = 4
+
+#: Mutation differential cases (each query/alpha asserted pre- and
+#: post-compact, on a sharded and an unsharded engine).
+MUTATION_CASES = NUM_MUTATION_GRAPHS * QUERIES_PER_GRAPH * len(ALPHAS)
+
+
+def _singleton_ids(peg):
+    return [
+        node
+        for node in peg.node_ids()
+        if not peg.is_removed_id(node)
+        and len(peg.component_of(peg.entity_of(node)).entities) == 1
+    ]
+
+
+def _refs(peg, node_id):
+    return tuple(sorted(peg.entity_of(node_id), key=repr))
+
+
+def _world_estimate(peg) -> int:
+    """Upper bound on the possible-world count (the oracle's formula)."""
+    estimate = 1
+    for component in peg.components:
+        if component.configurations is not None:
+            estimate *= max(1, len(component.configurations))
+    for entity in peg.entities:
+        estimate *= max(1, len(peg.possible_labels(entity)))
+    return estimate * 2 ** peg.num_edges
+
+
+def _random_mutation(rng: random.Random, peg, sigma, fresh_counter: list):
+    """One random valid mutation op against the *current* PEG state."""
+    from repro.delta import (
+        AddEdge,
+        AddEntity,
+        MergeEntities,
+        UpdateEdgeDistribution,
+        UpdateLabelProbability,
+    )
+    from repro.pgd import BernoulliEdge
+
+    def random_labels():
+        chosen = rng.sample(sigma, rng.randint(1, len(sigma)))
+        weights = [rng.uniform(0.1, 1.0) for _ in chosen]
+        total = sum(weights)
+        return {label: weight / total for label, weight in zip(chosen, weights)}
+
+    live = [n for n in peg.node_ids() if not peg.is_removed_id(n)]
+    singles = _singleton_ids(peg)
+    kinds = ["add_entity", "update_label", "update_edge", "add_edge", "merge"]
+    rng.shuffle(kinds)
+    # Growth ops multiply the possible-world count (the oracle's
+    # feasibility ceiling); only draw them while the budget allows.
+    can_grow = _world_estimate(peg) * 8 < 500_000
+    for kind in kinds:
+        if kind in ("add_entity", "add_edge") and not can_grow:
+            continue
+        if kind == "add_entity":
+            fresh_counter[0] += 1
+            return AddEntity(
+                (f"dyn-{fresh_counter[0]}",),
+                random_labels(),
+                rng.uniform(0.5, 1.0),
+            )
+        if kind == "update_label" and live:
+            return UpdateLabelProbability(
+                _refs(peg, rng.choice(live)), random_labels()
+            )
+        if kind == "update_edge":
+            edges = [
+                (a, b) for (a, b), dist in peg.edge_ids()
+                if not dist.conditional
+            ]
+            if edges:
+                a, b = rng.choice(sorted(edges))
+                return UpdateEdgeDistribution(
+                    _refs(peg, a), _refs(peg, b),
+                    BernoulliEdge(rng.uniform(0.05, 1.0)),
+                )
+        if kind == "add_edge" and len(live) >= 2:
+            pairs = [
+                (a, b)
+                for a in live for b in live
+                if a < b
+                and b not in peg.neighbor_ids(a)
+                and not peg.shares_references_id(a, b)
+            ]
+            if pairs:
+                a, b = rng.choice(pairs)
+                return AddEdge(
+                    _refs(peg, a), _refs(peg, b),
+                    BernoulliEdge(rng.uniform(0.3, 1.0)),
+                )
+        if kind == "merge" and len(singles) >= 2:
+            a, b = rng.sample(singles, 2)
+            return MergeEntities(_refs(peg, a), _refs(peg, b))
+    raise AssertionError("no applicable mutation found")  # pragma: no cover
+
+
+def _mutation_cases():
+    rng = random.Random(SEED + 1)
+    for graph_index in range(NUM_MUTATION_GRAPHS):
+        yield graph_index, _tiny_config(rng), rng.randrange(2**31)
+
+
+@pytest.mark.parametrize(
+    "graph_index,config,mutation_seed",
+    list(_mutation_cases()),
+    ids=lambda value: value if isinstance(value, int) else None,
+)
+def test_mutation_differential(graph_index, config, mutation_seed):
+    """Overlay-served results equal a from-scratch rebuild and Eq. 8.
+
+    Random mutation batches are absorbed by a running engine (sharded
+    and unsharded); every query must then agree — pre- *and*
+    post-``compact()`` — with an engine rebuilt from scratch over the
+    mutated PEG and with brute-force possible-worlds enumeration.
+    """
+    pgd = generate_synthetic_pgd(config)
+    # Two independent (identical) PEG copies: each engine owns and
+    # mutates its own graph through the public apply_updates API.
+    peg = build_peg(pgd)
+    peg_sharded = build_peg(pgd)
+    unsharded = QueryEngine(peg, max_length=MAX_LENGTH, beta=BETA)
+    sharded = QueryEngine(
+        peg_sharded, max_length=MAX_LENGTH, beta=BETA, num_shards=NUM_SHARDS
+    )
+    rng = random.Random(mutation_seed)
+    sigma = sorted(peg.sigma, key=repr)
+    fresh = [0]
+    for _ in range(MUTATIONS_PER_GRAPH):
+        # Generated against the evolving graph, applied to both copies
+        # (ops address entities by reference set, so they port).
+        op = _random_mutation(rng, peg, sigma, fresh)
+        unsharded.apply_updates([op])
+        sharded.apply_updates([op])
+
+    rebuilt = QueryEngine(peg, max_length=MAX_LENGTH, beta=BETA)
+    queries = _random_queries(rng, sigma)
+    case = 0
+    for compacted in (False, True):
+        if compacted:
+            unsharded.compact_updates()
+            sharded.compact_updates()
+        for query in queries:
+            for alpha in ALPHAS:
+                oracle = match_keys(exhaustive_matches(peg, query, alpha))
+                context = (
+                    graph_index, config.seed, query.nodes, alpha, compacted
+                )
+                assert match_keys(
+                    unsharded.query(query, alpha).matches
+                ) == oracle, context
+                assert match_keys(
+                    sharded.query(query, alpha).matches
+                ) == oracle, context
+                assert match_keys(
+                    rebuilt.query(query, alpha).matches
+                ) == oracle, context
+                case += 1
+    assert case == 2 * QUERIES_PER_GRAPH * len(ALPHAS)
+
+
+def test_mutation_case_count_meets_floor():
+    """The mutate-then-query mode must exercise at least 80 cases."""
+    assert MUTATION_CASES >= 80

@@ -151,3 +151,63 @@ class TestBuilderVariants:
             assert path_key_set(short.lookup(seq, 0.3)) == path_key_set(
                 longer.lookup(seq, 0.3)
             )
+
+
+class TestBucketRounding:
+    """One rounding rule shared by grid, builder and lookup (regression).
+
+    ``0.7 * 1000`` is ``699.999...``: truncation in one place and
+    rounding in another put grid-boundary probabilities one bucket low —
+    most visibly, a lookup at ``alpha == beta == 0.7`` mis-raised
+    "below index lower bound".
+    """
+
+    @staticmethod
+    def _boundary_peg():
+        # One certain 'a'-'b' edge with probability exactly 0.7: the
+        # indexed 2-node path has probability float(0.7).
+        return build_peg(
+            pgd_from_edge_list(
+                node_labels={"r1": "a", "r2": "b"},
+                edges=[("r1", "r2", 0.7)],
+            )
+        )
+
+    def test_lookup_at_alpha_equal_beta_boundary(self):
+        index = build_path_index(
+            self._boundary_peg(), max_length=1, beta=0.7, gamma=0.1
+        )
+        hits = index.lookup(("a", "b"), 0.7)
+        assert len(hits) == 1
+        assert hits[0].probability == pytest.approx(0.7)
+
+    def test_builder_and_index_agree_on_buckets(self):
+        from repro.index.builder import _bucket_for, _grid_milli
+
+        index = build_path_index(
+            self._boundary_peg(), max_length=1, beta=0.1, gamma=0.2
+        )
+        grid = _grid_milli(0.1, 0.2)
+        assert grid == index.grid()
+        for probability in (0.1, 0.3, 0.5, 0.7, 0.9, 0.2999999, 1.0):
+            assert _bucket_for(probability, grid) == index.bucket_for(
+                probability
+            ), probability
+
+    def test_stored_bucket_reachable_from_equal_alpha(self):
+        index = build_path_index(
+            self._boundary_peg(), max_length=1, beta=0.1, gamma=0.2
+        )
+        # float 0.7 rounds to 700; the path must be stored in a bucket
+        # that a min-bucket scan from bucket_for(0.7) reaches.
+        assert index.bucket_for(0.7) <= 700
+        assert index.lookup(("a", "b"), 0.7)
+
+    def test_grid_rejects_beta_above_one(self):
+        from repro.index.builder import _grid_milli
+        from repro.utils.errors import IndexError_
+
+        with pytest.raises(IndexError_):
+            _grid_milli(1.2, 0.1)
+        with pytest.raises(IndexError_):
+            build_path_index(self._boundary_peg(), max_length=1, beta=1.01)

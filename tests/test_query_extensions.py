@@ -94,3 +94,52 @@ class TestTopK:
             top_k_matches(engine, query, 1, shrink=1.5)
         with pytest.raises(QueryError):
             top_k_matches(engine, query, 1, start_alpha=0.1, floor=0.5)
+
+
+class ShufflingEngine:
+    """Engine proxy emitting matches in scrambled order.
+
+    ``top_k_matches`` must not rely on the engine's emission order —
+    that order is not part of the engine contract (regression: top-k
+    used to truncate whatever order arrived).
+    """
+
+    def __init__(self, engine, seed=0):
+        import random
+
+        self._engine = engine
+        self._rng = random.Random(seed)
+
+    def query(self, query, alpha, options=None):
+        result = self._engine.query(query, alpha, options)
+        shuffled = list(result.matches)
+        self._rng.shuffle(shuffled)
+        result.matches = shuffled
+        return result
+
+
+class TestTopKOrdering:
+    def test_sorted_regardless_of_engine_order(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        k = 5
+        expected = sorted(
+            (m.probability for m in direct_matches(peg, query, 0.01)),
+            reverse=True,
+        )[:k]
+        top = top_k_matches(ShufflingEngine(engine, seed=99), query, k,
+                            floor=0.01)
+        assert [m.probability for m in top] == pytest.approx(expected)
+
+    def test_tie_handling_is_deterministic(self, setup):
+        peg, engine = setup
+        sigma = sorted(peg.sigma)
+        query = QueryGraph({"a": sigma[0], "b": sigma[1]}, [("a", "b")])
+        picks = [
+            top_k_matches(ShufflingEngine(engine, seed=s), query, 3,
+                          floor=0.01)
+            for s in range(5)
+        ]
+        canonical = [[m.canonical_key() for m in pick] for pick in picks]
+        assert all(keys == canonical[0] for keys in canonical[1:])

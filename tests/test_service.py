@@ -299,3 +299,79 @@ class TestExports:
         assert repro.QueryService is QueryService
         assert repro.ResultCache is ResultCache
         assert repro.ServiceStats is ServiceStats
+
+
+class TestCloseLifecycle:
+    def test_submit_after_close_raises(self):
+        service = QueryService(FakeEngine(), num_workers=1)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.submit(figure1_query(), 0.5)
+        with pytest.raises(ServiceError):
+            service.submit_batch([(figure1_query(), 0.5)])
+
+    def test_close_is_idempotent(self):
+        service = QueryService(FakeEngine(), num_workers=1)
+        service.close()
+        service.close()
+        service.close(wait=False)
+
+    def test_close_under_load_leaves_no_hanging_waiters(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        service = QueryService(engine, num_workers=1, cache_size=0)
+        # Two distinct requests: the first occupies the only worker
+        # (blocked on the gate), the second sits in the executor queue;
+        # a third deduplicates against the first.
+        first = service.submit(figure1_query(), 0.5)
+        queued = service.submit(figure1_query(), 0.4)
+        follower = service.submit(figure1_query("p", "q"), 0.5)
+
+        closer = threading.Thread(target=service.close, args=(False,))
+        closer.start()
+        gate.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+
+        for future in (first, queued, follower):
+            assert future.done() or future.result(timeout=10) is not None
+        # The queued task was cancelled: its waiter got ServiceError,
+        # not a hang; the single-flight table is empty.
+        with pytest.raises(ServiceError):
+            queued.result(timeout=1)
+        assert service._inflight == {}
+
+        with pytest.raises(ServiceError):
+            service.submit(figure1_query(), 0.5)
+
+    def test_racing_submits_get_service_error_not_runtime_error(self):
+        engine = FakeEngine(delay=0.005)
+        service = QueryService(engine, num_workers=2, cache_size=0)
+        errors = []
+        done = []
+
+        def hammer(i):
+            try:
+                future = service.submit(figure1_query(f"a{i}", f"b{i}"), 0.5)
+                try:
+                    future.result(timeout=10)
+                    done.append(i)
+                except ServiceError:
+                    done.append(i)
+            except ServiceError:
+                done.append(i)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(16)
+        ]
+        for index, thread in enumerate(threads):
+            thread.start()
+            if index == 4:
+                service.close(wait=False)
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert len(done) == 16
+        assert service._inflight == {}
