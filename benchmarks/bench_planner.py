@@ -1,0 +1,344 @@
+"""Planner benchmark: plan caching, exact strategy, estimator feedback.
+
+Measures what :mod:`repro.query.plan` promises for repeated-traffic
+serving:
+
+* **plan caching** — per-query planning time for a repeated workload
+  with the cache on (hits skip candidate enumeration, per-candidate
+  histogram estimation and the cover search entirely) vs re-planning
+  every query from scratch, plus the end-to-end decompose-stage share
+  of full evaluations on both settings,
+* **exact strategy** — estimated-cost ratio of exact (bitmask-DP) plans
+  against greedy plans over the workload (never above 1.0: exact is
+  optimal for the same objective), with its planning-time premium,
+* **estimator feedback** — after un-compacted live mutation batches
+  drift the histograms, the mean absolute log-error of cardinality
+  estimates before vs after the feedback loop has observed the
+  workload once.
+
+A correctness spot check runs inside: cached-plan and exact-strategy
+evaluations must produce exactly the matches of the fresh greedy
+baseline. Results go to ``BENCH_planner.json``; ``--trajectory``
+writes a versioned copy under ``benchmarks/results/``. With
+``--smoke`` (the CI gate) the script exits non-zero when cached
+planning fails to beat re-planning, or when the spot check disagrees.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py --trajectory
+    PYTHONPATH=src python benchmarks/bench_planner.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+
+if __package__ in (None, ""):  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from repro import __version__
+from repro.datasets import SyntheticConfig, generate_synthetic_pgd, random_query
+from repro.delta import AddEntity, UpdateLabelProbability
+from repro.peg import build_peg
+from repro.query import QueryEngine, QueryOptions
+
+ALPHA = 0.3
+MAX_LENGTH = 2
+BETA = 0.05
+
+PLAN_CACHED = QueryOptions()
+PLAN_FRESH = QueryOptions(use_plan_cache=False, use_estimator_feedback=False)
+# Feedback off like PLAN_FRESH: the exact-vs-greedy cost comparison (and
+# its CI gate) must cost both strategies with the same estimator.
+PLAN_EXACT = QueryOptions(
+    decomposition="exact", use_plan_cache=False, use_estimator_feedback=False
+)
+
+
+def _build_engine(num_references: int) -> QueryEngine:
+    config = SyntheticConfig(
+        num_references=num_references,
+        edges_per_node=2,
+        num_labels=4,
+        uncertainty=0.3,
+        groups=max(1, num_references // 20),
+        seed=20260730,
+    )
+    peg = build_peg(generate_synthetic_pgd(config))
+    return QueryEngine(peg, max_length=MAX_LENGTH, beta=BETA)
+
+
+def _workload(rng: random.Random, sigma, distinct: int, repeats: int) -> list:
+    queries = []
+    for _ in range(distinct):
+        num_nodes = rng.choice((3, 3, 4))
+        max_edges = num_nodes * (num_nodes - 1) // 2
+        num_edges = rng.randint(num_nodes - 1, max_edges)
+        queries.append(
+            random_query(num_nodes, num_edges, sigma,
+                         seed=rng.randrange(2**31))
+        )
+    return queries * repeats
+
+
+def match_keys(matches):
+    return sorted(
+        (m.nodes, m.edges, round(m.probability, 9)) for m in matches
+    )
+
+
+def _time_planning(engine: QueryEngine, workload, options) -> float:
+    start = time.perf_counter()
+    for query in workload:
+        engine.planner.plan(query, ALPHA, options)
+    return time.perf_counter() - start
+
+
+def _log_error(estimated: float, observed: int) -> float:
+    return abs(math.log2((estimated + 1.0) / (observed + 1.0)))
+
+
+def run(num_references: int, distinct: int, repeats: int,
+        num_batches: int) -> dict:
+    rng = random.Random(96117)
+    engine = _build_engine(num_references)
+    sigma = sorted(engine.peg.sigma, key=repr)
+    workload = _workload(rng, sigma, distinct, repeats)
+
+    # -- plan caching: planner-only timings ---------------------------
+    replan_seconds = _time_planning(engine, workload, PLAN_FRESH)
+    engine.planner.cache.clear()
+    cold_seconds = _time_planning(engine, workload[:distinct], PLAN_CACHED)
+    warm_seconds = _time_planning(engine, workload, PLAN_CACHED)
+    planner_stats = engine.planner.stats_snapshot()
+
+    # -- plan caching: end-to-end decompose share ---------------------
+    def decompose_share(options):
+        total = 0.0
+        decompose = 0.0
+        for query in workload:
+            result = engine.query(query, ALPHA, options)
+            total += result.total_seconds
+            decompose += result.timings.get("decompose", 0.0)
+        return decompose, total
+
+    fresh_decompose, fresh_total = decompose_share(PLAN_FRESH)
+    cached_decompose, cached_total = decompose_share(PLAN_CACHED)
+
+    # -- exact strategy ----------------------------------------------
+    exact_start = time.perf_counter()
+    cost_ratios = []
+    agreement = True
+    for query in workload[:distinct]:
+        exact_result = engine.query(query, ALPHA, PLAN_EXACT)
+        greedy_result = engine.query(query, ALPHA, PLAN_FRESH)
+        cached_result = engine.query(query, ALPHA, PLAN_CACHED)
+        baseline = match_keys(greedy_result.matches)
+        agreement = agreement and match_keys(
+            exact_result.matches
+        ) == baseline and match_keys(cached_result.matches) == baseline
+        if greedy_result.plan.estimated_cost > 0:
+            cost_ratios.append(
+                exact_result.plan.estimated_cost
+                / greedy_result.plan.estimated_cost
+            )
+    exact_seconds = time.perf_counter() - exact_start
+
+    # -- estimator feedback under drift -------------------------------
+    fresh = 0
+    for _ in range(num_batches):
+        batch = []
+        for _ in range(4):
+            if rng.random() < 0.5:
+                fresh += 1
+                chosen = rng.sample(sigma, 2)
+                batch.append(AddEntity(
+                    (f"plan-dyn-{fresh}",),
+                    {chosen[0]: 0.6, chosen[1]: 0.4},
+                    rng.uniform(0.6, 1.0),
+                ))
+            else:
+                live = [
+                    n for n in engine.peg.node_ids()
+                    if not engine.peg.is_removed_id(n)
+                ]
+                node = rng.choice(live)
+                chosen = rng.sample(sigma, 2)
+                batch.append(UpdateLabelProbability(
+                    tuple(sorted(engine.peg.entity_of(node), key=repr)),
+                    {chosen[0]: 0.7, chosen[1]: 0.3},
+                ))
+        engine.apply_updates(batch)
+    engine.planner.invalidate()
+    # Capture the drifted estimates *before* any lookup runs: both the
+    # overlay's stale-count memos and the feedback table learn from
+    # lookups, so estimates collected after the first pass would
+    # already be partially healed.
+    probes = []
+    for query in workload[:distinct]:
+        decomposition, _ = engine.planner.plan(query, ALPHA, PLAN_CACHED)
+        estimates = [
+            engine.index.estimate_cardinality(
+                query.label_sequence(path.nodes), ALPHA
+            )
+            for path in decomposition.paths
+        ]
+        probes.append((query, estimates))
+    before_errors = []
+    for query, estimates in probes:
+        result = engine.query(query, ALPHA, PLAN_CACHED)
+        for i, (_corrected, observed) in result.estimate_observations.items():
+            before_errors.append(_log_error(estimates[i], observed))
+    error_before = (
+        sum(before_errors) / len(before_errors) if before_errors else 0.0
+    )
+    # Second pass: the estimation loop has now observed every sequence
+    # once, so estimate_observations carries the corrected estimates.
+    after_errors = []
+    for query, _ in probes:
+        result = engine.query(query, ALPHA, PLAN_CACHED)
+        for estimated, observed in result.estimate_observations.values():
+            after_errors.append(_log_error(estimated, observed))
+    error_after = (
+        sum(after_errors) / len(after_errors) if after_errors else 0.0
+    )
+
+    return {
+        "nodes": engine.peg.num_nodes,
+        "workload": {
+            "distinct": distinct,
+            "repeats": repeats,
+            "requests": len(workload),
+        },
+        "planning": {
+            "replan_seconds": replan_seconds,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cached_speedup": replan_seconds / warm_seconds
+            if warm_seconds else float("inf"),
+            "plan_cache_hits": planner_stats["plan_cache_hits"],
+            "plan_cache_misses": planner_stats["plan_cache_misses"],
+        },
+        "end_to_end": {
+            "fresh_decompose_seconds": fresh_decompose,
+            "fresh_total_seconds": fresh_total,
+            "cached_decompose_seconds": cached_decompose,
+            "cached_total_seconds": cached_total,
+            "decompose_speedup": fresh_decompose / cached_decompose
+            if cached_decompose else float("inf"),
+        },
+        "exact": {
+            "queries": distinct,
+            "seconds": exact_seconds,
+            "mean_cost_ratio_vs_greedy": (
+                sum(cost_ratios) / len(cost_ratios) if cost_ratios else 1.0
+            ),
+        },
+        "feedback": {
+            "mutation_batches": num_batches,
+            "mean_abs_log2_error_before": error_before,
+            "mean_abs_log2_error_after": error_after,
+        },
+        "agreement": agreement,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + CI gate: cached planning must beat re-planning",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_planner.json",
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="also write benchmarks/results/BENCH_planner-v<version>.json "
+        "(the committed perf-trajectory point for this version)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="override the synthetic graph size (references)",
+    )
+    args = parser.parse_args(argv)
+
+    num_references = args.size or (120 if args.smoke else 400)
+    distinct = 6 if args.smoke else 12
+    repeats = 5 if args.smoke else 20
+    num_batches = 2 if args.smoke else 5
+
+    results = run(num_references, distinct, repeats, num_batches)
+    report = {
+        "benchmark": "planner",
+        "repro_version": __version__,
+        "mode": "smoke" if args.smoke else "large",
+        "planner": results,
+    }
+    outputs = [args.out]
+    if args.trajectory:
+        outputs.append(
+            os.path.join(
+                os.path.dirname(os.path.abspath(__file__)),
+                "results",
+                f"BENCH_planner-v{__version__}.json",
+            )
+        )
+    for out in outputs:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    planning = results["planning"]
+    end_to_end = results["end_to_end"]
+    feedback = results["feedback"]
+    print(
+        f"[plan]     {results['workload']['requests']} requests "
+        f"({results['workload']['distinct']} distinct): re-plan "
+        f"{planning['replan_seconds']:.4f}s vs cached "
+        f"{planning['warm_seconds']:.4f}s "
+        f"({planning['cached_speedup']:.1f}x, "
+        f"{planning['plan_cache_hits']} hits)"
+    )
+    print(
+        f"[evaluate] decompose stage {end_to_end['fresh_decompose_seconds']:.4f}s"
+        f" -> {end_to_end['cached_decompose_seconds']:.4f}s "
+        f"({end_to_end['decompose_speedup']:.1f}x) of "
+        f"{end_to_end['cached_total_seconds']:.4f}s total"
+    )
+    print(
+        f"[exact]    mean cost ratio vs greedy "
+        f"{results['exact']['mean_cost_ratio_vs_greedy']:.3f} "
+        f"({results['exact']['seconds']:.4f}s for "
+        f"{results['exact']['queries']} queries)"
+    )
+    print(
+        f"[feedback] estimate |log2 error| {feedback['mean_abs_log2_error_before']:.3f}"
+        f" -> {feedback['mean_abs_log2_error_after']:.3f} after "
+        f"{feedback['mutation_batches']} un-compacted mutation batches"
+    )
+    print("wrote " + ", ".join(outputs))
+
+    if not results["agreement"]:
+        print("FAIL: planned evaluations disagree with the greedy baseline")
+        return 1
+    if results["exact"]["mean_cost_ratio_vs_greedy"] > 1.0 + 1e-9:
+        print("FAIL: exact plans cost more than greedy plans")
+        return 1
+    if args.smoke and planning["cached_speedup"] < 1.0:
+        print("FAIL: cached planning is slower than re-planning")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ CAPTIONS = {
 BENCH_CAPTIONS = {
     "BENCH_reduction": "Online-phase core: vectorized vs Python backend",
     "BENCH_delta": "Live updates: delta overlay vs full rebuild",
+    "BENCH_planner": "Adaptive planner: plan cache, exact strategy, feedback",
 }
 
 

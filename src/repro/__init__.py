@@ -51,6 +51,9 @@ from repro.query import (
     QueryEngine,
     QueryOptions,
     QueryResult,
+    QueryPlanner,
+    PlanInfo,
+    EstimatorFeedback,
     exhaustive_matches,
     direct_matches,
 )
@@ -67,7 +70,7 @@ from repro.delta import (
     apply_mutations,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "PGD",
@@ -94,6 +97,9 @@ __all__ = [
     "QueryEngine",
     "QueryOptions",
     "QueryResult",
+    "QueryPlanner",
+    "PlanInfo",
+    "EstimatorFeedback",
     "exhaustive_matches",
     "direct_matches",
     "sql_baseline_matches",

@@ -8,6 +8,11 @@ Commands
     Print the statistics of a saved PEG (nodes, edges, components, ...).
 ``query``
     Run a pattern query (JSON spec) against a saved PEG.
+``plan``
+    Print the decomposition the adaptive planner chooses for a query —
+    paths, per-path cardinality estimates, estimated cost and plan
+    provenance (greedy/exact/random/cache) — without executing it;
+    repeated runs demonstrate the plan cache.
 ``build``
     Run the offline phase ahead of time: build the (optionally
     hash-sharded, optionally process-parallel) path index and context
@@ -127,7 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-length", type=int, default=2, dest="max_length")
     query.add_argument("--beta", type=float, default=0.05)
     query.add_argument(
-        "--decomposition", choices=("greedy", "random"), default="greedy"
+        "--decomposition",
+        choices=("greedy", "exact", "random"),
+        default="greedy",
     )
     query.add_argument(
         "--explain", action="store_true",
@@ -136,6 +143,39 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--limit", type=int, default=20,
         help="maximum matches printed (default 20)",
+    )
+
+    plan = commands.add_parser(
+        "plan",
+        help=(
+            "print the chosen path decomposition and its estimated cost "
+            "without executing the query (EXPLAIN without ANALYZE)"
+        ),
+    )
+    plan.add_argument("peg", help="path to a saved PEG")
+    plan_spec = plan.add_mutually_exclusive_group(required=True)
+    plan_spec.add_argument(
+        "--spec", help="path to the JSON query spec (see module docstring)"
+    )
+    plan_spec.add_argument(
+        "--pattern",
+        help="inline pattern, e.g. '(a:DB)-(b:ML)-(c:DB); (a)-(c)'",
+    )
+    plan.add_argument("--alpha", type=float, default=0.5)
+    plan.add_argument("--max-length", type=int, default=2, dest="max_length")
+    plan.add_argument("--beta", type=float, default=0.05)
+    plan.add_argument(
+        "--strategy",
+        choices=("greedy", "exact", "random"),
+        default="greedy",
+        help="decomposition strategy (default: greedy)",
+    )
+    plan.add_argument(
+        "--repeat", type=int, default=2,
+        help=(
+            "plan this many times (default 2: the second run "
+            "demonstrates the plan-cache hit)"
+        ),
     )
 
     build = commands.add_parser(
@@ -355,6 +395,49 @@ def _cmd_query(args) -> int:
         print(f"  Pr={match.probability:.4f}  {rendered}")
     if len(result.matches) > args.limit:
         print(f"  ... {len(result.matches) - args.limit} more")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    import time
+
+    if not 0.0 < args.alpha <= 1.0:
+        raise ReproError(f"alpha must be in (0, 1], got {args.alpha}")
+    peg = load_peg(args.peg)
+    if args.pattern is not None:
+        from repro.query.pattern import parse_pattern
+
+        query = parse_pattern(args.pattern)
+    else:
+        query = _load_query_spec(args.spec)
+    engine = QueryEngine(peg, max_length=args.max_length, beta=args.beta)
+    options = QueryOptions(
+        decomposition=args.strategy,
+        seed=0 if args.strategy == "random" else None,
+    )
+    for round_num in range(max(1, args.repeat)):
+        start = time.perf_counter()
+        decomposition, info = engine.planner.plan(query, args.alpha, options)
+        elapsed = (time.perf_counter() - start) * 1000
+        source = "cache" if info.cached else info.source
+        print(
+            f"[{round_num + 1}] strategy={info.strategy} source={source}  "
+            f"estimated cost {info.estimated_cost:.4g}  "
+            f"planned in {elapsed:.2f} ms"
+        )
+        for i, path in enumerate(decomposition.paths):
+            labels = query.label_sequence(path.nodes)
+            rendered = " - ".join(
+                f"{node}:{label}" for node, label in zip(path.nodes, labels)
+            )
+            estimate = engine.index.estimate_cardinality(labels, args.alpha)
+            print(f"    P{i}: {rendered}  (est. cardinality {estimate:.4g})")
+    stats = engine.planner.stats_snapshot()
+    print(
+        f"plan cache: {stats['plan_cache_hits']} hits, "
+        f"{stats['plan_cache_misses']} misses, "
+        f"{stats['plan_cache_size']} entries"
+    )
     return 0
 
 
@@ -595,6 +678,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "plan": _cmd_plan,
         "build": _cmd_build,
         "apply-updates": _cmd_apply_updates,
         "serve": _cmd_serve,

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.index.builder import PathIndexBuilder, _bucket_for
+from repro.index.builder import PathIndexBuilder, _bucket_for, _milli
 from repro.index.paths import decode_path_arrays, decode_paths, encode_paths
 from repro.index.path_index import PathIndex, make_histogram
 from repro.index.protocol import (
@@ -88,6 +88,10 @@ class DeltaOverlayIndex(PathIndexProtocol):
         self.gamma = base.gamma
         self._dirty: frozenset = frozenset()
         self._delta: dict = {}
+        #: ``{(canonical sequence, milli-alpha): masked base-path
+        #: count}`` learned from actual lookups — see
+        #: :meth:`estimate_cardinality`.
+        self._stale_counts: dict = {}
 
     # ------------------------------------------------------------------
     # Mutation maintenance
@@ -129,6 +133,9 @@ class DeltaOverlayIndex(PathIndexProtocol):
         return sorted(region)
 
     def _refresh(self) -> None:
+        # Masked-count memos describe the previous dirty set; the new
+        # mutation may dirty (or clean) more base paths.
+        self._stale_counts = {}
         if not self._dirty:
             self._delta = {}
             return
@@ -161,9 +168,16 @@ class DeltaOverlayIndex(PathIndexProtocol):
         dirty = self._dirty
         base_paths = self.base.lookup_canonical(canonical_seq, alpha)
         if dirty:
-            base_paths = [
+            kept = [
                 path for path in base_paths if dirty.isdisjoint(path.nodes)
             ]
+            # Record the exact number of masked base paths at this
+            # (sequence, milli-threshold): estimate_cardinality uses it
+            # to undo the stale portion of the base histogram.
+            self._stale_counts[(canonical_seq, _milli(alpha))] = (
+                len(base_paths) - len(kept)
+            )
+            base_paths = kept
         extra = self._delta.get(canonical_seq)
         if extra:
             base_paths.extend(
@@ -172,18 +186,30 @@ class DeltaOverlayIndex(PathIndexProtocol):
         return base_paths
 
     def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:
-        """Base estimate plus the exact delta count.
+        """Base estimate, corrected for masked paths, plus the delta count.
 
-        The base histogram still counts masked (stale) paths — the
-        histogram is an estimator feeding decomposition ordering, not a
-        correctness surface, and compaction trues it up.
+        The base histogram still counts masked (stale) base paths — it
+        is an estimator feeding decomposition ordering, not a
+        correctness surface, and compaction trues it up. Pre-compaction
+        the overlay is *delta-aware*: every lookup records how many
+        base paths it masked for its (sequence, milli-threshold), and
+        later estimates subtract that observed stale count before
+        adding the exact in-memory delta count, so repeated query
+        shapes see drift-free estimates without scanning the stores.
         """
         estimate = self.base.estimate_cardinality(label_seq, alpha)
         seq = tuple(label_seq)
-        extra_paths = self._delta.get(canonical_sequence(seq))
+        canonical = canonical_sequence(seq)
+        palindrome = is_palindrome(seq) and len(seq) > 1
+        stale = self._stale_counts.get((canonical, _milli(alpha)))
+        if stale:
+            if palindrome:
+                stale *= 2
+            estimate = max(0.0, estimate - stale)
+        extra_paths = self._delta.get(canonical)
         if extra_paths:
             extra = sum(1 for p in extra_paths if p.probability >= alpha)
-            if is_palindrome(seq) and len(seq) > 1:
+            if palindrome:
                 extra *= 2
             estimate += extra
         return estimate
@@ -288,6 +314,7 @@ class DeltaOverlayIndex(PathIndexProtocol):
             store.flush()
         self._dirty = frozenset()
         self._delta = {}
+        self._stale_counts = {}
         return stats
 
     # ------------------------------------------------------------------

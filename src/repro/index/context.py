@@ -69,17 +69,30 @@ class ContextInformation:
 
 
 def build_context(peg: ProbabilisticEntityGraph) -> ContextInformation:
-    """Compute the context tables for every node of ``G_U``."""
+    """Compute the context tables for every node of ``G_U``.
+
+    Tables are sized by the *id space*, not the live-entity count —
+    the same discipline as
+    :class:`repro.query.reduction.PegProbabilityArrays`. After live
+    merges (:mod:`repro.delta`) the id range contains tombstoned slots;
+    rows must stay addressable by raw node id (index lookups return
+    paths whose node ids the online phase feeds straight into these
+    tables), so tombstones keep an explicit all-zero row rather than
+    shifting later rows onto wrong ids.
+    """
     sigma = tuple(sorted(peg.sigma, key=repr))
     label_pos = {label: i for i, label in enumerate(sigma)}
     num_labels = len(sigma)
-    cardinality = []
-    partial_upper = []
-    full_upper = []
+    id_space = len(peg.node_ids())
+    cardinality = [[0] * num_labels for _ in range(id_space)]
+    partial_upper = [[0.0] * num_labels for _ in range(id_space)]
+    full_upper = [[0.0] * num_labels for _ in range(id_space)]
     for node in peg.node_ids():
-        counts = [0] * num_labels
-        ppu = [0.0] * num_labels
-        fpu = [0.0] * num_labels
+        if peg.is_removed_id(node):
+            continue
+        counts = cardinality[node]
+        ppu = partial_upper[node]
+        fpu = full_upper[node]
         for neighbor in peg.neighbor_ids(node):
             if peg.shares_references_id(node, neighbor):
                 continue
@@ -97,7 +110,4 @@ def build_context(peg: ProbabilisticEntityGraph) -> ContextInformation:
                 p_full = peg.label_probability_id(neighbor, label) * p_edge
                 if p_full > fpu[pos]:
                     fpu[pos] = p_full
-        cardinality.append(counts)
-        partial_upper.append(ppu)
-        full_upper.append(fpu)
     return ContextInformation(sigma, cardinality, partial_upper, full_upper)

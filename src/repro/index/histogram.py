@@ -24,9 +24,20 @@ class CardinalityHistogram:
             raise IndexError_("histogram thresholds and counts length mismatch")
         if len(thresholds) < 1:
             raise IndexError_("histogram needs at least one grid point")
-        pairs = sorted(zip(thresholds, counts))
-        self.thresholds = tuple(t for t, _ in pairs)
-        self.counts = tuple(int(c) for _, c in pairs)
+        # Merge duplicate grid thresholds (possible after a delta
+        # compaction true-up re-derives a grid): two cumulative counts
+        # at one threshold mean the larger one — keeping both would
+        # either trip the monotonicity check below (the sort puts the
+        # smaller first) or leave a zero-width interval whose span the
+        # estimator divides by.
+        merged: list = []
+        for threshold, count in sorted(zip(thresholds, counts)):
+            if merged and merged[-1][0] == threshold:
+                merged[-1][1] = max(merged[-1][1], int(count))
+            else:
+                merged.append([threshold, int(count)])
+        self.thresholds = tuple(t for t, _ in merged)
+        self.counts = tuple(c for _, c in merged)
         for earlier, later in zip(self.counts, self.counts[1:]):
             if later > earlier:
                 raise IndexError_(
@@ -38,8 +49,17 @@ class CardinalityHistogram:
     def from_bucket_counts(
         cls, bucket_probs: Sequence[float], bucket_counts: Sequence[int]
     ) -> "CardinalityHistogram":
-        """Build from per-bucket counts: cumulative sums from the top down."""
-        pairs = sorted(zip(bucket_probs, bucket_counts))
+        """Build from per-bucket counts: cumulative sums from the top down.
+
+        Duplicate bucket probabilities are summed first — they describe
+        one bucket's count split across entries, and cumulating them
+        separately would hand the constructor two different cumulative
+        values for the same threshold.
+        """
+        totals: dict = {}
+        for prob, count in zip(bucket_probs, bucket_counts):
+            totals[prob] = totals.get(prob, 0) + int(count)
+        pairs = sorted(totals.items())
         thresholds = [p for p, _ in pairs]
         counts = [c for _, c in pairs]
         cumulative = []

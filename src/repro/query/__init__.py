@@ -3,7 +3,10 @@
 The five steps of the paper's online phase map to submodules:
 
 1. :mod:`repro.query.decompose` — path decomposition via greedy SET
-   COVER over a histogram-based cost model,
+   COVER (or exact bitmask DP) over a histogram-based cost model,
+   adaptively planned by :mod:`repro.query.plan` (plan caching keyed
+   by canonical query form, estimator feedback from observed lookup
+   cardinalities),
 2. :mod:`repro.query.candidates` — index lookup plus node-level and
    path-level context pruning,
 3. :mod:`repro.query.join_candidates` — join-candidate lookup tables,
@@ -22,6 +25,7 @@ algorithms of Section 6.2.1.
 from repro.query.query_graph import QueryGraph
 from repro.query.decompose import QueryPath, Decomposition, decompose_query
 from repro.query.engine import QueryEngine, QueryOptions, QueryResult
+from repro.query.plan import EstimatorFeedback, PlanInfo, QueryPlanner
 from repro.query.baselines import (
     exhaustive_matches,
     direct_matches,
@@ -38,6 +42,9 @@ __all__ = [
     "QueryEngine",
     "QueryOptions",
     "QueryResult",
+    "QueryPlanner",
+    "PlanInfo",
+    "EstimatorFeedback",
     "exhaustive_matches",
     "direct_matches",
     "explain",

@@ -9,11 +9,21 @@ every query edge, minimizing the estimated initial search-space size
 The minimization reduces to weighted SET COVER over the query edges and
 is solved with the standard greedy approximation: repeatedly add the
 path with the best efficiency (newly covered edges divided by cost).
-A random strategy is provided as the paper's "Random decomposition"
-baseline.
+For small queries an exact branch-free dynamic program over covered-set
+bitmasks (``strategy="exact"``) minimizes the cost product optimally,
+falling back to greedy past a size cutoff. A random strategy is
+provided as the paper's "Random decomposition" baseline.
+
+All strategies are deterministic for a given seed: candidate paths and
+tie-breaks are ordered by canonical (``repr``-based) path keys, never
+by set-iteration order, so the chosen plan is stable across processes
+and ``PYTHONHASHSEED`` values — a requirement for plan caching
+(:mod:`repro.query.plan`).
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -25,6 +35,12 @@ from repro.utils.rng import ensure_rng
 #: Floor applied to degree/density denominators so isolated nodes and
 #: degenerate paths keep a finite cost.
 _EPSILON = 1e-9
+
+#: Exact-cover cutoffs: past either, ``strategy="exact"`` falls back to
+#: greedy. The DP visits ``2^elements * candidates`` states, so both
+#: bounds keep worst-case planning in the low milliseconds.
+_EXACT_MAX_ELEMENTS = 14
+_EXACT_MAX_CANDIDATES = 64
 
 
 @dataclass(frozen=True)
@@ -73,6 +89,9 @@ class Decomposition:
         5.2.4 so no probability is double counted).
     estimated_cost:
         The estimated search-space size of this decomposition.
+    strategy_used:
+        The strategy that actually produced the paths (``"exact"`` may
+        report ``"greedy"`` after a size-cutoff fallback).
     """
 
     query: QueryGraph
@@ -82,6 +101,7 @@ class Decomposition:
     covered_nodes: dict = field(default_factory=dict)
     covered_edges: dict = field(default_factory=dict)
     estimated_cost: float = 0.0
+    strategy_used: str = "greedy"
 
     def __post_init__(self) -> None:
         self._derive_join_structure()
@@ -243,21 +263,52 @@ def decompose_query(
     max_length:
         Maximum path length ``L`` (must match the index).
     strategy:
-        ``"greedy"`` (paper's SET COVER approximation) or ``"random"``
-        (the Random-decomposition baseline).
+        ``"greedy"`` (paper's SET COVER approximation), ``"exact"``
+        (optimal cost-product cover via bitmask DP, greedy fallback past
+        the size cutoffs) or ``"random"`` (the Random-decomposition
+        baseline).
     seed:
         RNG seed for the random strategy.
     """
     candidates = enumerate_candidate_paths(query, max_length)
     if not candidates:
         raise QueryError("query has no candidate decomposition paths")
+    used = strategy
     if strategy == "greedy":
         chosen, cost = _greedy_cover(query, candidates, estimator, alpha)
+    elif strategy == "exact":
+        result = _exact_cover(query, candidates, estimator, alpha)
+        if result is None:  # past the cutoffs: greedy is the fallback
+            chosen, cost = _greedy_cover(query, candidates, estimator, alpha)
+            used = "greedy"
+        else:
+            chosen, cost = result
     elif strategy == "random":
         chosen, cost = _random_cover(query, candidates, estimator, alpha, seed)
     else:
         raise QueryError(f"unknown decomposition strategy {strategy!r}")
-    return Decomposition(query=query, paths=chosen, estimated_cost=cost)
+    return Decomposition(
+        query=query, paths=chosen, estimated_cost=cost, strategy_used=used
+    )
+
+
+def _path_key(path: QueryPath) -> tuple:
+    """Canonical, hash-seed-independent ordering key of a query path."""
+    return tuple(map(repr, path.nodes))
+
+
+def _path_costs(
+    query: QueryGraph,
+    candidates: Sequence[QueryPath],
+    estimator,
+    alpha: float,
+) -> list:
+    return [
+        path_cost(
+            query, path, estimator(query.label_sequence(path.nodes), alpha)
+        )
+        for path in candidates
+    ]
 
 
 def _greedy_cover(
@@ -266,12 +317,8 @@ def _greedy_cover(
     estimator,
     alpha: float,
 ) -> tuple:
-    costs = [
-        path_cost(
-            query, path, estimator(query.label_sequence(path.nodes), alpha)
-        )
-        for path in candidates
-    ]
+    costs = _path_costs(query, candidates, estimator, alpha)
+    keys = [_path_key(path) for path in candidates]
     edge_sets = [path.path_edges for path in candidates]
     node_sets = [set(path.nodes) for path in candidates]
     uncovered_edges = set(query.edges)
@@ -291,7 +338,15 @@ def _greedy_cover(
             if gain == 0:
                 continue
             efficiency = gain / costs[index]
-            if efficiency > best_efficiency:
+            # Equal-efficiency ties break on the canonical path key, not
+            # enumeration order, so the chosen plan is reproducible
+            # across processes and PYTHONHASHSEED values (the same
+            # discipline as repro.query.topk.top_k_matches).
+            if efficiency > best_efficiency or (
+                best is not None
+                and efficiency == best_efficiency
+                and keys[index] < keys[best]
+            ):
                 best_efficiency = efficiency
                 best = index
         if best is None:
@@ -301,6 +356,85 @@ def _greedy_cover(
         total_cost *= costs[best]
         uncovered_edges -= edge_sets[best]
         uncovered_nodes -= node_sets[best]
+    return chosen, total_cost
+
+
+def _exact_cover(
+    query: QueryGraph,
+    candidates: Sequence[QueryPath],
+    estimator,
+    alpha: float,
+):
+    """Minimum-cost-product cover by dynamic programming over bitmasks.
+
+    The universe is the query's edges plus its isolated nodes; each
+    state is the set of covered elements, valued by the minimal sum of
+    log-costs reaching it (the product ``SS0`` is minimized iff the log
+    sum is). Branching only on candidates covering the lowest-index
+    missing element keeps every cover reachable exactly once per
+    selection set. Returns ``None`` past the size cutoffs — the caller
+    falls back to greedy.
+    """
+    # Edges are frozensets: repr() of equal frozensets is *not* stable
+    # (iteration order depends on insertion history and hash seed), so
+    # order them by their sorted member reprs instead.
+    elements = [
+        ("edge", edge)
+        for edge in sorted(
+            query.edges, key=lambda e: tuple(sorted(map(repr, e)))
+        )
+    ]
+    elements += [
+        ("node", node)
+        for node in sorted(query.nodes, key=repr)
+        if query.degree(node) == 0
+    ]
+    num_elements = len(elements)
+    if (
+        num_elements > _EXACT_MAX_ELEMENTS
+        or len(candidates) > _EXACT_MAX_CANDIDATES
+    ):
+        return None
+    element_bit = {element: 1 << i for i, element in enumerate(elements)}
+    # Canonical candidate order makes equal-cost DP outcomes (and hence
+    # the cached plan) deterministic across processes.
+    order = sorted(range(len(candidates)), key=lambda i: _path_key(candidates[i]))
+    costs = _path_costs(query, candidates, estimator, alpha)
+    masks = []
+    for index in order:
+        path = candidates[index]
+        mask = 0
+        for edge in path.path_edges:
+            mask |= element_bit.get(("edge", edge), 0)
+        for node in path.nodes:
+            mask |= element_bit.get(("node", node), 0)
+        masks.append(mask)
+    log_costs = [math.log(costs[index]) for index in order]
+    full = (1 << num_elements) - 1
+    dp: list = [None] * (full + 1)
+    dp[0] = (0.0, ())
+    for state in range(full):
+        entry = dp[state]
+        if entry is None:
+            continue
+        missing = ~state & full
+        lowest = missing & -missing
+        state_log, selection = entry
+        for position, mask in enumerate(masks):
+            if not mask & lowest:
+                continue
+            new_state = state | mask
+            new_log = state_log + log_costs[position]
+            current = dp[new_state]
+            if current is None or new_log < current[0]:
+                dp[new_state] = (new_log, selection + (position,))
+    final = dp[full]
+    if final is None:
+        raise QueryError("exact cover failed to cover the query")
+    chosen = [candidates[order[position]] for position in final[1]]
+    total_cost = 1.0
+    for position in final[1]:
+        total_cost *= costs[order[position]]
     return chosen, total_cost
 
 

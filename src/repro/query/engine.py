@@ -22,8 +22,8 @@ from repro.index.protocol import PathIndexProtocol, canonical_sequence
 from repro.index.sharded import ShardedPathIndex, build_sharded_path_index
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.candidates import CandidateFinder
-from repro.query.decompose import decompose_query
 from repro.query.kpartite import CandidateKPartiteGraph
+from repro.query.plan import QueryPlanner
 from repro.query.matcher import generate_matches
 from repro.query.query_graph import QueryGraph
 from repro.storage.kvstore import PathStore
@@ -48,6 +48,14 @@ class QueryOptions:
     :mod:`repro.query.kpartite`. Both produce identical matches,
     partition sizes and removal counts; ``parallel_reduction`` and
     ``num_threads`` only affect the Python backend.
+
+    ``decomposition`` accepts ``"greedy"``, ``"exact"`` (optimal for
+    small queries, greedy fallback past the cutoffs) and ``"random"``.
+    ``use_plan_cache`` / ``use_estimator_feedback`` gate the adaptive
+    planner (:mod:`repro.query.plan`): plan reuse for repeated query
+    shapes and observed-cardinality corrections of the histogram
+    estimates. Neither changes the matches — only which decomposition
+    is chosen, hence the evaluation cost.
     """
 
     decomposition: str = "greedy"
@@ -58,6 +66,8 @@ class QueryOptions:
     num_threads: int = 4
     seed: int | None = None
     reduction_backend: str = "vectorized"
+    use_plan_cache: bool = True
+    use_estimator_feedback: bool = True
 
 
 @dataclass
@@ -72,6 +82,12 @@ class QueryResult:
     reduction: object = None
     timings: dict = field(default_factory=dict)
     decomposition_paths: tuple = ()
+    #: :class:`~repro.query.plan.PlanInfo` provenance of the chosen
+    #: decomposition (None for legacy constructions).
+    plan: object = None
+    #: ``{partition: (corrected cardinality estimate, observed raw
+    #: count)}`` — the estimation loop's evidence for this evaluation.
+    estimate_observations: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -136,6 +152,7 @@ class QueryEngine:
         self.applied_mutation_seq = -1
         if _precomputed is not None:
             self.index, self.context = _precomputed
+            self.planner = QueryPlanner(self)
             return
         if num_shards:
             if store is not None:
@@ -165,6 +182,10 @@ class QueryEngine:
                 )
         with self.offline_timings.time("context"):
             self.context: ContextInformation = build_context(peg)
+        #: The adaptive planning subsystem: plan cache (keyed by
+        #: canonical query form × milli-alpha × graph_version) and the
+        #: estimator-feedback table (:mod:`repro.query.plan`).
+        self.planner = QueryPlanner(self)
 
     # ------------------------------------------------------------------
     # Offline-bundle persistence
@@ -236,6 +257,9 @@ class QueryEngine:
         overlay = self.index
         stats = overlay.compact()
         self.index = overlay.base
+        # Compaction trues the histograms up: learned corrections and
+        # plans costed against the drifted estimates restart from exact.
+        self.planner.invalidate()
         return stats
 
     # ------------------------------------------------------------------
@@ -266,12 +290,13 @@ class QueryEngine:
         options = options or QueryOptions()
         timings = StageTimings()
 
-        # 1. Path decomposition.
+        # 1. Path decomposition (plan cache consulted first).
         with timings.time("decompose"):
-            decomposition = self._decompose(query, alpha, options)
+            decomposition, plan_info = self._decompose(query, alpha, options)
 
         return self._evaluate(
-            query, alpha, options, self.index, decomposition, timings
+            query, alpha, options, self.index, decomposition, plan_info,
+            timings,
         )
 
     def query_batch(
@@ -299,8 +324,10 @@ class QueryEngine:
                 raise QueryError(f"alpha must be in (0, 1], got {alpha}")
             timings = StageTimings()
             with timings.time("decompose"):
-                decomposition = self._decompose(query, alpha, options)
-            plans.append((query, alpha, decomposition, timings))
+                decomposition, plan_info = self._decompose(
+                    query, alpha, options
+                )
+            plans.append((query, alpha, decomposition, plan_info, timings))
 
         batch_index = BatchLookupIndex(self.index)
         for canonical, alpha in self._shared_lookups(plans):
@@ -308,16 +335,17 @@ class QueryEngine:
 
         return [
             self._evaluate(
-                query, alpha, options, batch_index, decomposition, timings
+                query, alpha, options, batch_index, decomposition,
+                plan_info, timings,
             )
-            for query, alpha, decomposition, timings in plans
+            for query, alpha, decomposition, plan_info, timings in plans
         ]
 
     def _shared_lookups(self, plans) -> list:
         """Distinct canonical sequences a batch needs, with the minimum
         alpha per sequence, ordered by owning shard for locality."""
         needed: dict = {}
-        for query, alpha, decomposition, _ in plans:
+        for query, alpha, decomposition, _plan_info, _ in plans:
             if alpha < self.index.beta:
                 # Below-beta thresholds bypass the index entirely
                 # (on-demand enumeration); nothing to prefetch.
@@ -373,14 +401,8 @@ class QueryEngine:
         )
 
     def _decompose(self, query: QueryGraph, alpha: float, options):
-        return decompose_query(
-            query,
-            estimator=self.index.estimate_cardinality,
-            alpha=alpha,
-            max_length=self.max_length,
-            strategy=options.decomposition,
-            seed=options.seed,
-        )
+        """Plan through the adaptive planner; ``(decomposition, PlanInfo)``."""
+        return self.planner.plan(query, alpha, options)
 
     def _evaluate(
         self,
@@ -389,6 +411,7 @@ class QueryEngine:
         options: QueryOptions,
         index: PathIndexProtocol,
         decomposition,
+        plan_info,
         timings: StageTimings,
     ) -> QueryResult:
         """Online phase stages 2-5 over an already-chosen decomposition."""
@@ -409,6 +432,16 @@ class QueryEngine:
                 candidates[i] = pruned
                 raw_counts[i] = raw
 
+        # Close the estimation loop: observed raw lookup cardinalities
+        # correct future histogram estimates (post-delta drift heals
+        # without a rebuild).
+        if options.use_estimator_feedback:
+            observations = self.planner.observe(
+                query, decomposition, alpha, raw_counts
+            )
+        else:
+            observations = {}
+
         search_space_path = _product(raw_counts.values())
         search_space_context = _product(len(c) for c in candidates.values())
 
@@ -423,6 +456,8 @@ class QueryEngine:
                 decomposition_paths=tuple(
                     p.nodes for p in decomposition.paths
                 ),
+                plan=plan_info,
+                estimate_observations=observations,
             )
 
         # 3 & 4. Join candidates and joint search-space reduction.
@@ -451,6 +486,8 @@ class QueryEngine:
             reduction=reduction,
             timings=timings.as_dict(),
             decomposition_paths=tuple(p.nodes for p in decomposition.paths),
+            plan=plan_info,
+            estimate_observations=observations,
         )
 
 

@@ -12,14 +12,42 @@ from repro.query.engine import QueryResult
 
 
 def explain(result: QueryResult, max_matches: int = 5) -> str:
-    """Render a query result as a readable multi-line report."""
+    """Render a query result as a readable multi-line report.
+
+    When the result carries planner provenance
+    (:class:`~repro.query.plan.PlanInfo`), the report names the
+    requested strategy, where the plan came from (``cache``, ``exact``,
+    ``greedy`` or ``random`` — a size-cutoff fallback from exact shows
+    ``greedy``) and its estimated cost, plus one line per partition
+    comparing the planner's cardinality estimate against the observed
+    raw index count (``x{ratio}`` above 1 means the estimator
+    undershot; the feedback loop uses exactly these pairs).
+    """
     lines = ["query evaluation"]
+    if result.plan is not None:
+        plan = result.plan
+        source = "cache" if plan.cached else plan.source
+        lines.append(
+            f"  plan: strategy={plan.strategy} source={source}  "
+            f"estimated cost {plan.estimated_cost:.4g}"
+        )
     lines.append("  decomposition:")
     for i, nodes in enumerate(result.decomposition_paths):
         rendered = " - ".join(str(n) for n in nodes)
         count = result.candidate_counts.get(i)
         suffix = f"  ({count} candidates)" if count is not None else ""
         lines.append(f"    P{i}: {rendered}{suffix}")
+    if result.estimate_observations:
+        lines.append("  cardinality estimates (estimated vs observed):")
+        for i in sorted(result.estimate_observations):
+            estimated, observed = result.estimate_observations[i]
+            if estimated > 0:
+                ratio = f"x{observed / estimated:.2f}"
+            else:
+                ratio = "x-" if observed else "x1.00"
+            lines.append(
+                f"    P{i}: est {estimated:8.4g}  obs {observed:6d}  {ratio}"
+            )
     lines.append("  search space:")
     lines.append(f"    after index lookup:   {result.search_space_path:.4g}")
     lines.append(f"    after context pruning:{result.search_space_context:.4g}")

@@ -55,6 +55,7 @@ class QueryGraph:
             self._adjacency[node_a].add(node_b)
             self._adjacency[node_b].add(node_a)
         self._canonical: tuple | None = None
+        self._canonical_order: tuple | None = None
 
     # ------------------------------------------------------------------
 
@@ -156,8 +157,23 @@ class QueryGraph:
         if self._canonical is None:
             order, edges = self._canonical_search()
             labels = tuple(repr(self._labels[node]) for node in order)
+            self._canonical_order = order
             self._canonical = (labels, edges)
         return self._canonical
+
+    def canonical_order(self) -> tuple:
+        """This graph's nodes in canonical-form order.
+
+        Position ``i`` of the order carries label ``canonical_form()[0][i]``
+        and the edges are ``canonical_form()[1]`` in position space. Two
+        isomorphic query graphs sharing a canonical form therefore map
+        onto each other through their orders — position ``i`` in one
+        corresponds to position ``i`` in the other — which is what lets
+        :mod:`repro.query.plan` rehydrate a cached decomposition onto a
+        renamed copy of the query it was planned for.
+        """
+        self.canonical_form()
+        return self._canonical_order
 
     def signature(self) -> str:
         """Stable hex digest of :meth:`canonical_form`.

@@ -72,10 +72,14 @@ def request_key(
     engine's ``graph_version`` — execution knobs
     (``parallel_reduction``, ``num_threads``) are deliberately excluded
     so the same logical query shares one entry regardless of how it is
-    executed. The graph version makes cache invalidation versioned
-    instead of explicit: every applied mutation batch bumps it, so
-    entries computed against the pre-mutation graph simply stop being
-    addressable and age out of the LRU.
+    executed. The planner knobs (``use_plan_cache``,
+    ``use_estimator_feedback``) participate: they never change the
+    matches, but they can change the chosen decomposition and hence
+    the per-stage statistics stored in the result. The graph version
+    makes cache invalidation versioned instead of explicit: every
+    applied mutation batch bumps it, so entries computed against the
+    pre-mutation graph simply stop being addressable and age out of
+    the LRU.
     """
     return (
         query.canonical_form(),
@@ -85,6 +89,8 @@ def request_key(
         options.use_structure_reduction,
         options.use_upperbound_reduction,
         options.seed,
+        options.use_plan_cache,
+        options.use_estimator_feedback,
         int(graph_version),
     )
 
@@ -142,6 +148,13 @@ class QueryService:
         self.cache = ResultCache(
             cache_size, on_evict=self.stats.record_eviction
         )
+        # Surface the engine planner's cache behaviour in this
+        # service's stats (engine-like test doubles may carry none;
+        # process-pool workers plan in their own processes, so the
+        # counters stay zero there).
+        planner = getattr(engine, "planner", None)
+        if planner is not None and self.stats not in planner.listeners:
+            planner.listeners.append(self.stats)
         self.warm_started = False
         if executor == "process":
             if snapshot_dir is None:
@@ -572,6 +585,9 @@ class QueryService:
         snap["num_workers"] = self.num_workers
         snap["executor"] = self.executor_kind
         snap["warm_started"] = self.warm_started
+        planner = getattr(self.engine, "planner", None)
+        if planner is not None:
+            snap.update(planner.stats_snapshot())
         return snap
 
     def apply_updates(self, ops, log=None) -> dict:
@@ -634,6 +650,9 @@ class QueryService:
                 self._closed = True
         if already:
             return
+        planner = getattr(self.engine, "planner", None)
+        if planner is not None and self.stats in planner.listeners:
+            planner.listeners.remove(self.stats)
         self._executor.shutdown(wait=wait, cancel_futures=not wait)
         with self._gate:
             leftover = list(self._inflight.items())

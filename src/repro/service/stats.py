@@ -43,6 +43,8 @@ class ServiceStats:
         self.errors = 0
         self.completed = 0
         self.in_flight = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     # -- recording -----------------------------------------------------
 
@@ -79,6 +81,22 @@ class ServiceStats:
         with self._lock:
             self.evictions += count
 
+    # The service registers this object as a listener on the engine's
+    # :class:`~repro.query.plan.QueryPlanner`, so decomposition reuse
+    # shows up next to the result-cache counters it complements (a
+    # result-cache miss that still plan-cache-hits skips the planning
+    # stage of its evaluation).
+
+    def record_plan_hit(self) -> None:
+        """An evaluation reused a cached decomposition plan."""
+        with self._lock:
+            self.plan_hits += 1
+
+    def record_plan_miss(self) -> None:
+        """An evaluation had to run the decomposition planner."""
+        with self._lock:
+            self.plan_misses += 1
+
     # -- reading -------------------------------------------------------
 
     @property
@@ -112,6 +130,8 @@ class ServiceStats:
                 "errors": self.errors,
                 "completed": self.completed,
                 "in_flight": self.in_flight,
+                "plan_hits": self.plan_hits,
+                "plan_misses": self.plan_misses,
             }
         snap["requests"] = snap["hits"] + snap["misses"] + snap["deduplicated"]
         snap["hit_rate"] = (

@@ -424,3 +424,74 @@ class TestApplyUpdates:
              "--snapshot", str(tmp_path / "b"), "--no-compact"]
         ) == 1
         assert "no-compact" in capsys.readouterr().err
+
+
+class TestPlan:
+    def write_spec(self, tmp_path, nodes, edges):
+        path = tmp_path / "plan-spec.json"
+        path.write_text(json.dumps({"nodes": nodes, "edges": edges}))
+        return str(path)
+
+    def test_plan_prints_decomposition_and_cache_hit(
+        self, peg_file, tmp_path, capsys
+    ):
+        spec = self.write_spec(
+            tmp_path,
+            {"a": "L0", "b": "L1", "c": "L0"},
+            [["a", "b"], ["b", "c"], ["a", "c"]],
+        )
+        assert main(
+            ["plan", peg_file, "--spec", spec, "--alpha", "0.3",
+             "--strategy", "exact", "--repeat", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "source=exact" in out
+        assert "source=cache" in out
+        assert "plan cache: 1 hits, 1 misses" in out
+        assert "P0:" in out
+
+    def test_plan_inline_pattern(self, peg_file, capsys):
+        assert main(
+            ["plan", peg_file, "--pattern", "(a:L0)-(b:L1)", "--repeat", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strategy=greedy" in out
+        assert "est. cardinality" in out
+
+    def test_plan_random_strategy_seeded(self, peg_file, capsys):
+        assert main(
+            ["plan", peg_file, "--pattern", "(a:L0)-(b:L1)",
+             "--strategy", "random", "--repeat", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Seeded random plans are cacheable: the second round hits.
+        assert "source=cache" in out
+
+    def test_plan_rejects_bad_alpha(self, peg_file, capsys):
+        assert main(
+            ["plan", peg_file, "--pattern", "(a:L0)-(b:L1)", "--alpha", "1.5"]
+        ) == 1
+        assert "alpha must be in (0, 1]" in capsys.readouterr().err
+
+    def test_plan_bad_spec(self, peg_file, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(["not", "a", "spec"]))
+        assert main(["plan", peg_file, "--spec", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueryExactStrategy:
+    def test_query_accepts_exact_decomposition(self, peg_file, tmp_path,
+                                               capsys):
+        spec = tmp_path / "exact-spec.json"
+        spec.write_text(json.dumps({
+            "nodes": {"a": "L0", "b": "L1"},
+            "edges": [["a", "b"]],
+        }))
+        assert main(
+            ["query", peg_file, "--spec", str(spec), "--alpha", "0.3",
+             "--decomposition", "exact", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan: strategy=exact" in out
+        assert "matches:" in out

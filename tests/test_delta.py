@@ -467,3 +467,54 @@ class TestReviewRegressions:
             assert match_keys(result.matches) == match_keys(
                 rebuilt.query(query, 0.2).matches
             )
+
+
+class TestDeltaAwareEstimates:
+    """Pre-compaction estimates subtract the stale counts lookups observe."""
+
+    def test_lookup_teaches_estimate_about_masked_paths(self, peg, engine):
+        # Find a sequence with indexed paths through a mutable node.
+        base = engine.index
+        target_seq = None
+        for seq in sorted(base.histograms, key=repr):
+            paths = base.lookup_canonical(seq, base.beta)
+            if paths:
+                target_seq = seq
+                victim = paths[0].nodes[0]
+                break
+        if target_seq is None:
+            pytest.skip("index holds no paths for this fixture")
+        sigma = sorted(peg.sigma, key=repr)
+        engine.apply_updates([
+            UpdateLabelProbability(refs(peg, victim), {sigma[0]: 1.0})
+        ])
+        overlay = engine.index
+        assert isinstance(overlay, DeltaOverlayIndex)
+        alpha = overlay.beta
+        naive = overlay.estimate_cardinality(target_seq, alpha)
+        true_count = len(overlay.lookup_canonical(target_seq, alpha))
+        informed = overlay.estimate_cardinality(target_seq, alpha)
+        # After the lookup recorded the masked count, the estimate can
+        # only have moved toward the true overlay-served cardinality.
+        assert abs(informed - true_count) <= abs(naive - true_count) + 1e-9
+
+    def test_stale_counts_cleared_by_refresh_and_compact(self, peg, engine):
+        sigma = sorted(peg.sigma, key=repr)
+        anchor = singleton_ids(peg)[0]
+        engine.apply_updates([
+            UpdateLabelProbability(refs(peg, anchor), {sigma[0]: 1.0})
+        ])
+        overlay = engine.index
+        for seq in sorted(overlay.base.histograms, key=repr):
+            overlay.lookup_canonical(seq, overlay.beta)
+        assert overlay._stale_counts
+        engine.apply_updates([
+            AddEntity(("stale-x",), {sigma[0]: 1.0}, 0.9)
+        ])
+        # absorb() refreshed the delta: old memos describe a stale dirty set
+        assert not overlay._stale_counts
+        overlay.lookup_canonical(
+            sorted(overlay.base.histograms, key=repr)[0], overlay.beta
+        )
+        engine.compact_updates()
+        assert not overlay._stale_counts

@@ -10,8 +10,13 @@ probabilities:
    which must additionally agree with the vectorized backend on the
    reduction statistics (partition sizes and removal counts),
 3. the optimized engine over a :class:`ShardedPathIndex` (both per
-   query and through batched execution), and
-4. brute-force possible-worlds enumeration
+   query and through batched execution),
+4. planned execution through :mod:`repro.query.plan` — the exact
+   decomposition strategy, a plan-cache hit of it, and (throughout,
+   since every engine here runs with the defaults) feedback-corrected
+   cardinality estimates — any valid decomposition must yield
+   bit-identical matches, and
+5. brute-force possible-worlds enumeration
    (:mod:`repro.peg.possible_worlds` via
    :func:`repro.query.baselines.exhaustive_matches` — the literal
    Eq. 8 semantics).
@@ -35,6 +40,7 @@ from repro.query import QueryEngine, QueryOptions, exhaustive_matches
 
 PYTHON_BACKEND = QueryOptions(reduction_backend="python")
 VECTOR_BACKEND = QueryOptions(reduction_backend="vectorized")
+EXACT_PLAN = QueryOptions(decomposition="exact")
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260730"))
 NUM_GRAPHS = 25
@@ -143,6 +149,14 @@ def test_differential_agreement(graph_index, config, query_seed):
             assert match_keys(python.matches) == oracle, context
             assert via_sharded == oracle, context
             assert via_batch == oracle, context
+            # Planned execution: the exact strategy, then its plan-cache
+            # hit, must agree with the oracle (estimator feedback is on
+            # by default, so these also exercise corrected estimates).
+            exact = unsharded.query(query, alpha, EXACT_PLAN)
+            cached = unsharded.query(query, alpha, EXACT_PLAN)
+            assert match_keys(exact.matches) == oracle, context
+            assert match_keys(cached.matches) == oracle, context
+            assert cached.plan.cached, context
             # Backend parity beyond matches: identical partition sizes
             # and removal counts, and the same search-space numbers.
             assert reduction_key(vectorized) == reduction_key(python), context
@@ -324,6 +338,14 @@ def test_mutation_differential(graph_index, config, mutation_seed):
                 assert match_keys(
                     rebuilt.query(query, alpha).matches
                 ) == oracle, context
+                # Planned execution over the mutated graph: exact plans
+                # (costed on delta-aware, feedback-corrected estimates)
+                # and their cache hits must still match the oracle.
+                exact = unsharded.query(query, alpha, EXACT_PLAN)
+                cached = unsharded.query(query, alpha, EXACT_PLAN)
+                assert match_keys(exact.matches) == oracle, context
+                assert match_keys(cached.matches) == oracle, context
+                assert cached.plan.cached, context
                 case += 1
     assert case == 2 * QUERIES_PER_GRAPH * len(ALPHAS)
 

@@ -116,3 +116,62 @@ class TestConditionalContext:
         # maximizes over it: 0.9.
         assert context.partial_upperbound(node_u, "c") == pytest.approx(0.9)
         assert context.full_upperbound(node_u, "c") == pytest.approx(0.9)
+
+
+class TestSparseIdSpace:
+    """Regression: tables must stay addressable by raw node id after
+    live merges tombstone ids and the id space goes sparse."""
+
+    def _merged_peg(self):
+        from repro.datasets import SyntheticConfig, generate_synthetic_pgd
+        from repro.delta import AddEntity, MergeEntities
+        from repro.query import QueryEngine
+
+        peg = build_peg(
+            generate_synthetic_pgd(
+                SyntheticConfig(num_references=10, num_labels=2, seed=8)
+            )
+        )
+        engine = QueryEngine(peg, max_length=2, beta=0.05)
+        sigma = sorted(peg.sigma, key=repr)
+        engine.apply_updates([
+            AddEntity(("ctx-a",), {sigma[0]: 1.0}, 0.9),
+            AddEntity(("ctx-b",), {sigma[1]: 1.0}, 0.8),
+        ])
+        engine.apply_updates([MergeEntities(("ctx-a",), ("ctx-b",))])
+        return peg, engine, sigma
+
+    def test_rows_sized_by_id_space_after_merge(self):
+        peg, engine, sigma = self._merged_peg()
+        context = build_context(peg)
+        removed = [n for n in peg.node_ids() if peg.is_removed_id(n)]
+        assert removed, "merge must tombstone ids for this regression"
+        # Every id in the (sparse) id space reads without error; the
+        # merged node's fresh id sits past the tombstones.
+        for node in peg.node_ids():
+            for label in sigma:
+                context.cardinality(node, label)
+                context.partial_upperbound(node, label)
+                context.full_upperbound(node, label)
+        # Tombstoned rows are explicit zeros.
+        for node in removed:
+            for label in sigma:
+                assert context.cardinality(node, label) == 0
+                assert context.full_upperbound(node, label) == 0.0
+
+    def test_live_rows_match_direct_recomputation(self):
+        peg, engine, sigma = self._merged_peg()
+        context = build_context(peg)
+        for node in peg.node_ids():
+            if peg.is_removed_id(node):
+                continue
+            for label in sigma:
+                expected = sum(
+                    1
+                    for nbr in peg.neighbor_ids(node)
+                    if not peg.shares_references_id(node, nbr)
+                    and label in peg.possible_labels_id(nbr)
+                )
+                assert context.cardinality(node, label) == expected, (
+                    node, label,
+                )

@@ -70,3 +70,42 @@ class TestEstimation:
     def test_total(self):
         hist = CardinalityHistogram([0.3, 0.6], [12, 5])
         assert hist.total() == 12
+
+
+class TestDuplicateThresholds:
+    """Regression: duplicate grid thresholds (possible via
+    from_bucket_counts after a delta compaction true-up) must merge at
+    construction instead of breaking the monotonicity check or leaving
+    a zero-width interval."""
+
+    def test_constructor_merges_duplicates(self):
+        hist = CardinalityHistogram([0.1, 0.5, 0.5, 0.9], [7, 3, 4, 1])
+        assert hist.thresholds == (0.1, 0.5, 0.9)
+        # Two cumulative counts at one threshold mean the larger one.
+        assert hist.counts == (7, 4, 1)
+
+    def test_from_bucket_counts_sums_duplicates(self):
+        hist = CardinalityHistogram.from_bucket_counts(
+            [0.3, 0.5, 0.5, 0.9], [10, 2, 3, 1]
+        )
+        assert hist.thresholds == (0.3, 0.5, 0.9)
+        # buckets: 0.3 -> 10, 0.5 -> 5 (merged), 0.9 -> 1
+        assert hist.counts == (16, 6, 1)
+
+    def test_estimates_exact_at_merged_grid_points(self):
+        hist = CardinalityHistogram.from_bucket_counts(
+            [0.2, 0.6, 0.6, 1.0], [30, 4, 4, 2]
+        )
+        assert hist.estimate(0.2) == 40
+        assert hist.estimate(0.6) == 10
+        assert hist.estimate(1.0) == 2
+
+    def test_interpolation_across_merged_duplicates_finite(self):
+        hist = CardinalityHistogram([0.2, 0.6, 0.6], [100, 10, 10])
+        for alpha in (0.3, 0.4, 0.5, 0.59, 0.6):
+            value = hist.estimate(alpha)
+            assert 0.0 < value <= 100.0
+
+    def test_still_rejects_truly_increasing_counts(self):
+        with pytest.raises(IndexError_):
+            CardinalityHistogram([0.3, 0.5, 0.5], [5, 2, 10])

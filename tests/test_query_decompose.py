@@ -176,3 +176,158 @@ class TestDecomposition:
         query = QueryGraph({"only": "a"}, [])
         decomposition = decompose_query(query, flat_estimator, 0.5, 2)
         assert [p.nodes for p in decomposition.paths] == [("only",)]
+
+
+class TestExactStrategy:
+    def test_exact_covers_everything(self):
+        query = figure4_query()
+        decomposition = decompose_query(
+            query, flat_estimator, 0.5, max_length=3, strategy="exact"
+        )
+        assert decomposition.strategy_used == "exact"
+        covered = set()
+        for path in decomposition.paths:
+            covered |= path.path_edges
+        assert covered == set(query.edges)
+
+    def test_exact_optimal_for_known_instance(self):
+        """Greedy is lured by a high-gain path; exact finds the cheaper
+        two-path cover."""
+        query = QueryGraph(
+            {"a": "x", "b": "x", "c": "x", "d": "x"},
+            [("a", "b"), ("b", "c"), ("c", "d")],
+        )
+
+        def estimator(label_seq, alpha):
+            # 3-edge path is just barely cheap per edge; the two short
+            # 1-edge paths at the ends are much cheaper together.
+            return {2: 2.0, 3: 100.0, 4: 500.0}[len(label_seq)]
+
+        greedy = decompose_query(query, estimator, 0.5, 3, strategy="greedy")
+        exact = decompose_query(query, estimator, 0.5, 3, strategy="exact")
+        assert exact.estimated_cost <= greedy.estimated_cost * (1 + 1e-12)
+
+    def test_exact_single_node_query(self):
+        query = QueryGraph({"only": "a"}, [])
+        decomposition = decompose_query(
+            query, flat_estimator, 0.5, 2, strategy="exact"
+        )
+        assert decomposition.strategy_used == "exact"
+        assert [p.nodes for p in decomposition.paths] == [("only",)]
+
+    def test_cutoff_falls_back_to_greedy(self):
+        labels = {i: "x" for i in range(17)}
+        edges = [(i, i + 1) for i in range(16)]
+        query = QueryGraph(labels, edges)
+        decomposition = decompose_query(
+            query, flat_estimator, 0.5, 2, strategy="exact"
+        )
+        assert decomposition.strategy_used == "greedy"
+        covered = set()
+        for path in decomposition.paths:
+            covered |= path.path_edges
+        assert covered == set(query.edges)
+
+
+class TestStrategyInvariants:
+    """Every strategy yields exclusive coverage, symmetric join
+    predicates and a positive estimated cost."""
+
+    def _random_cases(self):
+        import random
+
+        from repro.datasets import random_query
+
+        rng = random.Random(1207)
+        for _ in range(12):
+            num_nodes = rng.randint(2, 5)
+            max_edges = num_nodes * (num_nodes - 1) // 2
+            num_edges = rng.randint(num_nodes - 1, max_edges)
+            yield random_query(
+                num_nodes, num_edges, ("A", "B", "C"),
+                seed=rng.randrange(2**31),
+            )
+
+    def _variable_estimator(self, label_seq, alpha):
+        return 1.0 + 7.0 * len(label_seq) + (3.0 if "B" in label_seq else 0.0)
+
+    @pytest.mark.parametrize("strategy", ["greedy", "exact", "random"])
+    def test_invariants(self, strategy):
+        for query in self._random_cases():
+            decomposition = decompose_query(
+                query, self._variable_estimator, 0.4, max_length=2,
+                strategy=strategy, seed=5,
+            )
+            # exclusive node/edge coverage partitions the query
+            nodes = [
+                n
+                for ns in decomposition.covered_nodes.values()
+                for n in ns
+            ]
+            edges = [
+                e
+                for es in decomposition.covered_edges.values()
+                for e in es
+            ]
+            def edge_key(edge):
+                # repr() of equal frozensets is insertion-order
+                # dependent; sort by member reprs instead.
+                return tuple(sorted(map(repr, edge)))
+
+            assert sorted(nodes, key=repr) == sorted(query.nodes, key=repr)
+            assert len(nodes) == len(set(nodes))
+            assert sorted(edges, key=edge_key) == sorted(
+                query.edges, key=edge_key
+            )
+            assert len(edges) == len(set(edges))
+            # symmetric predicates_between
+            for (i, j), predicates in decomposition.join_predicates.items():
+                assert decomposition.predicates_between(i, j) == predicates
+                assert decomposition.predicates_between(j, i) == tuple(
+                    (pj, pi) for pi, pj in predicates
+                )
+            assert decomposition.estimated_cost > 0.0
+
+
+class TestPlanStability:
+    """Regression: equal-efficiency ties break on the canonical path
+    key, so plans are identical across PYTHONHASHSEED values."""
+
+    SCRIPT = r"""
+import sys
+from repro.query.decompose import decompose_query
+from repro.query.query_graph import QueryGraph
+
+# String node ids: set/dict iteration order is hash-seed dependent,
+# and the flat estimator makes every same-length path tie.
+labels = {name: "L" for name in ("ant", "bee", "cat", "dog", "eel", "fox")}
+edges = [("ant", "bee"), ("bee", "cat"), ("cat", "dog"), ("dog", "eel"),
+         ("eel", "fox"), ("ant", "fox"), ("bee", "eel")]
+query = QueryGraph(labels, edges)
+for strategy in ("greedy", "exact"):
+    decomposition = decompose_query(
+        query, lambda seq, alpha: 10.0, 0.5, 2, strategy=strategy
+    )
+    print(strategy, [list(p.nodes) for p in decomposition.paths])
+"""
+
+    def test_plans_identical_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (
+                    os.path.join(os.path.dirname(__file__), "..", "src"),
+                    os.environ.get("PYTHONPATH"),
+                ) if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, outputs
