@@ -1,0 +1,271 @@
+"""Observability overhead gate: disabled-mode cost must stay under 5%.
+
+The obs subsystem (:mod:`repro.obs`) is threaded through the engine's
+hot path: every query resolves an ambient span, creates stage children,
+times stages, and records registry metrics. When no tracer is active
+all span operations hit the null span and cost roughly one attribute
+lookup each — this benchmark verifies that claim against the reduction
+workload of :mod:`benchmarks.bench_reduction_core` and fails if the
+instrumented-but-disabled path costs more than 5% over the bare one.
+
+Two measurements:
+
+* **macro** — the k-partite reduction loop (build + ``reduce()``) run
+  bare, and run with the per-query obs work the engine's default path
+  adds layered on top: the ambient-span resolution, the null-span
+  stage children with their ``set``/``incr`` calls, the
+  :class:`~repro.obs.timing.StageTimings` contexts, and the registry
+  recordings of ``_record_query_metrics``. The gate is the ratio of
+  best-of times.
+* **micro** — nanoseconds per individual disabled-path operation
+  (null-span child, ``current_span()``, disabled-registry observe,
+  enabled counter inc), reported for context, not gated.
+
+Results are written as machine-readable ``BENCH_obs.json`` (CI uploads
+it as a build artifact); with ``--trajectory`` the same report is also
+written to ``benchmarks/results/BENCH_obs-v<version>.json`` for the
+perf-trajectory table of ``benchmarks/summarize.py``.
+
+Timing ratios this close to 1.0 are noise-sensitive; the gate re-runs
+the macro measurement up to two extra times before failing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --trajectory  # large
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke       # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from bench_reduction_core import ALPHA, build_candidate_workload
+
+from repro import __version__
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.timing import StageTimings
+from repro.obs.trace import NULL_SPAN, current_span
+from repro.query.reduction import VectorizedKPartiteGraph
+
+#: Overhead gate: instrumented-but-disabled must stay within this
+#: factor of the bare loop.
+MAX_OVERHEAD = 1.05
+
+#: Stage keys the engine times per query (see ``StageTimings``).
+STAGES = ("decompose", "candidates", "kpartite", "reduction", "matching")
+
+
+def _simulate_disabled_obs(registry, histograms, counters) -> StageTimings:
+    """Replay the obs work one default-mode engine query performs.
+
+    Mirrors ``QueryEngine.query``/``_evaluate`` with no tracer active:
+    ambient-span resolution, null-span stage children (each with the
+    attribute/counter calls the real stages make), the stage-timing
+    contexts, and the registry recordings of ``_record_query_metrics``.
+    """
+    timings = StageTimings()
+    span = current_span()  # ambient resolution in _query_span
+    span.set("alpha", ALPHA)
+    span.set("graph_version", 0)
+    with span.child("plan") as plan_span:
+        plan_span.set("strategy", "greedy")
+        plan_span.set("source", "greedy")
+        plan_span.set("partitions", 3)
+        plan_span.set("estimated_cost", 1.0)
+    with timings.time("candidates"), span.child("lookup") as lookup_span:
+        for i in range(3):
+            with lookup_span.child("partition", index=i) as path_span:
+                path_span.set("labels", "A-A")
+                path_span.set("raw", 0)
+                path_span.set("pruned", 0)
+        if lookup_span.enabled:
+            lookup_span.incr("store_reads", 0)
+    with timings.time("kpartite"), span.child("link_build") as link_span:
+        if link_span.enabled:
+            link_span.set("backend", "vectorized")
+    with timings.time("reduction"), span.child("reduce") as reduce_span:
+        if reduce_span.enabled:
+            reduce_span.set("rounds", 0)
+    with timings.time("matching"), span.child("match") as match_span:
+        if match_span.enabled:
+            match_span.set("matches", 0)
+    span.set("matches", 0)
+    # _record_query_metrics: one query counter, one match counter, one
+    # total histogram, one histogram per stage.
+    counters[0].inc()
+    counters[1].inc(0)
+    histograms[0].observe(1e-4)
+    for stage, histogram in zip(STAGES, histograms[1:]):
+        histogram.observe(timings.stages.get(stage, 0.0))
+    return timings
+
+
+def bench_macro(num_nodes: int, repeats: int) -> dict:
+    """Best-of reduction loop time, bare vs obs-layered."""
+    peg, decomposition, candidates, links, _ = build_candidate_workload(
+        num_nodes
+    )
+    total_vertices = sum(len(c) for c in candidates.values())
+    registry = get_registry()
+    histograms = [registry.histogram("repro_query_seconds")] + [
+        registry.histogram("repro_query_stage_seconds", stage=stage)
+        for stage in STAGES
+    ]
+    counters = [
+        registry.counter("repro_queries_total"),
+        registry.counter("repro_query_matches_total"),
+    ]
+
+    def run_bare() -> float:
+        started = time.perf_counter()
+        graph = VectorizedKPartiteGraph(
+            peg, decomposition, candidates, ALPHA, links=links
+        )
+        graph.reduce()
+        return time.perf_counter() - started
+
+    def run_instrumented() -> float:
+        started = time.perf_counter()
+        _simulate_disabled_obs(registry, histograms, counters)
+        graph = VectorizedKPartiteGraph(
+            peg, decomposition, candidates, ALPHA, links=links
+        )
+        graph.reduce()
+        return time.perf_counter() - started
+
+    # Interleave the two variants so drift (thermal, page cache) hits
+    # both equally; best-of discards the noisy tail.
+    bare = instrumented = float("inf")
+    for _ in range(repeats):
+        bare = min(bare, run_bare())
+        instrumented = min(instrumented, run_instrumented())
+    return {
+        "total_vertices": total_vertices,
+        "bare_seconds": bare,
+        "instrumented_seconds": instrumented,
+        "overhead_ratio": instrumented / max(bare, 1e-12),
+    }
+
+
+def bench_micro(iterations: int) -> dict:
+    """Nanoseconds per disabled-path obs operation."""
+    disabled = MetricsRegistry(enabled=False)
+    disabled_hist = disabled.histogram("bench_disabled_seconds")
+    enabled = MetricsRegistry()
+    enabled_counter = enabled.counter("bench_enabled_total")
+
+    def per_op(fn) -> float:
+        started = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        return (time.perf_counter() - started) / iterations * 1e9
+
+    return {
+        "iterations": iterations,
+        "null_span_child_ns": per_op(lambda: NULL_SPAN.child("stage")),
+        "current_span_ns": per_op(current_span),
+        "disabled_observe_ns": per_op(lambda: disabled_hist.observe(1e-3)),
+        "enabled_counter_inc_ns": per_op(enabled_counter.inc),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small CI workload; exit 1 when disabled-mode overhead "
+        f"exceeds {MAX_OVERHEAD:.2f}x",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_obs.json",
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="also write benchmarks/results/BENCH_obs-v<version>.json "
+        "(the committed perf-trajectory point for this version)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="override the PEG size (nodes; candidates scale ~4x)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="best-of repeat count"
+    )
+    args = parser.parse_args(argv)
+
+    # 2500 nodes put ~30k candidate vertices through the reduction —
+    # the workload the acceptance gate is defined on.
+    num_nodes = args.nodes or (500 if args.smoke else 2500)
+    repeats = args.repeats or (3 if args.smoke else 5)
+
+    macro = bench_macro(num_nodes, repeats)
+    attempts = 1
+    while macro["overhead_ratio"] > MAX_OVERHEAD and attempts < 3:
+        attempts += 1
+        macro = bench_macro(num_nodes, repeats)
+    macro["attempts"] = attempts
+    micro = bench_micro(20_000 if args.smoke else 200_000)
+
+    report = {
+        "benchmark": "obs_overhead",
+        "repro_version": __version__,
+        "mode": "smoke" if args.smoke else "large",
+        "workload": {
+            "nodes": num_nodes,
+            "alpha": ALPHA,
+            "repeats": repeats,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        "macro": macro,
+        "micro": micro,
+    }
+    outputs = [args.out]
+    if args.trajectory:
+        outputs.append(
+            os.path.join(
+                os.path.dirname(os.path.abspath(__file__)),
+                "results",
+                f"BENCH_obs-v{__version__}.json",
+            )
+        )
+    for out in outputs:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    print(
+        f"[macro] {macro['total_vertices']} candidate vertices: bare "
+        f"{macro['bare_seconds']:.4f}s, instrumented-disabled "
+        f"{macro['instrumented_seconds']:.4f}s "
+        f"({(macro['overhead_ratio'] - 1) * 100:+.2f}%, "
+        f"{macro['attempts']} attempt(s))"
+    )
+    print(
+        f"[micro] null-span child {micro['null_span_child_ns']:.0f}ns, "
+        f"current_span {micro['current_span_ns']:.0f}ns, disabled "
+        f"observe {micro['disabled_observe_ns']:.0f}ns, enabled counter "
+        f"inc {micro['enabled_counter_inc_ns']:.0f}ns"
+    )
+    print("wrote " + ", ".join(outputs))
+
+    if macro["overhead_ratio"] > MAX_OVERHEAD:
+        print(
+            f"FAIL: disabled-mode obs overhead "
+            f"{macro['overhead_ratio']:.3f}x exceeds {MAX_OVERHEAD:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

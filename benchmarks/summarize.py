@@ -53,6 +53,7 @@ BENCH_CAPTIONS = {
     "BENCH_reduction": "Online-phase core: vectorized vs Python backend",
     "BENCH_delta": "Live updates: delta overlay vs full rebuild",
     "BENCH_planner": "Adaptive planner: plan cache, exact strategy, feedback",
+    "BENCH_obs": "Observability: disabled-mode overhead and micro-costs",
 }
 
 

@@ -58,6 +58,13 @@ from repro.query import (
     direct_matches,
 )
 from repro.relational import sql_baseline_matches
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_span,
+    get_registry,
+    render_trace,
+)
 from repro.service import QueryService, ResultCache, ServiceStats
 from repro.delta import (
     AddEdge,
@@ -70,7 +77,7 @@ from repro.delta import (
     apply_mutations,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "PGD",
@@ -103,6 +110,11 @@ __all__ = [
     "exhaustive_matches",
     "direct_matches",
     "sql_baseline_matches",
+    "MetricsRegistry",
+    "Tracer",
+    "current_span",
+    "get_registry",
+    "render_trace",
     "QueryService",
     "ResultCache",
     "ServiceStats",

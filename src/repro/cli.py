@@ -7,7 +7,14 @@ Commands
 ``info``
     Print the statistics of a saved PEG (nodes, edges, components, ...).
 ``query``
-    Run a pattern query (JSON spec) against a saved PEG.
+    Run a pattern query (JSON spec) against a saved PEG; ``--trace``
+    prints the span tree of the evaluation (plan, per-partition index
+    lookups with shard fetch counters, link build, reduction rounds,
+    matching) and ``--shards`` evaluates against a hash-sharded index.
+``metrics``
+    Run a query workload and print the process metrics registry in
+    Prometheus text exposition format — stage latency histograms,
+    store read counters, estimator error, plan-cache hits.
 ``plan``
     Print the decomposition the adaptive planner chooses for a query —
     paths, per-path cardinality estimates, estimated cost and plan
@@ -143,6 +150,48 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--limit", type=int, default=20,
         help="maximum matches printed (default 20)",
+    )
+    query.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "record and print the evaluation's span tree (stage "
+            "latencies, per-partition lookup and shard-fetch counters)"
+        ),
+    )
+    query.add_argument(
+        "--shards", type=int, default=0,
+        help=(
+            "evaluate against a hash-sharded in-memory index "
+            "(0 = monolithic, default)"
+        ),
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help=(
+            "run a query workload and print the metrics registry in "
+            "Prometheus text exposition format"
+        ),
+    )
+    metrics.add_argument("peg", help="path to a saved PEG")
+    metrics_spec = metrics.add_mutually_exclusive_group(required=True)
+    metrics_spec.add_argument(
+        "--spec", help="path to the JSON query spec (see module docstring)"
+    )
+    metrics_spec.add_argument(
+        "--pattern",
+        help="inline pattern, e.g. '(a:DB)-(b:ML)-(c:DB); (a)-(c)'",
+    )
+    metrics.add_argument("--alpha", type=float, default=0.5)
+    metrics.add_argument("--max-length", type=int, default=2, dest="max_length")
+    metrics.add_argument("--beta", type=float, default=0.05)
+    metrics.add_argument(
+        "--repeat", type=int, default=3,
+        help=(
+            "evaluate the query this many times before exporting "
+            "(default 3: populates the latency histograms and "
+            "demonstrates the plan cache)"
+        ),
     )
 
     plan = commands.add_parser(
@@ -294,6 +343,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print the service stats snapshot after draining the workload",
     )
+    serve.add_argument(
+        "--metrics-every", type=int, default=0, dest="metrics_every",
+        help=(
+            "print a one-line metrics snapshot (requests, hit rate, "
+            "p50/p95, store reads) after every N workload rounds "
+            "(0 = never, default)"
+        ),
+    )
 
     bench = commands.add_parser(
         "bench-serve",
@@ -378,23 +435,50 @@ def _cmd_query(args) -> int:
     else:
         query = _load_query_spec(args.spec)
     engine = QueryEngine(
-        peg, max_length=args.max_length, beta=args.beta
+        peg,
+        max_length=args.max_length,
+        beta=args.beta,
+        num_shards=args.shards,
     )
-    options = QueryOptions(decomposition=args.decomposition)
+    options = QueryOptions(
+        decomposition=args.decomposition, trace=args.trace
+    )
     result = engine.query(query, args.alpha, options)
     if args.explain:
         print(explain(result, max_matches=args.limit))
-        return 0
-    print(f"{len(result.matches)} matches (alpha={args.alpha})")
-    for match in result.matches[: args.limit]:
-        rendered = ", ".join(
-            "{" + ",".join(str(r) for r in sorted(entity, key=str)) + "}"
-            f":{label}"
-            for entity, label in match.nodes
-        )
-        print(f"  Pr={match.probability:.4f}  {rendered}")
-    if len(result.matches) > args.limit:
-        print(f"  ... {len(result.matches) - args.limit} more")
+    else:
+        print(f"{len(result.matches)} matches (alpha={args.alpha})")
+        for match in result.matches[: args.limit]:
+            rendered = ", ".join(
+                "{" + ",".join(str(r) for r in sorted(entity, key=str)) + "}"
+                f":{label}"
+                for entity, label in match.nodes
+            )
+            print(f"  Pr={match.probability:.4f}  {rendered}")
+        if len(result.matches) > args.limit:
+            print(f"  ... {len(result.matches) - args.limit} more")
+    if args.trace and result.trace is not None:
+        from repro.obs import render_trace
+
+        print()
+        print(render_trace(result.trace))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import get_registry
+
+    peg = load_peg(args.peg)
+    if args.pattern is not None:
+        from repro.query.pattern import parse_pattern
+
+        query = parse_pattern(args.pattern)
+    else:
+        query = _load_query_spec(args.spec)
+    engine = QueryEngine(peg, max_length=args.max_length, beta=args.beta)
+    for _ in range(max(1, args.repeat)):
+        engine.query(query, args.alpha)
+    print(get_registry().render_prometheus())
     return 0
 
 
@@ -639,6 +723,15 @@ def _cmd_serve(args) -> int:
                 result = future.result()
                 print(f"[round {round_num + 1}] query {i}: "
                       f"{len(result.matches)} matches")
+            if args.metrics_every and (round_num + 1) % args.metrics_every == 0:
+                snap = service.stats_snapshot()
+                print(
+                    f"[metrics] requests={snap['requests']} "
+                    f"hit_rate={snap['hit_rate']:.2f} "
+                    f"p50={snap['latency_p50'] * 1e3:.2f}ms "
+                    f"p95={snap['latency_p95'] * 1e3:.2f}ms "
+                    f"store_reads={snap.get('repro_store_reads_total', 0)}"
+                )
         if args.stats:
             for key, value in sorted(service.stats_snapshot().items()):
                 print(f"{key:20s}{value}")
@@ -678,6 +771,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "info": _cmd_info,
         "query": _cmd_query,
+        "metrics": _cmd_metrics,
         "plan": _cmd_plan,
         "build": _cmd_build,
         "apply-updates": _cmd_apply_updates,

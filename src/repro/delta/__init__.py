@@ -39,6 +39,11 @@ from repro.delta.ops import (
     op_to_json,
 )
 from repro.delta.overlay import DeltaOverlayIndex
+from repro.obs.metrics import get_registry
+from repro.obs.timing import Timer
+
+_APPLY_SECONDS = get_registry().histogram("repro_delta_apply_seconds")
+_OPS_APPLIED = get_registry().counter("repro_delta_ops_applied_total")
 
 __all__ = [
     "AddEdge",
@@ -79,6 +84,14 @@ def apply_mutations(engine, ops, log: MutationLog | None = None) -> dict:
     """
     from repro.index.context import build_context
 
+    with Timer() as timer:
+        summary = _apply_mutations(engine, ops, log, build_context)
+    _APPLY_SECONDS.observe(timer.elapsed)
+    _OPS_APPLIED.inc(summary["applied"])
+    return summary
+
+
+def _apply_mutations(engine, ops, log, build_context) -> dict:
     applied = 0
     skipped = 0
     dirty: set = set()

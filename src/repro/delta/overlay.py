@@ -38,8 +38,21 @@ from repro.index.protocol import (
     is_palindrome,
 )
 from repro.index.sharded import ShardedPathIndex
+from repro.obs.metrics import get_registry
+from repro.obs.timing import Timer
+from repro.obs.trace import current_span
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.utils.errors import DeltaError
+
+_REGISTRY = get_registry()
+_ABSORB_SECONDS = _REGISTRY.histogram("repro_delta_absorb_seconds")
+_COMPACT_SECONDS = _REGISTRY.histogram("repro_delta_compact_seconds")
+_DIRTY_NODES = _REGISTRY.gauge("repro_delta_dirty_nodes")
+_DELTA_PATHS = _REGISTRY.gauge("repro_delta_paths")
+_MASKED_PATHS = _REGISTRY.counter("repro_delta_masked_paths_total")
+_SEQUENCES_REWRITTEN = _REGISTRY.counter("repro_delta_sequences_rewritten_total")
+_PATHS_DROPPED = _REGISTRY.counter("repro_delta_paths_dropped_total")
+_PATHS_ADDED = _REGISTRY.counter("repro_delta_paths_added_total")
 
 try:  # numpy speeds up the compaction touch-test; not a hard dependency
     import numpy as _np
@@ -116,7 +129,11 @@ class DeltaOverlayIndex(PathIndexProtocol):
         problem the overlay exists to solve.
         """
         self._dirty = self._dirty | frozenset(dirty_ids)
-        self._refresh()
+        with Timer() as timer:
+            self._refresh()
+        _ABSORB_SECONDS.observe(timer.elapsed)
+        _DIRTY_NODES.set(len(self._dirty))
+        _DELTA_PATHS.set(self.delta_path_count())
 
     def _dirty_region(self) -> list:
         """Start nodes that can reach a dirty node within ``max_length``."""
@@ -171,18 +188,28 @@ class DeltaOverlayIndex(PathIndexProtocol):
             kept = [
                 path for path in base_paths if dirty.isdisjoint(path.nodes)
             ]
+            masked = len(base_paths) - len(kept)
             # Record the exact number of masked base paths at this
             # (sequence, milli-threshold): estimate_cardinality uses it
             # to undo the stale portion of the base histogram.
-            self._stale_counts[(canonical_seq, _milli(alpha))] = (
-                len(base_paths) - len(kept)
-            )
+            self._stale_counts[(canonical_seq, _milli(alpha))] = masked
+            if masked:
+                _MASKED_PATHS.inc(masked)
+                span = current_span()
+                if span.enabled:
+                    span.incr("overlay_masked_paths", masked)
             base_paths = kept
         extra = self._delta.get(canonical_seq)
         if extra:
+            before = len(base_paths)
             base_paths.extend(
                 path for path in extra if path.probability >= alpha
             )
+            added = len(base_paths) - before
+            if added:
+                span = current_span()
+                if span.enabled:
+                    span.incr("overlay_delta_paths", added)
         return base_paths
 
     def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:
@@ -259,6 +286,8 @@ class DeltaOverlayIndex(PathIndexProtocol):
         }
         if not dirty and not self._delta:
             return stats
+        timer = Timer()
+        timer.__enter__()
         sequences = self._base_sequences() | set(self._delta)
         dirty_array = (
             _np.fromiter(dirty, dtype=_np.int64, count=len(dirty))
@@ -315,6 +344,13 @@ class DeltaOverlayIndex(PathIndexProtocol):
         self._dirty = frozenset()
         self._delta = {}
         self._stale_counts = {}
+        timer.__exit__(None, None, None)
+        _COMPACT_SECONDS.observe(timer.elapsed)
+        _SEQUENCES_REWRITTEN.inc(stats["sequences_rewritten"])
+        _PATHS_DROPPED.inc(stats["paths_dropped"])
+        _PATHS_ADDED.inc(stats["paths_added"])
+        _DIRTY_NODES.set(0)
+        _DELTA_PATHS.set(0)
         return stats
 
     # ------------------------------------------------------------------

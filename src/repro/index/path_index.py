@@ -23,6 +23,7 @@ from repro.index.protocol import (
     canonical_sequence,
     is_palindrome,
 )
+from repro.obs.trace import current_span
 from repro.storage.kvstore import PathStore
 from repro.utils.errors import IndexError_
 
@@ -114,6 +115,10 @@ class PathIndex(PathIndexProtocol):
         results = []
         for _, payload in self.store.scan_buckets(canonical_seq, min_bucket):
             results.extend(decode_paths_above(payload, alpha))
+        span = current_span()
+        if span.enabled:
+            span.incr("index_fetches")
+            span.incr("paths_decoded", len(results))
         return results
 
     def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:

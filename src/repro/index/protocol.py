@@ -27,6 +27,33 @@ from typing import Sequence
 from repro.utils.errors import IndexError_
 
 
+def store_read_totals(index) -> tuple:
+    """``(read_ops, bytes_read)`` served so far by the store(s) behind ``index``.
+
+    Unwraps caching and overlay views (``.inner`` of a batch view,
+    ``.base`` of a delta overlay) down to the store-backed
+    implementation; a sharded index sums over its shards. The engine
+    snapshots these totals around its lookup stage to attribute store
+    traffic to individual queries.
+    """
+    for _ in range(8):  # wrapper chains are short; bound the walk
+        inner = getattr(index, "inner", None)
+        if inner is None:
+            inner = getattr(index, "base", None)
+        if inner is None:
+            break
+        index = inner
+    shards = getattr(index, "shards", None)
+    if shards is not None:
+        reads = sum(shard.store.read_count for shard in shards)
+        nbytes = sum(getattr(shard.store, "bytes_read", 0) for shard in shards)
+        return reads, nbytes
+    store = getattr(index, "store", None)
+    if store is not None:
+        return store.read_count, getattr(store, "bytes_read", 0)
+    return 0, 0
+
+
 def canonical_sequence(label_seq: tuple) -> tuple:
     """Canonical orientation of a label sequence (min of itself/reverse).
 

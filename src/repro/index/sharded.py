@@ -45,6 +45,8 @@ from repro.index.builder import PathIndexBuilder, _grid_milli
 from repro.index.path_index import PathIndex, make_histogram
 from repro.index.paths import concat_payloads, encode_paths, payload_count
 from repro.index.protocol import PathIndexProtocol, canonical_sequence
+from repro.obs.metrics import get_registry
+from repro.obs.trace import current_span
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.storage.kvstore import (
     DiskPathStore,
@@ -60,6 +62,21 @@ from repro.utils.timing import Timer
 _HASH_SEPARATOR = b"\x1f"
 
 _SPILL_DIR = "spill"
+
+#: Registry counters per shard id, created on first fetch. Module-level
+#: (not index attributes) so sharded indexes stay picklable; all
+#: sharded indexes in the process share the per-shard-id series.
+_FETCH_COUNTERS: dict = {}
+
+
+def _shard_fetch_counter(shard_id: int):
+    counter = _FETCH_COUNTERS.get(shard_id)
+    if counter is None:
+        counter = get_registry().counter(
+            "repro_index_shard_fetches_total", shard=f"{shard_id:02d}"
+        )
+        _FETCH_COUNTERS[shard_id] = counter
+    return counter
 
 
 def shard_for_sequence(label_seq: Sequence, num_shards: int) -> int:
@@ -145,9 +162,12 @@ class ShardedPathIndex(PathIndexProtocol):
         return self.shards[0].grid()
 
     def lookup_canonical(self, canonical_seq: tuple, alpha: float) -> list:
-        return self.shard_of(canonical_seq).lookup_canonical(
-            canonical_seq, alpha
-        )
+        shard_id = self.shard_for(canonical_seq)
+        span = current_span()
+        if span.enabled:
+            span.incr(f"shard_fetches[{shard_id:02d}]")
+        _shard_fetch_counter(shard_id).inc()
+        return self.shards[shard_id].lookup_canonical(canonical_seq, alpha)
 
     def estimate_cardinality(self, label_seq: Sequence, alpha: float) -> float:
         return self.shard_of(label_seq).estimate_cardinality(label_seq, alpha)

@@ -1,0 +1,83 @@
+"""Wall-clock timing primitives shared by the tracer and the benches.
+
+Home of :class:`Timer` and :class:`StageTimings` (formerly
+``repro.utils.timing``, which now re-exports from here). The engine
+keeps reporting its per-stage breakdown through :class:`StageTimings`
+— it is the cheap always-on aggregate — while spans from
+:mod:`repro.obs.trace` add per-query structure on demand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "StageTimings"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class StageTimings:
+    """Accumulates named stage timings for multi-phase algorithms.
+
+    The offline and online phases both consist of several sequential
+    stages; this class records per-stage elapsed seconds so experiments can
+    report timing breakdowns (e.g. index lookup vs. reduction vs. join).
+    """
+
+    stages: dict = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated time of stage ``name``."""
+        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    def time(self, name: str):
+        """Return a context manager that records its elapsed time under ``name``."""
+        return _StageContext(self, name)
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all recorded stages."""
+        return sum(self.stages.values())
+
+    def as_dict(self) -> dict:
+        """Copy of the per-stage timing mapping."""
+        return dict(self.stages)
+
+
+class _StageContext:
+    def __init__(self, timings: StageTimings, name: str) -> None:
+        self._timings = timings
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self):
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.__exit__(*exc_info)
+        self._timings.record(self._name, self._timer.elapsed)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.index.builder import enumerate_paths_for_sequence
 from repro.index.context import ContextInformation
 from repro.index.protocol import PathIndexProtocol
+from repro.obs.trace import current_span
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.decompose import QueryPath
 from repro.query.query_graph import QueryGraph
@@ -219,6 +220,9 @@ class CandidateFinder:
             raw = self.index.lookup(label_seq, self.alpha)
         else:
             raw = enumerate_paths_for_sequence(self.peg, label_seq, self.alpha)
+            # Marks partitions that never touched the index, so a trace
+            # with zero store reads explains itself.
+            current_span().set("on_demand", True)
         raw_count = len(raw)
         if not self.use_context:
             # Even without context pruning, node candidacy on label

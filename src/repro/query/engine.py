@@ -13,13 +13,22 @@ once per batch.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 
 from repro.index.batch import BatchLookupIndex
 from repro.index.builder import build_path_index
 from repro.index.context import ContextInformation, build_context
-from repro.index.protocol import PathIndexProtocol, canonical_sequence
+from repro.index.protocol import (
+    PathIndexProtocol,
+    canonical_sequence,
+    store_read_totals,
+)
 from repro.index.sharded import ShardedPathIndex, build_sharded_path_index
+from repro.obs.metrics import get_registry
+from repro.obs.timing import StageTimings
+from repro.obs.trace import NULL_SPAN, Span, current_span
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.candidates import CandidateFinder
 from repro.query.kpartite import CandidateKPartiteGraph
@@ -28,7 +37,36 @@ from repro.query.matcher import generate_matches
 from repro.query.query_graph import QueryGraph
 from repro.storage.kvstore import PathStore
 from repro.utils.errors import IndexError_, QueryError
-from repro.utils.timing import StageTimings, Timer
+
+_REGISTRY = get_registry()
+_QUERIES_TOTAL = _REGISTRY.counter("repro_queries_total")
+_MATCHES_TOTAL = _REGISTRY.counter("repro_query_matches_total")
+_QUERY_SECONDS = _REGISTRY.histogram("repro_query_seconds")
+#: One latency series per online-phase stage (StageTimings keys).
+_STAGE_SECONDS = {
+    stage: _REGISTRY.histogram("repro_query_stage_seconds", stage=stage)
+    for stage in ("decompose", "candidates", "kpartite", "reduction",
+                  "matching")
+}
+_STORE_READS = _REGISTRY.counter("repro_store_reads_total")
+_STORE_BYTES = _REGISTRY.counter("repro_store_bytes_read_total")
+#: ``|log2(observed / corrected-estimate)|`` per partition lookup — the
+#: planner's estimator error in doublings; p95 near 0 means the
+#: feedback loop is holding the cost model honest.
+_ESTIMATE_ERROR = _REGISTRY.histogram(
+    "repro_estimate_abs_log2_error", low=0.01, high=16.0
+)
+
+
+def _record_query_metrics(timings: StageTimings, num_matches: int) -> None:
+    """Fold one evaluation into the process-wide registry."""
+    _QUERIES_TOTAL.inc()
+    _MATCHES_TOTAL.inc(num_matches)
+    _QUERY_SECONDS.observe(timings.total)
+    for stage, seconds in timings.stages.items():
+        histogram = _STAGE_SECONDS.get(stage)
+        if histogram is not None:
+            histogram.observe(seconds)
 
 
 @dataclass(frozen=True)
@@ -56,6 +94,11 @@ class QueryOptions:
     shapes and observed-cardinality corrections of the histogram
     estimates. Neither changes the matches — only which decomposition
     is chosen, hence the evaluation cost.
+
+    ``trace`` records a span tree of the evaluation
+    (:mod:`repro.obs.trace`) and attaches it as ``QueryResult.trace``.
+    Like the backend knobs it never changes the matches, so the serving
+    layer's request keys exclude it.
     """
 
     decomposition: str = "greedy"
@@ -68,6 +111,7 @@ class QueryOptions:
     reduction_backend: str = "vectorized"
     use_plan_cache: bool = True
     use_estimator_feedback: bool = True
+    trace: bool = False
 
 
 @dataclass
@@ -88,6 +132,10 @@ class QueryResult:
     #: ``{partition: (corrected cardinality estimate, observed raw
     #: count)}`` — the estimation loop's evidence for this evaluation.
     estimate_observations: dict = field(default_factory=dict)
+    #: Span-tree provenance of the evaluation (dict form of
+    #: :meth:`repro.obs.trace.Span.to_dict`); populated only when
+    #: ``QueryOptions.trace`` was set.
+    trace: dict | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -289,15 +337,47 @@ class QueryEngine:
             raise QueryError(f"alpha must be in (0, 1], got {alpha}")
         options = options or QueryOptions()
         timings = StageTimings()
+        span = self._query_span("query", options)
 
-        # 1. Path decomposition (plan cache consulted first).
-        with timings.time("decompose"):
-            decomposition, plan_info = self._decompose(query, alpha, options)
+        with span:
+            if span.enabled:
+                span.set("alpha", alpha)
+                span.set("graph_version", self.graph_version)
+            # 1. Path decomposition (plan cache consulted first).
+            with timings.time("decompose"), span.child("plan") as plan_span:
+                decomposition, plan_info = self._decompose(
+                    query, alpha, options
+                )
+                if plan_span.enabled:
+                    plan_span.set("strategy", plan_info.strategy)
+                    plan_span.set("source", plan_info.source)
+                    plan_span.set("partitions", len(decomposition.paths))
+                    plan_span.set(
+                        "estimated_cost", round(plan_info.estimated_cost, 3)
+                    )
 
-        return self._evaluate(
-            query, alpha, options, self.index, decomposition, plan_info,
-            timings,
-        )
+            result = self._evaluate(
+                query, alpha, options, self.index, decomposition, plan_info,
+                timings, span=span,
+            )
+        if options.trace and span.enabled:
+            result.trace = span.to_dict()
+        return result
+
+    def _query_span(self, name: str, options: QueryOptions):
+        """Root (or ambient child) span of one evaluation.
+
+        A real span is created when an outer span is active — the
+        service's request span, a top-k probe — or when the caller
+        asked for a trace; otherwise the null span keeps the
+        instrumented path effectively free.
+        """
+        parent = current_span()
+        if parent.enabled:
+            return parent.child(name)
+        if options.trace:
+            return Span(name)
+        return NULL_SPAN
 
     def query_batch(
         self,
@@ -318,28 +398,47 @@ class QueryEngine:
         """
         requests = [(query, float(alpha)) for query, alpha in requests]
         options = options or QueryOptions()
-        plans = []
-        for query, alpha in requests:
-            if not 0.0 < alpha <= 1.0:
-                raise QueryError(f"alpha must be in (0, 1], got {alpha}")
-            timings = StageTimings()
-            with timings.time("decompose"):
-                decomposition, plan_info = self._decompose(
-                    query, alpha, options
+        batch_span = self._query_span("query_batch", options)
+        results = []
+        with batch_span:
+            if batch_span.enabled:
+                batch_span.set("requests", len(requests))
+            plans = []
+            for query, alpha in requests:
+                if not 0.0 < alpha <= 1.0:
+                    raise QueryError(f"alpha must be in (0, 1], got {alpha}")
+                timings = StageTimings()
+                with timings.time("decompose"), \
+                        batch_span.child("plan") as plan_span:
+                    decomposition, plan_info = self._decompose(
+                        query, alpha, options
+                    )
+                    if plan_span.enabled:
+                        plan_span.set("source", plan_info.source)
+                plans.append(
+                    (query, alpha, decomposition, plan_info, timings)
                 )
-            plans.append((query, alpha, decomposition, plan_info, timings))
 
-        batch_index = BatchLookupIndex(self.index)
-        for canonical, alpha in self._shared_lookups(plans):
-            batch_index.prefetch(canonical, alpha)
+            batch_index = BatchLookupIndex(self.index)
+            with batch_span.child("prefetch") as prefetch_span:
+                shared = self._shared_lookups(plans)
+                for canonical, alpha in shared:
+                    batch_index.prefetch(canonical, alpha)
+                if prefetch_span.enabled:
+                    prefetch_span.set("sequences", len(shared))
 
-        return [
-            self._evaluate(
-                query, alpha, options, batch_index, decomposition,
-                plan_info, timings,
-            )
-            for query, alpha, decomposition, plan_info, timings in plans
-        ]
+            for query, alpha, decomposition, plan_info, timings in plans:
+                with batch_span.child("query") as query_span:
+                    if query_span.enabled:
+                        query_span.set("alpha", alpha)
+                    result = self._evaluate(
+                        query, alpha, options, batch_index, decomposition,
+                        plan_info, timings, span=query_span,
+                    )
+                if options.trace and query_span.enabled:
+                    result.trace = query_span.to_dict()
+                results.append(result)
+        return results
 
     def _shared_lookups(self, plans) -> list:
         """Distinct canonical sequences a batch needs, with the minimum
@@ -413,8 +512,14 @@ class QueryEngine:
         decomposition,
         plan_info,
         timings: StageTimings,
+        span=NULL_SPAN,
     ) -> QueryResult:
-        """Online phase stages 2-5 over an already-chosen decomposition."""
+        """Online phase stages 2-5 over an already-chosen decomposition.
+
+        ``span`` is an already-entered parent span (or the null span);
+        stage spans — lookup, link_build, reduce, match — are created
+        under it. Callers own the root span's lifecycle and export.
+        """
         # 2. Path candidates (index lookup + context pruning).
         finder = CandidateFinder(
             self.peg,
@@ -426,11 +531,31 @@ class QueryEngine:
         )
         candidates: dict = {}
         raw_counts: dict = {}
-        with timings.time("candidates"):
+        # Store-traffic deltas around the lookup stage. The store
+        # counters are process-cumulative, so under concurrent queries a
+        # delta may attribute a neighbor's reads to this span — totals
+        # stay exact, attribution is best-effort.
+        reads_before, bytes_before = store_read_totals(index)
+        with timings.time("candidates"), span.child("lookup") as lookup_span:
             for i, path in enumerate(decomposition.paths):
-                pruned, raw = finder.find(path)
+                with lookup_span.child("partition", index=i) as path_span:
+                    pruned, raw = finder.find(path)
+                    if path_span.enabled:
+                        path_span.set("labels", "-".join(
+                            map(str, query.label_sequence(path.nodes))
+                        ))
+                        path_span.set("raw", raw)
+                        path_span.set("pruned", len(pruned))
                 candidates[i] = pruned
                 raw_counts[i] = raw
+            reads_after, bytes_after = store_read_totals(index)
+            store_reads = reads_after - reads_before
+            store_bytes = bytes_after - bytes_before
+            _STORE_READS.inc(store_reads)
+            _STORE_BYTES.inc(store_bytes)
+            if lookup_span.enabled:
+                lookup_span.incr("store_reads", store_reads)
+                lookup_span.incr("store_bytes_read", store_bytes)
 
         # Close the estimation loop: observed raw lookup cardinalities
         # correct future histogram estimates (post-delta drift heals
@@ -441,11 +566,28 @@ class QueryEngine:
             )
         else:
             observations = {}
+        if observations:
+            error_sum = 0.0
+            for corrected, observed in observations.values():
+                error = abs(math.log2(
+                    (observed + 1.0) / (max(corrected, 0.0) + 1.0)
+                ))
+                _ESTIMATE_ERROR.observe(error)
+                error_sum += error
+            if span.enabled:
+                span.set(
+                    "estimate_abs_log2_err",
+                    round(error_sum / len(observations), 4),
+                )
 
         search_space_path = _product(raw_counts.values())
         search_space_context = _product(len(c) for c in candidates.values())
 
         if any(not c for c in candidates.values()):
+            if span.enabled:
+                span.set("matches", 0)
+                span.set("empty_partition", True)
+            _record_query_metrics(timings, 0)
             return QueryResult(
                 matches=[],
                 search_space_path=search_space_path,
@@ -461,22 +603,38 @@ class QueryEngine:
             )
 
         # 3 & 4. Join candidates and joint search-space reduction.
-        with timings.time("kpartite"):
+        with timings.time("kpartite"), span.child("link_build") as link_span:
             kpartite = self._make_kpartite(
                 decomposition, candidates, alpha, options
             )
-        with timings.time("reduction"):
+            if link_span.enabled:
+                link_span.set("backend", options.reduction_backend)
+                link_span.set("partitions", len(candidates))
+        with timings.time("reduction"), span.child("reduce") as reduce_span:
             reduction = kpartite.reduce(
                 use_structure=options.use_structure_reduction,
                 use_upperbounds=options.use_upperbound_reduction,
             )
+            if reduce_span.enabled:
+                reduce_span.set("rounds", reduction.rounds)
+                reduce_span.incr(
+                    "structure_removed", reduction.structure_removed
+                )
+                reduce_span.incr(
+                    "upperbound_removed", reduction.upperbound_removed
+                )
 
         # 5. Full match generation.
-        with timings.time("matching"):
+        with timings.time("matching"), span.child("match") as match_span:
             matches = generate_matches(
                 self.peg, decomposition, kpartite, alpha
             )
+            if match_span.enabled:
+                match_span.set("matches", len(matches))
 
+        if span.enabled:
+            span.set("matches", len(matches))
+        _record_query_metrics(timings, len(matches))
         return QueryResult(
             matches=matches,
             search_space_path=search_space_path,

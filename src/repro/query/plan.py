@@ -37,8 +37,12 @@ import threading
 from dataclasses import dataclass
 
 from repro.index.protocol import canonical_sequence
+from repro.obs.metrics import get_registry
 from repro.query.decompose import Decomposition, QueryPath, decompose_query
 from repro.query.query_graph import QueryGraph
+
+_PLAN_HITS = get_registry().counter("repro_plan_cache_hits_total")
+_PLAN_MISSES = get_registry().counter("repro_plan_cache_misses_total")
 
 
 def plan_key(
@@ -269,6 +273,7 @@ class QueryPlanner:
             if entry is not None:
                 with self._lock:
                     self.hits += 1
+                _PLAN_HITS.inc()
                 for listener in self.listeners:
                     listener.record_plan_hit()
                 decomposition = self._rehydrate(query, entry)
@@ -280,6 +285,7 @@ class QueryPlanner:
                 )
         with self._lock:
             self.misses += 1
+        _PLAN_MISSES.inc()
         for listener in self.listeners:
             listener.record_plan_miss()
         decomposition = decompose_query(

@@ -10,6 +10,7 @@ sound-and-complete α-query, so the returned prefix is exact.
 
 from __future__ import annotations
 
+from repro.obs.trace import current_span
 from repro.query.engine import QueryEngine, QueryOptions
 from repro.query.query_graph import QueryGraph
 from repro.utils.errors import QueryError
@@ -63,11 +64,18 @@ def top_k_matches(
         )
     alpha = start_alpha
     matches = []
-    while True:
-        matches = list(engine.query(query, alpha, options).matches)
-        if len(matches) >= k or alpha <= floor:
-            break
-        alpha = max(alpha * shrink, floor)
+    # Nests the probe queries under an ambient span when one is active
+    # (the null span otherwise, at no cost).
+    with current_span().child("topk") as span:
+        while True:
+            span.incr("probes")
+            matches = list(engine.query(query, alpha, options).matches)
+            if len(matches) >= k or alpha <= floor:
+                break
+            alpha = max(alpha * shrink, floor)
+        if span.enabled:
+            span.set("k", k)
+            span.set("final_alpha", alpha)
     matches.sort(key=_rank_key)
     return matches[:k]
 

@@ -32,6 +32,8 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, use_span
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.engine import QueryEngine, QueryOptions, QueryResult
 from repro.query.query_graph import QueryGraph
@@ -121,6 +123,14 @@ class QueryService:
         results cross a pickling boundary).
     snapshot_dir:
         Offline-bundle directory; required for ``executor="process"``.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` recording one span tree per
+        request (admission outcome, queue wait, and — on the thread
+        executor — the engine's stage spans nested beneath). Defaults
+        to the no-op tracer, which costs one attribute check per
+        request. Process-pool evaluations cannot carry spans across the
+        pickling boundary; their request spans record admission and
+        outcome only.
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class QueryService:
         latency_window: int = 1024,
         executor: str = "thread",
         snapshot_dir: str | None = None,
+        tracer=None,
     ) -> None:
         if num_workers < 1:
             raise ServiceError(f"num_workers must be >= 1, got {num_workers}")
@@ -144,6 +155,8 @@ class QueryService:
         self.default_options = default_options or QueryOptions()
         self.executor_kind = executor
         self.snapshot_dir = snapshot_dir
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics_registry = get_registry()
         self.stats = ServiceStats(latency_window=latency_window)
         self.cache = ResultCache(
             cache_size, on_evict=self.stats.record_eviction
@@ -295,7 +308,11 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _admit(
-        self, query: QueryGraph, alpha: float, options: QueryOptions
+        self,
+        query: QueryGraph,
+        alpha: float,
+        options: QueryOptions,
+        span=NULL_SPAN,
     ) -> tuple:
         """Resolve one request against the cache and in-flight registry.
 
@@ -304,7 +321,9 @@ class QueryService:
         evaluation (dedup); otherwise the request was registered
         in-flight under ``key`` and the caller owns evaluating it and
         completing the future (via :meth:`_finish` /
-        :meth:`_finish_batch` / :meth:`_abort_submission`).
+        :meth:`_finish_batch` / :meth:`_abort_submission`). The
+        admission outcome is recorded on ``span`` here, where it is
+        decided, so the attribute can never disagree with the stats.
         """
         start = time.perf_counter()
         with self._gate:
@@ -329,16 +348,26 @@ class QueryService:
             cached = self.cache.get(key)
             if cached is not None:
                 self.stats.record_hit(time.perf_counter() - start)
+                span.set("outcome", "cache")
                 future: Future = Future()
                 future.set_result(cached)
                 return future, None
             inflight = self._inflight.get(key)
             if inflight is not None:
                 self.stats.record_dedup()
+                span.set("outcome", "dedup")
+                # The follower's completion is recorded when the
+                # leader's future resolves — including via close(),
+                # which fails leftover futures — so ``requests`` and
+                # ``completed`` converge on any drained service.
+                inflight.add_done_callback(
+                    functools.partial(self._finish_attached, start)
+                )
                 return inflight, None
             future = Future()
             self._inflight[key] = future
         self.stats.record_miss()
+        span.set("outcome", "miss")
         return future, key
 
     def _abort_submission(self, key, future, start, exc) -> None:
@@ -370,26 +399,51 @@ class QueryService:
         if self._closed:
             raise ServiceError("service is closed")
         options = options or self.default_options
-        future, key = self._admit(query, alpha, options)
+        span = self.tracer.span("request")
+        span.begin()
+        span.set("alpha", float(alpha))
+        future, key = self._admit(query, alpha, options, span=span)
         if key is None:
+            # Cache hit or dedup attach: the request's own lifecycle is
+            # over even though an attached evaluation may still run.
+            span.finish()
             return future
         start = time.perf_counter()
         try:
             if self.executor_kind == "process":
+                # Spans cannot cross the pickling boundary; the worker
+                # evaluates untraced and this request span keeps only
+                # admission + outcome (queue wait is unmeasurable from
+                # the worker side too).
                 task = self._executor.submit(
                     _process_worker_query, query, alpha, options
                 )
             else:
                 task = self._executor.submit(
-                    self.engine.query, query, alpha, options
+                    self._run_query, query, alpha, options, span, start
                 )
         except RuntimeError as exc:
             self._abort_submission(key, future, start, exc)
+            span.finish(error=True)
             return future
         task.add_done_callback(
-            functools.partial(self._finish, key, future, start)
+            functools.partial(self._finish, key, future, start, span)
         )
         return future
+
+    def _run_query(self, query, alpha, options, span, submitted) -> QueryResult:
+        """Worker-side wrapper of one evaluation.
+
+        Records how long the task sat queued behind busy workers and
+        re-attaches the request span on this worker thread, so the
+        engine's stage spans nest under it across the pool boundary.
+        """
+        wait = time.perf_counter() - submitted
+        self.stats.record_queue_wait(wait)
+        if span.enabled:
+            span.set("queue_wait_ms", round(wait * 1e3, 3))
+        with use_span(span):
+            return self.engine.query(query, alpha, options)
 
     def query(
         self,
@@ -485,7 +539,7 @@ class QueryService:
                 )
             else:
                 task = self._executor.submit(
-                    self.engine.query_batch, batch, options
+                    self._run_query_batch, batch, options, start
                 )
         except RuntimeError as exc:
             for key, future, _, _ in to_eval:
@@ -499,6 +553,13 @@ class QueryService:
             )
         )
         return futures
+
+    def _run_query_batch(self, batch, options, submitted) -> list:
+        """Worker-side wrapper of one grouped evaluation (queue wait only;
+        the engine's ``query_batch`` builds its own span structure when a
+        trace is requested)."""
+        self.stats.record_queue_wait(time.perf_counter() - submitted)
+        return self.engine.query_batch(batch, options)
 
     def query_batch(
         self,
@@ -539,20 +600,29 @@ class QueryService:
         except InvalidStateError:  # lost the race against close()
             pass
 
-    def _finish(self, key, future, start, task) -> None:
+    def _finish(self, key, future, start, span, task) -> None:
         """Done-callback of one evaluation: publish, uncount, resolve."""
         exc, result = self._task_outcome(task)
         if exc is not None:
             with self._gate:
                 self._inflight.pop(key, None)
             self.stats.record_done(time.perf_counter() - start, error=True)
+            span.finish(error=True)
             self._resolve(future, exc=exc)
             return
         self.cache.put(key, result)
         with self._gate:
             self._inflight.pop(key, None)
         self.stats.record_done(time.perf_counter() - start)
+        span.finish()
         self._resolve(future, result=result)
+
+    def _finish_attached(self, start, future) -> None:
+        """Done-callback of a deduplicated request's attached future."""
+        error = future.cancelled() or future.exception() is not None
+        self.stats.record_attached_done(
+            time.perf_counter() - start, error=error
+        )
 
     def _finish_batch(self, items, start, task) -> None:
         """Done-callback of one grouped evaluation: resolve every member."""
@@ -578,7 +648,13 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def stats_snapshot(self) -> dict:
-        """Service counters + latency quantiles + cache occupancy."""
+        """Service counters + latency quantiles + cache occupancy.
+
+        Also merges the process-wide metrics registry's snapshot, so
+        one call surfaces the engine's stage/store/estimator series
+        next to the serving counters (every registry key is
+        ``repro_``-prefixed; no collisions with the service keys).
+        """
         snap = self.stats.snapshot()
         snap["cache_size"] = len(self.cache)
         snap["cache_capacity"] = self.cache.capacity
@@ -588,6 +664,7 @@ class QueryService:
         planner = getattr(self.engine, "planner", None)
         if planner is not None:
             snap.update(planner.stats_snapshot())
+        snap.update(self.metrics_registry.snapshot())
         return snap
 
     def apply_updates(self, ops, log=None) -> dict:

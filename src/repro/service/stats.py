@@ -5,13 +5,23 @@ service observes — cache hits/misses, single-flight deduplications,
 evictions, errors, in-flight gauge — and keeps the most recent request
 latencies in a bounded window from which it derives p50/p95 (quantiles
 over a sliding window, the standard serving-metrics compromise between
-exactness and unbounded memory).
+exactness and unbounded memory). Successful and failed requests are
+tracked in separate windows so overload pathologies show up in the
+error quantiles instead of silently vanishing from the latency picture.
+
+Every recording also feeds the process-wide metrics registry
+(:mod:`repro.obs.metrics`) under ``repro_service_*`` series — outcome
+labels on the request counter and the latency histograms — so the
+service's counters and the engine's stage metrics export through one
+``snapshot()`` / Prometheus surface.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+
+from repro.obs.metrics import get_registry
 
 
 def _quantile(sorted_values: list, q: float) -> float:
@@ -30,12 +40,18 @@ class ServiceStats:
     ----------
     latency_window:
         Number of most recent request latencies retained for the
-        p50/p95 estimates.
+        p50/p95 estimates (successful and failed requests each get a
+        window of this size).
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the counters
+        mirror into; defaults to the process-wide registry. Tests
+        inject private registries for isolation.
     """
 
-    def __init__(self, latency_window: int = 1024) -> None:
+    def __init__(self, latency_window: int = 1024, registry=None) -> None:
         self._lock = threading.Lock()
         self._latencies: deque = deque(maxlen=max(1, latency_window))
+        self._error_latencies: deque = deque(maxlen=max(1, latency_window))
         self.hits = 0
         self.misses = 0
         self.deduplicated = 0
@@ -43,8 +59,29 @@ class ServiceStats:
         self.errors = 0
         self.completed = 0
         self.in_flight = 0
+        #: Deduplicated requests whose attached evaluation has resolved
+        #: (each contributes to ``completed``).
+        self.attached = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        registry = registry if registry is not None else get_registry()
+        self._m_requests = {
+            outcome: registry.counter(
+                "repro_service_requests_total", outcome=outcome
+            )
+            for outcome in ("hit", "miss", "dedup")
+        }
+        self._m_latency = {
+            outcome: registry.histogram(
+                "repro_service_request_seconds", outcome=outcome
+            )
+            for outcome in ("ok", "error")
+        }
+        self._m_queue_wait = registry.histogram(
+            "repro_service_queue_wait_seconds"
+        )
+        self._m_in_flight = registry.gauge("repro_service_in_flight")
+        self._m_evictions = registry.counter("repro_service_evictions_total")
 
     # -- recording -----------------------------------------------------
 
@@ -54,32 +91,71 @@ class ServiceStats:
             self.hits += 1
             self.completed += 1
             self._latencies.append(seconds)
+        self._m_requests["hit"].inc()
+        self._m_latency["ok"].observe(seconds)
 
     def record_miss(self) -> None:
         """A request that must be evaluated (enters the in-flight set)."""
         with self._lock:
             self.misses += 1
             self.in_flight += 1
+        self._m_requests["miss"].inc()
+        self._m_in_flight.inc()
 
     def record_dedup(self) -> None:
-        """A request attached to an identical in-flight evaluation."""
+        """A request attached to an identical in-flight evaluation.
+
+        Completion is counted separately when the attached evaluation
+        resolves (:meth:`record_attached_done`), so ``requests`` and
+        ``completed`` converge on a drained service.
+        """
         with self._lock:
             self.deduplicated += 1
+        self._m_requests["dedup"].inc()
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Time one evaluation spent queued before a worker picked it up."""
+        self._m_queue_wait.observe(seconds)
 
     def record_done(self, seconds: float, error: bool = False) -> None:
-        """An evaluated request finished (successfully or not)."""
+        """An evaluated request finished (successfully or not).
+
+        Failed requests keep their latency too — in a separate window
+        feeding the ``error_latency_*`` quantiles — so overload
+        pathologies (errors that are also slow) stay visible.
+        """
         with self._lock:
             self.in_flight -= 1
             self.completed += 1
             if error:
                 self.errors += 1
+                self._error_latencies.append(seconds)
             else:
                 self._latencies.append(seconds)
+        self._m_in_flight.dec()
+        self._m_latency["error" if error else "ok"].observe(seconds)
+
+    def record_attached_done(self, seconds: float, error: bool = False) -> None:
+        """A deduplicated request's attached evaluation resolved.
+
+        Counts the follower's completion and wall-clock latency;
+        ``errors`` is deliberately *not* incremented — it counts failed
+        evaluations, and the leader already recorded the failure.
+        """
+        with self._lock:
+            self.completed += 1
+            self.attached += 1
+            if error:
+                self._error_latencies.append(seconds)
+            else:
+                self._latencies.append(seconds)
+        self._m_latency["error" if error else "ok"].observe(seconds)
 
     def record_eviction(self, count: int = 1) -> None:
         """``count`` entries were evicted from the result cache."""
         with self._lock:
             self.evictions += count
+        self._m_evictions.inc(count)
 
     # The service registers this object as a listener on the engine's
     # :class:`~repro.query.plan.QueryPlanner`, so decomposition reuse
@@ -102,15 +178,17 @@ class ServiceStats:
     @property
     def requests(self) -> int:
         """Total requests observed (hits + misses + deduplicated)."""
-        return self.hits + self.misses + self.deduplicated
+        with self._lock:
+            return self.hits + self.misses + self.deduplicated
 
     def hit_rate(self) -> float:
         """Cache hit fraction over all requests (0 when idle)."""
-        total = self.requests
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses + self.deduplicated
+            return self.hits / total if total else 0.0
 
     def latency_quantiles(self) -> dict:
-        """``{"p50": ..., "p95": ...}`` over the latency window, seconds."""
+        """``{"p50": ..., "p95": ...}`` over successful requests, seconds."""
         with self._lock:
             ordered = sorted(self._latencies)
         return {
@@ -122,10 +200,12 @@ class ServiceStats:
         """One consistent dict of every counter plus the quantiles."""
         with self._lock:
             ordered = sorted(self._latencies)
+            error_ordered = sorted(self._error_latencies)
             snap = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "deduplicated": self.deduplicated,
+                "attached": self.attached,
                 "evictions": self.evictions,
                 "errors": self.errors,
                 "completed": self.completed,
@@ -139,6 +219,8 @@ class ServiceStats:
         )
         snap["latency_p50"] = _quantile(ordered, 0.50)
         snap["latency_p95"] = _quantile(ordered, 0.95)
+        snap["error_latency_p50"] = _quantile(error_ordered, 0.50)
+        snap["error_latency_p95"] = _quantile(error_ordered, 0.95)
         return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -54,9 +54,14 @@ class PathStore(ABC):
     #: :meth:`reset_read_count`.
     read_count: int = 0
 
+    #: Total payload bytes handed out by reads (observability: the
+    #: engine reports per-query byte deltas in its lookup-stage spans).
+    bytes_read: int = 0
+
     def reset_read_count(self) -> None:
-        """Zero the read-operation counter."""
+        """Zero the read-operation and bytes-read counters."""
         self.read_count = 0
+        self.bytes_read = 0
 
     @abstractmethod
     def put_bucket(self, label_seq: tuple, bucket: int, payload: bytes) -> None:
@@ -115,13 +120,17 @@ class InMemoryPathStore(PathStore):
 
     def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
         self.read_count += 1
-        return self._data.get(tuple(label_seq), {}).get(_check_bucket(bucket))
+        payload = self._data.get(tuple(label_seq), {}).get(_check_bucket(bucket))
+        if payload is not None:
+            self.bytes_read += len(payload)
+        return payload
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
         self.read_count += 1
         buckets = self._data.get(tuple(label_seq), {})
         for bucket in sorted(buckets):
             if bucket >= min_bucket:
+                self.bytes_read += len(buckets[bucket])
                 yield bucket, buckets[bucket]
 
     def label_sequences(self):
@@ -219,6 +228,7 @@ class DiskPathStore(PathStore):
             if pointer is None:
                 return None
             offset, length = _POINTER.unpack(pointer)
+            self.bytes_read += length
             return self._read_payload(offset, length)
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
@@ -233,6 +243,7 @@ class DiskPathStore(PathStore):
             for key, pointer in self._tree.range(lo, hi):
                 _, bucket = _COMPOSITE.unpack(key)
                 offset, length = _POINTER.unpack(pointer)
+                self.bytes_read += length
                 results.append((bucket, self._read_payload(offset, length)))
         yield from results
 

@@ -119,6 +119,58 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "matches" in out
 
+    def test_query_trace_renders_span_tree(self, peg_file, tmp_path, capsys):
+        spec = self.write_spec(
+            tmp_path,
+            {"a": "L0", "b": "L1", "c": "L0", "d": "L1"},
+            [["a", "b"], ["b", "c"], ["c", "d"]],
+        )
+        assert main(
+            [
+                "query", peg_file, "--spec", spec, "--alpha", "0.2",
+                "--max-length", "1", "--shards", "2", "--trace",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        for stage in ("plan", "lookup", "partition", "link_build",
+                      "reduce", "match"):
+            assert stage in out
+        assert "shard_fetches[" in out
+        assert "ms" in out
+
+    def test_query_trace_with_explain(self, peg_file, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, {"a": "L0", "b": "L1"}, [["a", "b"]])
+        assert main(
+            [
+                "query", peg_file, "--spec", spec, "--alpha", "0.2",
+                "--explain", "--trace",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "decomposition:" in out
+        assert "lookup" in out
+
+
+class TestMetricsCommand:
+    def test_metrics_prints_prometheus_exposition(
+        self, peg_file, tmp_path, capsys
+    ):
+        spec = tmp_path / "query.json"
+        spec.write_text(json.dumps(
+            {"nodes": {"a": "L0", "b": "L1"}, "edges": [["a", "b"]]}
+        ))
+        assert main(
+            [
+                "metrics", peg_file, "--spec", str(spec),
+                "--alpha", "0.2", "--repeat", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "# TYPE repro_query_seconds histogram" in out
+        assert 'le="+Inf"' in out
+        assert "repro_query_seconds_count" in out
+
 
 class TestVersion:
     def test_version_flag(self, capsys):
@@ -174,6 +226,23 @@ class TestServe:
             ["serve", peg_file, "--queries", workload, "--alpha", "0.2"]
         ) == 0
         assert "cold start" in capsys.readouterr().out
+
+    def test_serve_metrics_every_prints_snapshot_lines(
+        self, peg_file, tmp_path, capsys
+    ):
+        workload = self.write_workload(tmp_path)
+        assert main(
+            [
+                "serve", peg_file, "--queries", workload, "--alpha", "0.2",
+                "--repeat", "2", "--metrics-every", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        metric_lines = [l for l in out.splitlines()
+                        if l.startswith("[metrics]")]
+        assert len(metric_lines) == 2
+        assert "hit_rate=" in metric_lines[0]
+        assert "p95=" in metric_lines[1]
 
     def test_serve_json_list_workload(self, peg_file, tmp_path, capsys):
         workload = tmp_path / "workload.json"

@@ -1,0 +1,179 @@
+"""Observability threaded through engine, index, delta, and service."""
+
+from __future__ import annotations
+
+from tests.conftest import small_random_peg
+
+from repro.delta import AddEdge, UpdateLabelProbability
+from repro.obs import Tracer, get_registry, render_trace
+from repro.query.engine import QueryEngine, QueryOptions
+from repro.query.query_graph import QueryGraph
+from repro.query.topk import top_k_matches
+from repro.service.service import QueryService
+
+
+def _chain_query(labels, n=3):
+    names = [chr(ord("a") + i) for i in range(n)]
+    nodes = {name: labels[i % 2] for i, name in enumerate(names)}
+    edges = [(names[i], names[i + 1]) for i in range(n - 1)]
+    return QueryGraph(nodes, edges)
+
+
+class TestEngineTracing:
+    def test_trace_option_exports_stage_tree(self):
+        peg = small_random_peg(seed=11)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=2)
+        query = _chain_query(labels, n=4)
+        result = engine.query(query, 0.2, QueryOptions(trace=True))
+        trace = result.trace
+        assert trace is not None and trace["name"] == "query"
+        assert trace["attributes"]["matches"] == len(result.matches)
+        stages = [c["name"] for c in trace["children"]]
+        assert stages[0] == "plan"
+        assert "lookup" in stages
+        lookup = trace["children"][stages.index("lookup")]
+        partitions = [c for c in lookup["children"] if c["name"] == "partition"]
+        assert len(partitions) == trace["children"][0]["attributes"]["partitions"]
+        for p in partitions:
+            assert "labels" in p["attributes"]
+            assert p["attributes"]["raw"] >= p["attributes"]["pruned"]
+        if result.matches:
+            assert stages[-1] == "match"
+        rendered = render_trace(trace)
+        assert rendered.splitlines()[0].startswith("query")
+
+    def test_trace_defaults_off_and_matches_are_identical(self):
+        peg = small_random_peg(seed=11)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=2)
+        query = _chain_query(labels, n=3)
+        plain = engine.query(query, 0.2)
+        traced = engine.query(query, 0.2, QueryOptions(trace=True))
+        assert plain.trace is None
+        assert [m.probability for m in plain.matches] == [
+            m.probability for m in traced.matches
+        ]
+
+    def test_sharded_lookup_reports_shard_fetches(self):
+        peg = small_random_peg(seed=5)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1, num_shards=3)
+        query = _chain_query(labels, n=3)
+        result = engine.query(query, 0.3, QueryOptions(trace=True))
+        lookup = [
+            c for c in result.trace["children"] if c["name"] == "lookup"
+        ][0]
+        fetch_keys = [
+            key
+            for p in lookup["children"]
+            for key in p["counters"]
+            if key.startswith("shard_fetches[")
+        ]
+        assert fetch_keys, "partition spans must carry shard fetch counters"
+        snap = get_registry().snapshot()
+        shard_series = {
+            k: v for k, v in snap.items()
+            if k.startswith("repro_index_shard_fetches_total")
+        }
+        assert sum(shard_series.values()) >= len(fetch_keys)
+
+    def test_query_metrics_recorded_in_registry(self):
+        registry = get_registry()
+        before = registry.snapshot().get("repro_queries_total", 0)
+        peg = small_random_peg(seed=3)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1)
+        engine.query(_chain_query(labels, n=3), 0.3)
+        snap = registry.snapshot()
+        assert snap["repro_queries_total"] == before + 1
+        assert snap["repro_query_seconds_count"] >= 1
+        assert snap["repro_query_stage_seconds{stage=reduction}_count"] >= 1
+
+    def test_batch_trace_covers_plan_prefetch_and_queries(self):
+        peg = small_random_peg(seed=9)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1)
+        requests = [
+            (_chain_query(labels, n=3), 0.3),
+            (_chain_query(labels[::-1], n=3), 0.4),
+        ]
+        results = engine.query_batch(requests, QueryOptions(trace=True))
+        for result in results:
+            assert result.trace is not None
+            assert result.trace["name"] == "query"
+
+    def test_topk_probes_appear_under_trace(self):
+        peg = small_random_peg(seed=13)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1)
+        tracer = Tracer()
+        with tracer.span("topk_session"):
+            matches = top_k_matches(
+                engine, _chain_query(labels, n=3), k=3, start_alpha=0.9
+            )
+        (root,) = tracer.roots()
+        topk_spans = [
+            c for c in root.to_dict()["children"] if c["name"] == "topk"
+        ]
+        assert topk_spans and topk_spans[0]["counters"]["probes"] >= 1
+        assert len(matches) <= 3
+
+
+class TestDeltaMetrics:
+    def test_apply_and_compact_report_into_registry(self):
+        registry = get_registry()
+        before = registry.snapshot()
+        peg = small_random_peg(seed=21)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1)
+        entity = engine.peg.entities[0]
+        refs = tuple(sorted(entity, key=repr))
+        engine.apply_updates(
+            [UpdateLabelProbability(refs, {labels[0]: 0.6, labels[1]: 0.4})]
+        )
+        snap = registry.snapshot()
+        assert (
+            snap["repro_delta_ops_applied_total"]
+            == before.get("repro_delta_ops_applied_total", 0) + 1
+        )
+        assert snap["repro_delta_apply_seconds_count"] >= 1
+        assert snap["repro_delta_absorb_seconds_count"] >= 1
+        engine.compact_updates()
+        snap = registry.snapshot()
+        assert snap["repro_delta_compact_seconds_count"] >= 1
+        assert snap["repro_delta_dirty_nodes"] == 0
+
+
+class TestServiceObservability:
+    def test_request_spans_nest_engine_stages(self):
+        peg = small_random_peg(seed=7)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1)
+        tracer = Tracer()
+        with QueryService(engine, num_workers=2, tracer=tracer) as service:
+            query = _chain_query(labels, n=3)
+            service.query(query, 0.3)  # miss
+            service.query(query, 0.3)  # hit
+        spans = [r.to_dict() for r in tracer.roots()]
+        outcomes = sorted(s["attributes"]["outcome"] for s in spans)
+        assert outcomes == ["cache", "miss"]
+        miss = [s for s in spans if s["attributes"]["outcome"] == "miss"][0]
+        assert "queue_wait_ms" in miss["attributes"]
+        (engine_span,) = miss["children"]
+        assert engine_span["name"] == "query"
+        assert {c["name"] for c in engine_span["children"]} >= {
+            "plan", "lookup"
+        }
+
+    def test_stats_snapshot_merges_registry_series(self):
+        peg = small_random_peg(seed=7)
+        labels = sorted(peg.sigma)
+        engine = QueryEngine(peg, max_length=1)
+        with QueryService(engine, num_workers=1) as service:
+            service.query(_chain_query(labels, n=3), 0.3)
+            snap = service.stats_snapshot()
+        assert snap["requests"] == 1
+        assert snap["repro_service_requests_total{outcome=miss}"] >= 1
+        assert snap["repro_service_queue_wait_seconds_count"] >= 1
+        assert "repro_queries_total" in snap

@@ -94,6 +94,69 @@ class TestServiceStats:
         assert snap["errors"] == 1
         assert snap["latency_p50"] == 0.0
 
+    def test_error_latency_tracked_in_its_own_quantiles(self):
+        # Regression: record_done(error=True) used to drop the sample
+        # entirely, hiding slow failures from every latency view.
+        stats = ServiceStats()
+        stats.record_miss()
+        stats.record_done(0.5, error=True)
+        snap = stats.snapshot()
+        assert snap["error_latency_p50"] == 0.5
+        assert snap["error_latency_p95"] == 0.5
+        assert snap["latency_p50"] == 0.0  # success window untouched
+
+    def test_attached_done_reconciles_completed_with_requests(self):
+        # Regression: record_dedup never produced a completion, so
+        # requests and completed diverged forever on a drained service.
+        stats = ServiceStats()
+        stats.record_miss()
+        stats.record_dedup()
+        stats.record_dedup()
+        stats.record_done(0.010)
+        stats.record_attached_done(0.011)
+        stats.record_attached_done(0.012, error=True)
+        snap = stats.snapshot()
+        assert snap["requests"] == 3
+        assert snap["completed"] == 3
+        assert snap["attached"] == 2
+        # The leader's failure is the only countable error; a follower
+        # attached to it must not double-count.
+        assert snap["errors"] == 0
+
+    def test_requests_and_hit_rate_consistent_under_concurrency(self):
+        # Regression: requests/hit_rate read three counters without the
+        # lock, so a reader could see a torn sum.
+        stats = ServiceStats()
+        per_thread = 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                stats.record_hit(0.001)
+                stats.record_miss()
+                stats.record_done(0.002)
+                stats.record_dedup()
+                stats.record_attached_done(0.002)
+
+        readers_ok = []
+
+        def read():
+            for _ in range(per_thread):
+                total = stats.requests
+                rate = stats.hit_rate()
+                readers_ok.append(total >= 0 and 0.0 <= rate <= 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        threads += [threading.Thread(target=read) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(readers_ok)
+        snap = stats.snapshot()
+        assert snap["requests"] == 4 * per_thread * 3
+        assert snap["completed"] == snap["requests"]
+        assert stats.hit_rate() == pytest.approx(1 / 3)
+
 
 class TestRequestKey:
     def test_isomorphic_queries_share_key(self):
@@ -156,6 +219,59 @@ class TestCacheAndSingleFlight:
         assert snap["misses"] == 1
         assert snap["in_flight"] == 0
         assert result[0] == "result"
+
+    def test_dedup_requests_converge_on_drained_service(self):
+        # Regression: deduplicated requests never counted a completion,
+        # so requests and completed could not converge after a drain.
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        with QueryService(engine, num_workers=2, cache_size=0) as service:
+            leader = service.submit(figure1_query(), 0.5)
+            for i in range(3):
+                service.submit(figure1_query(f"n{i}", f"m{i}"), 0.5)
+            gate.set()
+            leader.result(timeout=5)
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                snap = service.stats.snapshot()
+                if snap["completed"] == snap["requests"]:
+                    break
+                time.sleep(0.005)  # attached callbacks may still be firing
+        snap = service.stats.snapshot()
+        assert snap["requests"] == 4
+        assert snap["completed"] == 4
+        assert snap["attached"] == 3
+        assert snap["errors"] == 0
+
+    def test_dedup_converges_when_close_fails_the_leader(self):
+        # close(wait=False) resolves the leader's future with
+        # ServiceError; the attached followers' completions must still
+        # be counted through that resolution.
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        service = QueryService(engine, num_workers=1, cache_size=0)
+        blocker = service.submit(figure1_query(), 0.5)
+        queued = service.submit(figure1_query("x", "y"), 0.3)
+        follower = service.submit(figure1_query("p", "q"), 0.3)
+        assert follower is queued
+        service.close(wait=False)
+        gate.set()
+        with pytest.raises((ServiceError, QueryError)):
+            follower.result(timeout=5)
+        try:
+            blocker.result(timeout=5)
+        except (ServiceError, QueryError):
+            pass
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            snap = service.stats.snapshot()
+            if snap["completed"] == snap["requests"]:
+                break
+            time.sleep(0.005)
+        snap = service.stats.snapshot()
+        assert snap["requests"] == 3
+        assert snap["completed"] == 3
+        assert snap["attached"] == 1
 
     def test_eviction_counted_in_stats(self):
         engine = FakeEngine()
