@@ -1,0 +1,257 @@
+"""Candidate-link building benchmark: vectorized vs Python builder.
+
+Measures the link-construction stage PR 7 vectorized, on the same
+synthetic candidate workload as ``bench_reduction_core.py`` (ring+chords
+PEG, 4-node chain query, three partitions):
+
+* **cold build** — :func:`repro.query.links.build_candidate_links_vectorized`
+  with an empty :class:`~repro.query.links.LinkStructureCache` against
+  the pure-Python reference
+  (:func:`repro.query.kpartite.build_candidate_links`),
+* **warm build** — the same call against a populated cache (every
+  partition pair must report as a cache hit),
+* **total online cost** — link build plus k-partite construction plus
+  ``reduce()``, Python end to end against vectorized end to end; this
+  is the number the CI gate enforces, because a fast link build that
+  slowed reduction down would be a regression.
+
+The script exits non-zero when the builders disagree on the link
+structure (exact list equality), when the two reduction runs disagree
+on sizes/removals/survivors, when a warm build is not pure cache hits,
+or when the total vectorized path misses the speedup floor (5x large,
+2x ``--smoke``). Results are written as ``BENCH_links.json``; with
+``--trajectory`` a per-version copy goes to
+``benchmarks/results/BENCH_links-v<version>.json`` for
+``benchmarks/summarize.py``'s perf-trajectory table.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_link_build.py --trajectory  # large
+    PYTHONPATH=src python benchmarks/bench_link_build.py --smoke       # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+    sys.path.insert(0, os.path.dirname(os.path.dirname(__file__)))
+
+from benchmarks.bench_reduction_core import ALPHA, build_candidate_workload
+from repro import __version__
+from repro.query.kpartite import CandidateKPartiteGraph, build_candidate_links
+from repro.query.links import LinkStructureCache, build_candidate_links_vectorized
+from repro.query.reduction import PegProbabilityArrays, VectorizedKPartiteGraph
+
+
+def _best(fn, repeats: int) -> tuple:
+    """Best-of-``repeats`` wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _reduce_stats(graph):
+    stats = graph.reduce()
+    return (
+        stats.initial_sizes,
+        stats.after_structure_sizes,
+        stats.final_sizes,
+        stats.structure_removed,
+        stats.upperbound_removed,
+        tuple(graph.alive_vertex_ids(i) for i in range(graph.k)),
+    )
+
+
+def bench_links(num_nodes: int, repeats: int) -> dict:
+    peg, decomposition, candidates, reference, _ = build_candidate_workload(
+        num_nodes
+    )
+    total_vertices = sum(len(c) for c in candidates.values())
+    arrays = PegProbabilityArrays(peg)
+
+    # Python reference builder (re-timed here with best-of semantics; the
+    # workload helper's single-shot timing is discarded).
+    py_build, _ = _best(
+        lambda: build_candidate_links(peg, decomposition, candidates, ALPHA),
+        repeats,
+    )
+
+    # Vectorized cold: fresh cache every repeat, so every pair misses.
+    cold_build, cold_links = _best(
+        lambda: build_candidate_links_vectorized(
+            peg, decomposition, candidates, ALPHA,
+            arrays=arrays, cache=LinkStructureCache(),
+        ),
+        repeats,
+    )
+    if cold_links.pair_lists() != reference:
+        raise SystemExit("FAIL: vectorized links differ from the reference")
+    if cold_links.stats["cache_hits"] != 0:
+        raise SystemExit("FAIL: cold build reported cache hits")
+
+    # Vectorized warm: one shared cache, populated by the first build.
+    cache = LinkStructureCache()
+    build_candidate_links_vectorized(
+        peg, decomposition, candidates, ALPHA, arrays=arrays, cache=cache
+    )
+    warm_build, warm_links = _best(
+        lambda: build_candidate_links_vectorized(
+            peg, decomposition, candidates, ALPHA, arrays=arrays, cache=cache
+        ),
+        repeats,
+    )
+    partition_pairs = warm_links.stats["cache_hits"]
+    if partition_pairs == 0 or warm_links.stats["cache_misses"] != 0:
+        raise SystemExit("FAIL: warm build was not pure cache hits")
+    if warm_links.pair_lists() != reference:
+        raise SystemExit("FAIL: warm cached links differ from the reference")
+
+    # End-to-end online cost: build links, build the k-partite graph,
+    # reduce. Reduction outcomes must agree exactly across the paths.
+    def python_total():
+        links = build_candidate_links(peg, decomposition, candidates, ALPHA)
+        graph = CandidateKPartiteGraph(
+            peg, decomposition, candidates, ALPHA, links=links
+        )
+        return _reduce_stats(graph)
+
+    def vectorized_total(warm_cache=None):
+        links = build_candidate_links_vectorized(
+            peg, decomposition, candidates, ALPHA,
+            arrays=arrays,
+            cache=warm_cache if warm_cache is not None
+            else LinkStructureCache(),
+        )
+        graph = VectorizedKPartiteGraph(
+            peg, decomposition, candidates, ALPHA, links=links, arrays=arrays
+        )
+        return _reduce_stats(graph)
+
+    py_total, py_outcome = _best(python_total, repeats)
+    vec_total, vec_outcome = _best(vectorized_total, repeats)
+    warm_total, warm_outcome = _best(
+        lambda: vectorized_total(warm_cache=cache), repeats
+    )
+    agreement = py_outcome == vec_outcome == warm_outcome
+
+    num_links = sum(len(pairs) for pairs in reference.values())
+    return {
+        "total_vertices": total_vertices,
+        "partition_pairs": partition_pairs,
+        "links": num_links,
+        "fallback_pairs": cold_links.stats["fallback_pairs"],
+        "python_build_seconds": py_build,
+        "vectorized_build_seconds": cold_build,
+        "warm_build_seconds": warm_build,
+        "speedup_build": py_build / max(cold_build, 1e-12),
+        "speedup_warm_build": py_build / max(warm_build, 1e-12),
+        "python_total_seconds": py_total,
+        "vectorized_total_seconds": vec_total,
+        "warm_total_seconds": warm_total,
+        "speedup_total": py_total / max(vec_total, 1e-12),
+        "speedup_warm_total": py_total / max(warm_total, 1e-12),
+        "agreement": agreement,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small CI workload; exit 1 below a 2x total speedup",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_links.json",
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="also write benchmarks/results/BENCH_links-v<version>.json "
+        "(the committed perf-trajectory point for this version)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None,
+        help="override the PEG size (nodes; candidates scale ~4x)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="best-of repeat count"
+    )
+    args = parser.parse_args(argv)
+
+    num_nodes = args.nodes or (500 if args.smoke else 2500)
+    repeats = args.repeats or (2 if args.smoke else 3)
+    floor = 2.0 if args.smoke else 5.0
+
+    links = bench_links(num_nodes, repeats)
+
+    report = {
+        "benchmark": "link_build",
+        "repro_version": __version__,
+        "mode": "smoke" if args.smoke else "large",
+        "workload": {
+            "nodes": num_nodes,
+            "alpha": ALPHA,
+            "repeats": repeats,
+        },
+        "links": links,
+    }
+    outputs = [args.out]
+    if args.trajectory:
+        outputs.append(
+            os.path.join(
+                os.path.dirname(os.path.abspath(__file__)),
+                "results",
+                f"BENCH_links-v{__version__}.json",
+            )
+        )
+    for out in outputs:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    print(
+        f"[links] {links['total_vertices']} candidate vertices, "
+        f"{links['links']} links over {links['partition_pairs']} pairs: "
+        f"python build {links['python_build_seconds']:.4f}s, vectorized "
+        f"{links['vectorized_build_seconds']:.4f}s "
+        f"({links['speedup_build']:.1f}x cold, "
+        f"{links['speedup_warm_build']:.1f}x warm)"
+    )
+    print(
+        f"[total] build+reduce: python {links['python_total_seconds']:.4f}s, "
+        f"vectorized {links['vectorized_total_seconds']:.4f}s "
+        f"({links['speedup_total']:.1f}x cold, "
+        f"{links['speedup_warm_total']:.1f}x warm), agreement="
+        f"{links['agreement']}"
+    )
+    print("wrote " + ", ".join(outputs))
+
+    if not links["agreement"]:
+        print("FAIL: reduction outcomes disagree across builders")
+        return 1
+    if not args.smoke and links["total_vertices"] < 10_000:
+        print("FAIL: large workload must have >= 10k candidate vertices")
+        return 1
+    if links["speedup_total"] < floor:
+        print(
+            f"FAIL: total (build+reduce) speedup "
+            f"{links['speedup_total']:.2f}x below the {floor:.0f}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ CAPTIONS = {
 #: stems, version suffixes stripped).
 BENCH_CAPTIONS = {
     "BENCH_reduction": "Online-phase core: vectorized vs Python backend",
+    "BENCH_links": "Candidate links: vectorized builder and link cache",
     "BENCH_delta": "Live updates: delta overlay vs full rebuild",
     "BENCH_planner": "Adaptive planner: plan cache, exact strategy, feedback",
     "BENCH_obs": "Observability: disabled-mode overhead and micro-costs",

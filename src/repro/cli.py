@@ -144,6 +144,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default="greedy",
     )
     query.add_argument(
+        "--link-backend",
+        choices=("vectorized", "python"),
+        default="vectorized",
+        dest="link_backend",
+        help=(
+            "candidate-link construction: vectorized CSR arrays "
+            "(default) or the per-vertex Python reference"
+        ),
+    )
+    query.add_argument(
         "--explain", action="store_true",
         help="print the full evaluation report instead of matches only",
     )
@@ -441,7 +451,9 @@ def _cmd_query(args) -> int:
         num_shards=args.shards,
     )
     options = QueryOptions(
-        decomposition=args.decomposition, trace=args.trace
+        decomposition=args.decomposition,
+        link_backend=args.link_backend,
+        trace=args.trace,
     )
     result = engine.query(query, args.alpha, options)
     if args.explain:

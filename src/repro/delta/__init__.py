@@ -121,6 +121,12 @@ def _apply_mutations(engine, ops, log, build_context) -> dict:
     if dirty:
         if not isinstance(engine.index, DeltaOverlayIndex):
             engine.index = DeltaOverlayIndex(engine.index, engine.peg)
+        # Derived caches above the index invalidate through the
+        # overlay's listener hook on every absorb/compact; registration
+        # is idempotent, so re-registering per batch is safe.
+        invalidate_links = getattr(engine, "invalidate_links", None)
+        if invalidate_links is not None:
+            engine.index.add_invalidation_listener(invalidate_links)
         engine.index.absorb(dirty)
         engine.context = build_context(engine.peg)
         engine._peg_arrays = None

@@ -31,7 +31,8 @@ from repro.obs.timing import StageTimings
 from repro.obs.trace import NULL_SPAN, Span, current_span
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.query.candidates import CandidateFinder
-from repro.query.kpartite import CandidateKPartiteGraph
+from repro.query.kpartite import CandidateKPartiteGraph, build_candidate_links
+from repro.query.links import LinkStructureCache, build_candidate_links_vectorized
 from repro.query.plan import QueryPlanner
 from repro.query.matcher import generate_matches
 from repro.query.query_graph import QueryGraph
@@ -45,8 +46,8 @@ _QUERY_SECONDS = _REGISTRY.histogram("repro_query_seconds")
 #: One latency series per online-phase stage (StageTimings keys).
 _STAGE_SECONDS = {
     stage: _REGISTRY.histogram("repro_query_stage_seconds", stage=stage)
-    for stage in ("decompose", "candidates", "kpartite", "reduction",
-                  "matching")
+    for stage in ("decompose", "candidates", "link_build", "kpartite",
+                  "reduction", "matching")
 }
 _STORE_READS = _REGISTRY.counter("repro_store_reads_total")
 _STORE_BYTES = _REGISTRY.counter("repro_store_bytes_read_total")
@@ -95,6 +96,18 @@ class QueryOptions:
     estimates. Neither changes the matches — only which decomposition
     is chosen, hence the evaluation cost.
 
+    ``link_backend`` selects the candidate-link construction:
+    ``"vectorized"`` (the default) builds per-partition-pair CSR link
+    arrays with bulk predicate joins and an elementwise
+    joined-probability filter (:mod:`repro.query.links`);
+    ``"python"`` runs the per-vertex reference
+    (:func:`repro.query.kpartite.build_candidate_links`). Both emit
+    identical link sets (the differential harness asserts it), so the
+    knob composes freely with ``reduction_backend``. ``use_link_cache``
+    gates the engine's :class:`~repro.query.links.LinkStructureCache`
+    in front of the vectorized builder; the Python reference never
+    consults the cache.
+
     ``trace`` records a span tree of the evaluation
     (:mod:`repro.obs.trace`) and attaches it as ``QueryResult.trace``.
     Like the backend knobs it never changes the matches, so the serving
@@ -109,6 +122,8 @@ class QueryOptions:
     num_threads: int = 4
     seed: int | None = None
     reduction_backend: str = "vectorized"
+    link_backend: str = "vectorized"
+    use_link_cache: bool = True
     use_plan_cache: bool = True
     use_estimator_feedback: bool = True
     trace: bool = False
@@ -136,6 +151,10 @@ class QueryResult:
     #: :meth:`repro.obs.trace.Span.to_dict`); populated only when
     #: ``QueryOptions.trace`` was set.
     trace: dict | None = None
+    #: Link-build statistics: backend, kept pair count, link-cache
+    #: hits/misses and scalar fallback count (empty for evaluations
+    #: that never reached the link stage).
+    link_stats: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -198,6 +217,11 @@ class QueryEngine:
         #: High-water mark of applied :class:`repro.delta.log.MutationLog`
         #: sequence numbers — what makes log replay idempotent.
         self.applied_mutation_seq = -1
+        #: Per-engine link-structure cache (keyed by partition-pair
+        #: signature × candidate fingerprints × milli-alpha ×
+        #: ``graph_version``); cleared on mutation absorption and
+        #: compaction, re-keyed versionlessly by ``graph_version``.
+        self.link_cache = LinkStructureCache()
         if _precomputed is not None:
             self.index, self.context = _precomputed
             self.planner = QueryPlanner(self)
@@ -308,7 +332,22 @@ class QueryEngine:
         # Compaction trues the histograms up: learned corrections and
         # plans costed against the drifted estimates restart from exact.
         self.planner.invalidate()
+        # Compaction does not bump graph_version, so versioned link-
+        # cache keys would stay live; drop them explicitly (the overlay
+        # invalidation listener does the same — this covers overlays
+        # constructed outside repro.delta.apply_mutations).
+        self.link_cache.clear()
         return stats
+
+    def invalidate_links(self) -> None:
+        """Drop every cached link structure.
+
+        Registered as a :class:`~repro.delta.overlay.DeltaOverlayIndex`
+        invalidation listener, so mutation absorption and compaction
+        clear the cache even though ``graph_version`` already re-keys
+        absorbed batches.
+        """
+        self.link_cache.clear()
 
     # ------------------------------------------------------------------
 
@@ -464,26 +503,63 @@ class QueryEngine:
                 return repr(item[0])
         return sorted(needed.items(), key=order)
 
-    def _make_kpartite(self, decomposition, candidates, alpha, options):
+    def _peg_probability_arrays(self):
+        """The engine's shared per-PEG probability gather tables.
+
+        They depend only on the PEG; one instance amortizes them across
+        every vectorized link build and reduction of this engine
+        (invalidated alongside ``graph_version`` on mutations).
+        """
+        from repro.query.reduction import PegProbabilityArrays
+
+        if self._peg_arrays is None:
+            self._peg_arrays = PegProbabilityArrays(self.peg)
+        return self._peg_arrays
+
+    def _build_links(self, decomposition, candidates, alpha, options):
+        """Candidate links via the selected builder; ``(links, stats)``."""
+        backend = options.link_backend
+        if backend == "vectorized":
+            link_set = build_candidate_links_vectorized(
+                self.peg,
+                decomposition,
+                candidates,
+                alpha,
+                arrays=self._peg_probability_arrays(),
+                cache=self.link_cache if options.use_link_cache else None,
+                graph_version=self.graph_version,
+            )
+            return link_set, link_set.stats
+        if backend == "python":
+            links = build_candidate_links(
+                self.peg, decomposition, candidates, alpha
+            )
+            stats = {
+                "backend": "python",
+                "pairs": sum(len(pairs) for pairs in links.values()),
+                "cache_hits": 0,
+                "cache_misses": 0,
+                "fallback_pairs": 0,
+            }
+            return links, stats
+        raise QueryError(
+            f"unknown link backend {backend!r}; "
+            "expected 'vectorized' or 'python'"
+        )
+
+    def _make_kpartite(self, decomposition, candidates, alpha, options, links):
         """Instantiate the selected reduction backend over one candidate set."""
         backend = options.reduction_backend
         if backend == "vectorized":
-            from repro.query.reduction import (
-                PegProbabilityArrays,
-                VectorizedKPartiteGraph,
-            )
+            from repro.query.reduction import VectorizedKPartiteGraph
 
-            # The per-label probability tables depend only on the PEG;
-            # one shared instance amortizes them across all queries of
-            # this engine.
-            if self._peg_arrays is None:
-                self._peg_arrays = PegProbabilityArrays(self.peg)
             return VectorizedKPartiteGraph(
                 self.peg,
                 decomposition,
                 candidates,
                 alpha,
-                arrays=self._peg_arrays,
+                links=links,
+                arrays=self._peg_probability_arrays(),
             )
         if backend == "python":
             return CandidateKPartiteGraph(
@@ -493,6 +569,7 @@ class QueryEngine:
                 alpha,
                 parallel=options.parallel_reduction,
                 num_threads=options.num_threads,
+                links=links,
             )
         raise QueryError(
             f"unknown reduction backend {backend!r}; "
@@ -517,8 +594,9 @@ class QueryEngine:
         """Online phase stages 2-5 over an already-chosen decomposition.
 
         ``span`` is an already-entered parent span (or the null span);
-        stage spans — lookup, link_build, reduce, match — are created
-        under it. Callers own the root span's lifecycle and export.
+        stage spans — lookup, link_build, kpartite, reduce, match — are
+        created under it. Callers own the root span's lifecycle and
+        export.
         """
         # 2. Path candidates (index lookup + context pruning).
         finder = CandidateFinder(
@@ -602,14 +680,26 @@ class QueryEngine:
                 estimate_observations=observations,
             )
 
-        # 3 & 4. Join candidates and joint search-space reduction.
-        with timings.time("kpartite"), span.child("link_build") as link_span:
-            kpartite = self._make_kpartite(
+        # 3. Candidate-link construction (cache-aware, its own stage:
+        # the 30k-vertex bench showed it dominating the reduce it feeds).
+        with timings.time("link_build"), span.child("link_build") as link_span:
+            links, link_stats = self._build_links(
                 decomposition, candidates, alpha, options
             )
             if link_span.enabled:
-                link_span.set("backend", options.reduction_backend)
-                link_span.set("partitions", len(candidates))
+                link_span.set("backend", link_stats["backend"])
+                link_span.set("pairs", link_stats["pairs"])
+                link_span.incr("cache_hits", link_stats["cache_hits"])
+                link_span.incr("cache_misses", link_stats["cache_misses"])
+
+        # 4. K-partite construction and joint search-space reduction.
+        with timings.time("kpartite"), span.child("kpartite") as build_span:
+            kpartite = self._make_kpartite(
+                decomposition, candidates, alpha, options, links
+            )
+            if build_span.enabled:
+                build_span.set("backend", options.reduction_backend)
+                build_span.set("partitions", len(candidates))
         with timings.time("reduction"), span.child("reduce") as reduce_span:
             reduction = kpartite.reduce(
                 use_structure=options.use_structure_reduction,
@@ -646,6 +736,7 @@ class QueryEngine:
             decomposition_paths=tuple(p.nodes for p in decomposition.paths),
             plan=plan_info,
             estimate_observations=observations,
+            link_stats=link_stats,
         )
 
 

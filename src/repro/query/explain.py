@@ -48,6 +48,18 @@ def explain(result: QueryResult, max_matches: int = 5) -> str:
             lines.append(
                 f"    P{i}: est {estimated:8.4g}  obs {observed:6d}  {ratio}"
             )
+    if result.link_stats:
+        stats = result.link_stats
+        cache = ""
+        if stats.get("cache_hits") or stats.get("cache_misses"):
+            cache = (
+                f"  cache {stats['cache_hits']} hit"
+                f"/{stats['cache_misses']} miss"
+            )
+        lines.append(
+            f"  links: backend={stats['backend']} "
+            f"pairs={stats['pairs']}{cache}"
+        )
     lines.append("  search space:")
     lines.append(f"    after index lookup:   {result.search_space_path:.4g}")
     lines.append(f"    after context pruning:{result.search_space_context:.4g}")

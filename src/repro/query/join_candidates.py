@@ -70,11 +70,21 @@ def joined_probability(
 
     Returns 0 when the combination is inconsistent: two distinct query
     nodes mapped to the same entity, or entities sharing references.
+
+    Factors are multiplied in a *deterministic* order — labels in query
+    node assignment order (path ``i`` then path ``j``, first occurrence
+    wins), edges in path-traversal order deduplicated by query edge,
+    existence marginals grouped by identity component in assignment
+    order — so the vectorized link builder
+    (:func:`repro.query.links.build_candidate_links_vectorized`), which
+    gathers the same factors elementwise in the same order, produces
+    bit-identical floats. Under injectivity the query-edge
+    deduplication coincides with the entity-pair deduplication the
+    probability model requires.
     """
     query = decomposition.query
     path_i = decomposition.paths[i]
     path_j = decomposition.paths[j]
-    node_labels: dict = {}
     assigned: dict = {}
     for path, candidate in ((path_i, candidate_i), (path_j, candidate_j)):
         for query_node, peg_node in zip(path.nodes, candidate.nodes):
@@ -90,18 +100,24 @@ def joined_probability(
         for node_b in peg_nodes[a_index + 1:]:
             if peg.shares_references_id(node_a, node_b):
                 return 0.0
+    prob = 1.0
     for query_node, peg_node in assigned.items():
-        node_labels[peg.entity_of(peg_node)] = query.label(query_node)
-    edges = set()
+        prob *= peg.label_probability_id(peg_node, query.label(query_node))
+        if prob == 0.0:
+            return 0.0
+    seen_edges: set = set()
     for path in (path_i, path_j):
-        for edge in path.path_edges:
-            node_a, node_b = tuple(edge)
-            edges.add(
-                frozenset(
-                    (
-                        peg.entity_of(assigned[node_a]),
-                        peg.entity_of(assigned[node_b]),
-                    )
-                )
+        for node_a, node_b in zip(path.nodes, path.nodes[1:]):
+            edge = frozenset((node_a, node_b))
+            if edge in seen_edges:
+                continue
+            seen_edges.add(edge)
+            prob *= peg.edge_probability_id(
+                assigned[node_a],
+                assigned[node_b],
+                query.label(node_a),
+                query.label(node_b),
             )
-    return peg.match_probability(node_labels, edges)
+            if prob == 0.0:
+                return 0.0
+    return prob * peg.existence_marginal_ids(peg_nodes)

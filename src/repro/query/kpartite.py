@@ -148,7 +148,7 @@ class CandidateKPartiteGraph:
         alpha: float,
         parallel: bool = False,
         num_threads: int = 4,
-        links: dict | None = None,
+        links=None,
     ) -> None:
         self.peg = peg
         self.decomposition = decomposition
@@ -195,11 +195,16 @@ class CandidateKPartiteGraph:
                 )
             self.partitions.append(vertices)
 
-    def _build_links(self, candidates: dict, links: dict | None) -> None:
+    def _build_links(self, candidates: dict, links) -> None:
         if links is None:
             links = build_candidate_links(
                 self.peg, self.decomposition, candidates, self.alpha
             )
+        elif hasattr(links, "pair_lists"):
+            # A repro.query.links.LinkSet from the vectorized builder;
+            # both builders emit identical pairs, so the backends stay
+            # interchangeable.
+            links = links.pair_lists()
         for (i, j), pairs in links.items():
             for vid, uid in pairs:
                 vertex = self.partitions[i][vid]

@@ -358,16 +358,26 @@ class QueryPlanner:
         self.feedback.reset()
 
     def stats_snapshot(self) -> dict:
-        """Planner counters for the serving stats surface."""
+        """Planner counters for the serving stats surface.
+
+        Includes the engine's link-structure cache counters
+        (:class:`~repro.query.links.LinkStructureCache`) — the planner
+        snapshot is the one per-engine cache surface the serving layer
+        merges, so link-cache behaviour rides the same path.
+        """
         with self._lock:
             hits, misses = self.hits, self.misses
-        return {
+        snapshot = {
             "plan_cache_size": len(self.cache),
             "plan_cache_capacity": self.cache.capacity,
             "plan_cache_hits": hits,
             "plan_cache_misses": misses,
             "feedback_sequences": len(self.feedback),
         }
+        link_cache = getattr(self.engine, "link_cache", None)
+        if link_cache is not None:
+            snapshot.update(link_cache.stats_snapshot())
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

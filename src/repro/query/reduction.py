@@ -66,6 +66,8 @@ class PegProbabilityArrays:
         self._edge_keys = None
         self._edge_dists = None
         self._edge_probs: dict = {}
+        self._existence = None
+        self._components = None
 
     def label_probabilities(self, label) -> np.ndarray:
         """``Pr(v.l = label)`` for every node id, as one dense array."""
@@ -82,6 +84,41 @@ class PegProbabilityArrays:
             )
             self._label_probs[label] = array
         return array
+
+    def existence_probabilities(self) -> np.ndarray:
+        """``Pr(v.n = T)`` for every node id, as one dense array.
+
+        Each entry equals the single-entity component marginal
+        (``peg.existence_probability_id``), so for a node set whose
+        members live in pairwise-distinct identity components the
+        ordered product of gathers reproduces
+        ``peg.existence_marginal_ids`` bit-for-bit.
+        """
+        if self._existence is None:
+            peg = self.peg
+            self._existence = np.fromiter(
+                (
+                    peg.existence_probability_id(node)
+                    for node in range(self.num_nodes)
+                ),
+                dtype=np.float64,
+                count=self.num_nodes,
+            )
+        return self._existence
+
+    def component_indexes(self) -> np.ndarray:
+        """Identity-component index for every node id, as one int array."""
+        if self._components is None:
+            peg = self.peg
+            self._components = np.fromiter(
+                (
+                    peg.component_index_id(node)
+                    for node in range(self.num_nodes)
+                ),
+                dtype=np.int64,
+                count=self.num_nodes,
+            )
+        return self._components
 
     def _edge_table(self) -> tuple:
         if self._edge_keys is None:
@@ -149,7 +186,7 @@ class VectorizedKPartiteGraph:
         alpha: float,
         parallel: bool = False,
         num_threads: int = 4,
-        links: dict | None = None,
+        links=None,
         arrays: PegProbabilityArrays | None = None,
     ) -> None:
         self.peg = peg
@@ -213,24 +250,46 @@ class VectorizedKPartiteGraph:
             self.alive.append(np.ones(n, dtype=bool))
             self.vectors.append(vectors)
 
-    def _build_csr(self, links: dict) -> None:
+    def _build_csr(self, links) -> None:
         # One CSR per ordered joining pair (i, j): row = partition-i
         # vertex id, column entries = linked partition-j vertex ids.
+        # ``links`` is either the reference dict of pair lists or a
+        # LinkSet of numpy arrays (already row-major sorted for i < j).
+        from_arrays = hasattr(links, "pair_lists")
         self._csr: dict = {}
         for i, joined in self.decomposition.joins_with.items():
             for j in joined:
-                if i < j:
+                presorted = False
+                if from_arrays:
+                    if i < j:
+                        rows, cols = links.get((i, j), (None, None))
+                        presorted = True
+                    else:
+                        cols, rows = links.get((j, i), (None, None))
+                    if rows is None:
+                        rows = cols = np.zeros(0, dtype=np.int64)
+                elif i < j:
                     pairs = links.get((i, j), ())
-                    edge_rows = [vid for vid, _ in pairs]
-                    edge_cols = [uid for _, uid in pairs]
+                    rows = np.fromiter(
+                        (vid for vid, _ in pairs), dtype=np.int64,
+                        count=len(pairs),
+                    )
+                    cols = np.fromiter(
+                        (uid for _, uid in pairs), dtype=np.int64,
+                        count=len(pairs),
+                    )
                 else:
                     pairs = links.get((j, i), ())
-                    edge_rows = [uid for _, uid in pairs]
-                    edge_cols = [vid for vid, _ in pairs]
+                    rows = np.fromiter(
+                        (uid for _, uid in pairs), dtype=np.int64,
+                        count=len(pairs),
+                    )
+                    cols = np.fromiter(
+                        (vid for vid, _ in pairs), dtype=np.int64,
+                        count=len(pairs),
+                    )
                 n_i = len(self.candidates[i])
-                rows = np.asarray(edge_rows, dtype=np.int64)
-                cols = np.asarray(edge_cols, dtype=np.int64)
-                if rows.size:
+                if rows.size and not presorted:
                     order = np.lexsort((cols, rows))
                     rows = rows[order]
                     cols = cols[order]

@@ -37,10 +37,38 @@ import pytest
 from repro.datasets import SyntheticConfig, generate_synthetic_pgd, random_query
 from repro.peg import build_peg
 from repro.query import QueryEngine, QueryOptions, exhaustive_matches
+from repro.query.candidates import CandidateFinder
+from repro.query.kpartite import build_candidate_links
+from repro.query.links import build_candidate_links_vectorized
 
 PYTHON_BACKEND = QueryOptions(reduction_backend="python")
 VECTOR_BACKEND = QueryOptions(reduction_backend="vectorized")
+PYTHON_LINKS = QueryOptions(link_backend="python")
 EXACT_PLAN = QueryOptions(decomposition="exact")
+
+
+def assert_link_equivalence(engine, query, alpha, context):
+    """Vectorized and reference link builders emit identical link sets.
+
+    Candidates are fetched through the engine's live index (overlay or
+    compacted base included), so the comparison covers exactly the
+    inputs the engine's link stage sees.
+    """
+    decomposition, _info = engine.planner.plan(query, alpha, QueryOptions())
+    finder = CandidateFinder(
+        engine.peg, query, alpha, index=engine.index, context=engine.context
+    )
+    candidates = {
+        i: finder.find(path)[0]
+        for i, path in enumerate(decomposition.paths)
+    }
+    reference = build_candidate_links(
+        engine.peg, decomposition, candidates, alpha
+    )
+    vectorized = build_candidate_links_vectorized(
+        engine.peg, decomposition, candidates, alpha
+    )
+    assert vectorized.pair_lists() == reference, context
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260730"))
 NUM_GRAPHS = 25
@@ -149,6 +177,14 @@ def test_differential_agreement(graph_index, config, query_seed):
             assert match_keys(python.matches) == oracle, context
             assert via_sharded == oracle, context
             assert via_batch == oracle, context
+            # Link-builder differential: the vectorized CSR builder must
+            # emit the exact link sets of the per-vertex reference, and
+            # an engine forced onto the reference builder must agree.
+            assert_link_equivalence(unsharded, query, alpha, context)
+            python_links = unsharded.query(query, alpha, PYTHON_LINKS)
+            assert match_keys(python_links.matches) == oracle, context
+            if python_links.link_stats:  # empty-partition cases skip links
+                assert python_links.link_stats["backend"] == "python", context
             # Planned execution: the exact strategy, then its plan-cache
             # hit, must agree with the oracle (estimator feedback is on
             # by default, so these also exercise corrected estimates).
@@ -346,6 +382,10 @@ def test_mutation_differential(graph_index, config, mutation_seed):
                 assert match_keys(exact.matches) == oracle, context
                 assert match_keys(cached.matches) == oracle, context
                 assert cached.plan.cached, context
+                # Link-builder differential on the mutated graph, both
+                # overlay-served (pre-compact) and compacted.
+                assert_link_equivalence(unsharded, query, alpha, context)
+                assert_link_equivalence(sharded, query, alpha, context)
                 case += 1
     assert case == 2 * QUERIES_PER_GRAPH * len(ALPHAS)
 

@@ -279,3 +279,172 @@ class TestReductionStatsProduct:
         assert stats.initial_search_space == 12.0
         assert stats.after_structure_search_space == 4.0
         assert stats.final_search_space == 0.0
+
+
+def build_candidates(peg, query, alpha, use_context=True, max_length=2):
+    """Decomposition + per-partition candidates (no k-partite graph)."""
+    index = build_path_index(peg, max_length=max_length, beta=0.05)
+    context = build_context(peg)
+    decomposition = decompose_query(
+        query, index.estimate_cardinality, alpha, max_length
+    )
+    finder = CandidateFinder(
+        peg, query, alpha, index=index, context=context,
+        use_context=use_context,
+    )
+    candidates = {
+        i: finder.find(path)[0] for i, path in enumerate(decomposition.paths)
+    }
+    return decomposition, candidates
+
+
+class TestLinkBuilderEdgeCases:
+    """Edge cases shared by both link builders (reference = vectorized)."""
+
+    def test_single_partition_decomposition_empty_links(self, chain_peg):
+        from repro.query.kpartite import build_candidate_links
+        from repro.query.links import build_candidate_links_vectorized
+
+        # A single-edge query decomposes into exactly one path.
+        query = QueryGraph({"u": "a", "v": "b"}, [("u", "v")])
+        decomposition, candidates = build_candidates(
+            chain_peg, query, alpha=0.1, use_context=False, max_length=2,
+        )
+        assert len(decomposition.paths) == 1
+        reference = build_candidate_links(
+            chain_peg, decomposition, candidates, 0.1
+        )
+        vectorized = build_candidate_links_vectorized(
+            chain_peg, decomposition, candidates, 0.1
+        )
+        assert reference == {}
+        assert vectorized.pair_lists() == {}
+        assert vectorized.num_pairs() == 0
+        # A single-partition k-partite graph still reduces fine.
+        kpartite = CandidateKPartiteGraph(
+            chain_peg, decomposition, candidates, 0.1
+        )
+        stats = kpartite.reduce()
+        assert stats.structure_removed == 0
+
+    def test_zero_candidate_partition(self, chain_peg):
+        from repro.query.kpartite import build_candidate_links
+        from repro.query.links import build_candidate_links_vectorized
+
+        decomposition, candidates = build_candidates(
+            chain_peg, chain_query(), alpha=0.1, use_context=False,
+            max_length=1,
+        )
+        assert len(decomposition.paths) >= 2
+        candidates[0] = []
+        reference = build_candidate_links(
+            chain_peg, decomposition, candidates, 0.1
+        )
+        vectorized = build_candidate_links_vectorized(
+            chain_peg, decomposition, candidates, 0.1
+        )
+        assert vectorized.pair_lists() == reference
+        for pair, pairs in reference.items():
+            if 0 in pair:
+                assert pairs == []
+        # Both backends survive the empty partition end to end.
+        python = CandidateKPartiteGraph(
+            chain_peg, decomposition, candidates, 0.1, links=reference
+        )
+        assert python.reduce().final_sizes[0] == 0
+        from repro.query.reduction import VectorizedKPartiteGraph
+
+        vec = VectorizedKPartiteGraph(
+            chain_peg, decomposition, candidates, 0.1, links=vectorized
+        )
+        assert vec.reduce().final_sizes[0] == 0
+
+    def test_alpha_exactly_at_joined_probability_boundary(self, chain_peg):
+        import numpy as np
+
+        from repro.query.join_candidates import joined_probability
+        from repro.query.kpartite import build_candidate_links
+        from repro.query.links import build_candidate_links_vectorized
+
+        decomposition, candidates = build_candidates(
+            chain_peg, chain_query(), alpha=0.05, use_context=False,
+            max_length=1,
+        )
+        loose = build_candidate_links(
+            chain_peg, decomposition, candidates, 0.05
+        )
+        (i, j), pairs = next(
+            (pair, ps) for pair, ps in sorted(loose.items()) if ps
+        )
+        vid, uid = pairs[0]
+        boundary = joined_probability(
+            chain_peg, decomposition, i, candidates[i][vid],
+            j, candidates[j][uid],
+        )
+        just_above = float(np.nextafter(boundary, 2.0))
+        for alpha, expect_kept in ((boundary, True), (just_above, False)):
+            reference = build_candidate_links(
+                chain_peg, decomposition, candidates, alpha
+            )
+            vectorized = build_candidate_links_vectorized(
+                chain_peg, decomposition, candidates, alpha
+            )
+            assert vectorized.pair_lists() == reference, alpha
+            assert ((vid, uid) in reference[(i, j)]) is expect_kept, alpha
+
+    def test_boundary_filtering_through_cache_milli_bucket(self, chain_peg):
+        """Two alphas in one milli-bucket share a cache entry yet filter
+        exactly: the entry stores pre-filter probabilities and retrieval
+        applies the caller's exact threshold."""
+        import numpy as np
+
+        from repro.index.builder import _milli
+        from repro.query.join_candidates import joined_probability
+        from repro.query.links import (
+            LinkStructureCache,
+            build_candidate_links_vectorized,
+        )
+
+        decomposition, candidates = build_candidates(
+            chain_peg, chain_query(), alpha=0.05, use_context=False,
+            max_length=1,
+        )
+        cache = LinkStructureCache()
+        cold = build_candidate_links_vectorized(
+            chain_peg, decomposition, candidates, 0.05, cache=cache
+        )
+        (i, j), pairs = next(
+            (pair, ps) for pair, ps in sorted(cold.pair_lists().items())
+            if ps
+        )
+        vid, uid = pairs[0]
+        boundary = joined_probability(
+            chain_peg, decomposition, i, candidates[i][vid],
+            j, candidates[j][uid],
+        )
+        just_above = float(np.nextafter(boundary, 2.0))
+        assert _milli(boundary) == _milli(just_above)
+        at = build_candidate_links_vectorized(
+            chain_peg, decomposition, candidates, boundary, cache=cache
+        )
+        above = build_candidate_links_vectorized(
+            chain_peg, decomposition, candidates, just_above, cache=cache
+        )
+        assert at.stats["cache_misses"] > 0  # 0.05 lives in another bucket
+        assert above.stats["cache_hits"] > 0
+        assert above.stats["cache_misses"] == 0
+        assert (vid, uid) in at.pair_lists()[(i, j)]
+        assert (vid, uid) not in above.pair_lists()[(i, j)]
+
+    def test_num_threads_clamped_to_one(self, chain_peg):
+        decomposition, candidates = build_candidates(
+            chain_peg, chain_query(), alpha=0.1, use_context=False,
+            max_length=1,
+        )
+        for requested in (0, -3):
+            kpartite = CandidateKPartiteGraph(
+                chain_peg, decomposition, candidates, 0.1,
+                parallel=True, num_threads=requested,
+            )
+            assert kpartite.num_threads == 1
+            kpartite.reduce()  # the clamped pool must still reduce

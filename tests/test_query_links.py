@@ -1,0 +1,233 @@
+"""Unit and regression tests for repro.query.links.
+
+Covers the vectorized builder's exact equivalence to the reference on
+engine-served candidates, the link-structure cache's hit/miss/key
+behaviour, and — the regression this PR locks down — versioned
+invalidation: cached links must be dropped on ``apply_updates`` and
+``compact_updates``, and a warm (stale) cache must never change the
+answer on a mutated PEG, including under concurrent ``QueryService``
+load.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.delta import UpdateLabelProbability
+from repro.query import QueryEngine, QueryOptions
+from repro.query.engine import QueryResult
+from repro.query.kpartite import build_candidate_links
+from repro.query.links import (
+    LinkStructureCache,
+    build_candidate_links_vectorized,
+)
+from repro.query.query_graph import QueryGraph
+from repro.service import QueryService
+from tests.conftest import small_random_peg
+
+ALPHA = 0.3
+MAX_LENGTH = 2
+BETA = 0.05
+
+
+def make_engine(seed: int = 47) -> QueryEngine:
+    peg = small_random_peg(seed=seed)
+    return QueryEngine(peg, max_length=MAX_LENGTH, beta=BETA)
+
+
+def make_query(peg, rotate: int = 0) -> QueryGraph:
+    sigma = sorted(peg.sigma, key=repr)
+    a = sigma[rotate % len(sigma)]
+    b = sigma[(rotate + 1) % len(sigma)]
+    return QueryGraph(
+        {"a": a, "b": b, "c": a}, [("a", "b"), ("b", "c")]
+    )
+
+
+def match_keys(result: QueryResult):
+    return sorted(
+        (m.nodes, m.edges, round(m.probability, 9)) for m in result.matches
+    )
+
+
+def mutation_for(peg):
+    """A label-probability revision on one live node of ``peg``."""
+    sigma = sorted(peg.sigma, key=repr)
+    node = next(n for n in peg.node_ids() if not peg.is_removed_id(n))
+    refs = tuple(sorted(peg.entity_of(node), key=repr))
+    return UpdateLabelProbability(refs, {sigma[0]: 0.6, sigma[1]: 0.4})
+
+
+class TestWarmCacheHits:
+    def test_second_build_is_all_hits(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        cold = engine.query(query, ALPHA)
+        warm = engine.query(query, ALPHA)
+        assert cold.link_stats["backend"] == "vectorized"
+        assert cold.link_stats["cache_misses"] > 0
+        assert cold.link_stats["cache_hits"] == 0
+        assert warm.link_stats["cache_hits"] > 0
+        assert warm.link_stats["cache_misses"] == 0
+        assert warm.link_stats["pairs"] == cold.link_stats["pairs"]
+        assert match_keys(warm) == match_keys(cold)
+
+    def test_warm_hits_surface_in_stats_snapshot(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        engine.query(query, ALPHA)
+        engine.query(query, ALPHA)
+        snapshot = engine.planner.stats_snapshot()
+        assert snapshot["link_cache_hits"] > 0
+        assert snapshot["link_cache_misses"] > 0
+        assert snapshot["link_cache_size"] == len(engine.link_cache)
+        with QueryService(engine, num_workers=1) as service:
+            service.query(query, ALPHA)
+            service_snapshot = service.stats_snapshot()
+        assert service_snapshot["link_cache_hits"] > 0
+
+    def test_use_link_cache_false_bypasses_cache(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        options = QueryOptions(use_link_cache=False)
+        first = engine.query(query, ALPHA, options)
+        second = engine.query(query, ALPHA, options)
+        for result in (first, second):
+            assert result.link_stats["cache_hits"] == 0
+            assert result.link_stats["cache_misses"] == 0
+        assert len(engine.link_cache) == 0
+        assert match_keys(second) == match_keys(first)
+
+    def test_python_link_backend_agrees_and_skips_cache(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        vectorized = engine.query(query, ALPHA)
+        python = engine.query(
+            query, ALPHA, QueryOptions(link_backend="python")
+        )
+        assert python.link_stats["backend"] == "python"
+        assert python.link_stats["pairs"] == vectorized.link_stats["pairs"]
+        assert match_keys(python) == match_keys(vectorized)
+
+
+class TestCacheKeying:
+    def test_fingerprint_distinguishes_candidate_contents(self):
+        """Same pair signature, different candidates -> no false hit."""
+        engine = make_engine()
+        query = make_query(engine.peg)
+        decomposition, _ = engine.planner.plan(query, ALPHA, QueryOptions())
+        from repro.query.candidates import CandidateFinder
+
+        finder = CandidateFinder(
+            engine.peg, query, ALPHA,
+            index=engine.index, context=engine.context,
+        )
+        candidates = {
+            i: finder.find(path)[0]
+            for i, path in enumerate(decomposition.paths)
+        }
+        cache = LinkStructureCache()
+        build_candidate_links_vectorized(
+            engine.peg, decomposition, candidates, ALPHA, cache=cache
+        )
+        trimmed = dict(candidates)
+        trimmed[0] = candidates[0][:-1]
+        result = build_candidate_links_vectorized(
+            engine.peg, decomposition, trimmed, ALPHA, cache=cache
+        )
+        assert result.stats["cache_hits"] == 0
+        reference = build_candidate_links(
+            engine.peg, decomposition, trimmed, ALPHA
+        )
+        assert result.pair_lists() == reference
+
+    def test_graph_version_participates_in_key(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        decomposition, _ = engine.planner.plan(query, ALPHA, QueryOptions())
+        from repro.query.candidates import CandidateFinder
+
+        finder = CandidateFinder(
+            engine.peg, query, ALPHA,
+            index=engine.index, context=engine.context,
+        )
+        candidates = {
+            i: finder.find(path)[0]
+            for i, path in enumerate(decomposition.paths)
+        }
+        cache = LinkStructureCache()
+        build_candidate_links_vectorized(
+            engine.peg, decomposition, candidates, ALPHA,
+            cache=cache, graph_version=0,
+        )
+        rebuilt = build_candidate_links_vectorized(
+            engine.peg, decomposition, candidates, ALPHA,
+            cache=cache, graph_version=1,
+        )
+        assert rebuilt.stats["cache_hits"] == 0
+        assert rebuilt.stats["cache_misses"] > 0
+
+
+class TestInvalidation:
+    def test_apply_updates_drops_cached_links(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        engine.query(query, ALPHA)
+        assert len(engine.link_cache) > 0
+        engine.apply_updates([mutation_for(engine.peg)])
+        # The overlay's invalidation listener cleared the cache (the
+        # graph_version bump would re-key entries regardless).
+        assert len(engine.link_cache) == 0
+        stale = engine.query(query, ALPHA)
+        assert stale.link_stats["cache_misses"] > 0
+        cold = QueryEngine(engine.peg, max_length=MAX_LENGTH, beta=BETA)
+        assert match_keys(stale) == match_keys(cold.query(query, ALPHA))
+
+    def test_compact_updates_clears_link_cache(self):
+        engine = make_engine()
+        query = make_query(engine.peg)
+        engine.apply_updates([mutation_for(engine.peg)])
+        engine.query(query, ALPHA)
+        assert len(engine.link_cache) > 0
+        engine.compact_updates()
+        assert len(engine.link_cache) == 0
+        compacted = engine.query(query, ALPHA)
+        cold = QueryEngine(engine.peg, max_length=MAX_LENGTH, beta=BETA)
+        assert match_keys(compacted) == match_keys(cold.query(query, ALPHA))
+
+    def test_stale_cache_agrees_under_concurrent_service_load(self):
+        """Warm caches + live updates + concurrent submits stay exact.
+
+        A service warms the link cache across several query shapes,
+        absorbs a mutation batch mid-stream (drained, version-bumped,
+        link cache cleared), then answers the same shapes concurrently;
+        every post-update answer must equal a cold engine's on the
+        mutated PEG.
+        """
+        engine = make_engine(seed=48)
+        rng = random.Random(7)
+        queries = [make_query(engine.peg, rotate=r) for r in range(3)]
+        alphas = (0.25, ALPHA)
+        requests = [(q, a) for q in queries for a in alphas]
+        with QueryService(engine, num_workers=4, cache_size=0) as service:
+            # Warm every link-cache entry under concurrent load.
+            futures = [
+                service.submit(q, a)
+                for q, a in rng.sample(requests, len(requests)) * 2
+            ]
+            for future in futures:
+                future.result()
+            assert len(engine.link_cache) > 0
+            service.apply_updates([mutation_for(engine.peg)])
+            assert len(engine.link_cache) == 0
+            futures = {
+                (qi, a): service.submit(queries[qi], a)
+                for qi, _ in enumerate(queries) for a in alphas
+            }
+            cold = QueryEngine(engine.peg, max_length=MAX_LENGTH, beta=BETA)
+            for (qi, a), future in futures.items():
+                expected = match_keys(cold.query(queries[qi], a))
+                assert match_keys(future.result()) == expected, (qi, a)
+            snapshot = service.stats_snapshot()
+            assert snapshot["link_cache_hits"] > 0
+            assert snapshot["link_cache_misses"] > 0
