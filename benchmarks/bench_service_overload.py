@@ -1,0 +1,298 @@
+"""Overload gate: a saturated server sheds load, admitted latency holds.
+
+The serving tier's overload contract (ISSUE 8): at 2x capacity offered
+load the server answers the excess with typed ``REJECTED`` replies
+instead of queueing without bound, and the requests it *does* admit
+keep a p95 latency within :data:`MAX_P95_RATIO` (3x) of the unloaded
+p95 — bounded queues convert overload into shed requests, not into
+unbounded tail latency. On a drained service the counters reconcile
+exactly: ``requests == completed + rejected``.
+
+Two phases over the same synthetic PEG and query mix:
+
+* **unloaded** — one client, sequential requests against a server with
+  roomy bounds; per-request wall-clock from the client side.
+* **overloaded** — a deliberately tiny server (one evaluation slot,
+  one pending slot: Python evaluations share the GIL, so concurrency
+  beyond one worker only inflates latency) hammered by concurrent
+  clients at twice its capacity. Admitted-reply latencies feed the
+  gated p95; rejects are counted, never timed.
+
+Results are written as machine-readable ``BENCH_net.json`` (CI uploads
+it as a build artifact); with ``--trajectory`` the same report is also
+written to ``benchmarks/results/BENCH_net-v<version>.json`` for the
+perf-trajectory table of ``benchmarks/summarize.py``.
+
+Queue-wait ratios are noise-sensitive on shared CI runners; the gate
+re-runs the measurement up to two extra times before failing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_overload.py --trajectory
+    PYTHONPATH=src python benchmarks/bench_service_overload.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+if __package__ in (None, ""):  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    )
+
+from repro import __version__
+from repro.datasets import SyntheticConfig, generate_synthetic_pgd
+from repro.net import QueryClient, start_server
+from repro.peg import build_peg
+from repro.query import QueryEngine
+from repro.service import QueryService
+from repro.utils.errors import RemoteError
+
+#: The gate: overloaded admitted-request p95 within this factor of the
+#: unloaded p95.
+MAX_P95_RATIO = 3.0
+
+ALPHA_BASE = 0.3
+
+
+def _quantile(values: list, q: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def build_engine(num_references: int) -> QueryEngine:
+    config = SyntheticConfig(
+        num_references=num_references,
+        num_labels=4,
+        uncertainty=0.4,
+        seed=20260808,
+    )
+    peg = build_peg(generate_synthetic_pgd(config))
+    return QueryEngine(peg, max_length=2, beta=0.1)
+
+
+def query_spec(peg):
+    labels = sorted(peg.sigma, key=repr)
+    return (
+        {"a": labels[0], "b": labels[1]},
+        [("a", "b")],
+    )
+
+
+def run_unloaded(engine_refs: int, requests: int) -> dict:
+    """Sequential requests against a roomy server; client-side timings."""
+    engine = build_engine(engine_refs)
+    nodes, edges = query_spec(engine.peg)
+    service = QueryService(engine, num_workers=1, cache_size=0)
+    handle = start_server(service, max_pending=64)
+    latencies = []
+    try:
+        with QueryClient(*handle.address, max_retries=0) as client:
+            for i in range(requests):
+                started = time.perf_counter()
+                reply = client.query(
+                    nodes, edges, alpha=ALPHA_BASE + i * 1e-4
+                )
+                latencies.append(time.perf_counter() - started)
+                assert reply["ok"]
+    finally:
+        handle.stop(close_service=True)
+    return {
+        "requests": requests,
+        "p50_ms": _quantile(latencies, 0.50) * 1e3,
+        "p95_ms": _quantile(latencies, 0.95) * 1e3,
+    }
+
+
+def run_overloaded(
+    engine_refs: int, clients: int, per_client: int
+) -> dict:
+    """2x-capacity hammering of a one-slot server; reconciled counters.
+
+    Capacity is ``max_inflight + max_pending = 2`` concurrent requests;
+    ``clients`` concurrent threads offer at least twice that.
+    """
+    engine = build_engine(engine_refs)
+    nodes, edges = query_spec(engine.peg)
+    service = QueryService(engine, num_workers=1, cache_size=0)
+    handle = start_server(
+        service, max_pending=1, max_inflight=1, per_client_inflight=8
+    )
+    latencies: list = []
+    rejected = [0]
+    lock = threading.Lock()
+
+    def hammer(tid: int) -> None:
+        with QueryClient(*handle.address, max_retries=0) as client:
+            for i in range(per_client):
+                alpha = ALPHA_BASE + (tid * per_client + i) * 1e-4
+                started = time.perf_counter()
+                try:
+                    reply = client.query(nodes, edges, alpha=alpha)
+                    elapsed = time.perf_counter() - started
+                    assert reply["ok"]
+                    with lock:
+                        latencies.append(elapsed)
+                except RemoteError as exc:
+                    assert exc.code == "REJECTED", exc.code
+                    with lock:
+                        rejected[0] += 1
+
+    try:
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        deadline = time.monotonic() + 30
+        while service.stats.in_flight and time.monotonic() < deadline:
+            time.sleep(0.01)
+        snap = service.stats_snapshot()
+    finally:
+        handle.stop(close_service=True)
+    offered = clients * per_client
+    return {
+        "clients": clients,
+        "offered": offered,
+        "completed": len(latencies),
+        "rejected": rejected[0],
+        "p50_ms": _quantile(latencies, 0.50) * 1e3,
+        "p95_ms": _quantile(latencies, 0.95) * 1e3,
+        "service": {
+            "requests": snap["requests"],
+            "completed": snap["completed"],
+            "rejected": snap["rejected"],
+            "shed": snap["shed"],
+        },
+        "reconciles": snap["requests"]
+        == snap["completed"] + snap["rejected"],
+    }
+
+
+def run_once(engine_refs: int, requests: int, clients: int,
+             per_client: int) -> dict:
+    unloaded = run_unloaded(engine_refs, requests)
+    overloaded = run_overloaded(engine_refs, clients, per_client)
+    ratio = overloaded["p95_ms"] / max(unloaded["p95_ms"], 1e-9)
+    return {
+        "unloaded": unloaded,
+        "overloaded": overloaded,
+        "p95_ratio": ratio,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small CI workload; exit 1 when the overloaded p95 exceeds "
+        f"{MAX_P95_RATIO:.0f}x the unloaded p95, nothing is shed, or "
+        "the counters fail to reconcile",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_net.json",
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="also write benchmarks/results/BENCH_net-v<version>.json "
+        "(the committed perf-trajectory point for this version)",
+    )
+    parser.add_argument(
+        "--refs", type=int, default=None,
+        help="override the synthetic PEG size (references)",
+    )
+    args = parser.parse_args(argv)
+
+    engine_refs = args.refs or (300 if args.smoke else 600)
+    requests = 30 if args.smoke else 80
+    clients, per_client = (4, 12) if args.smoke else (6, 25)
+
+    result = run_once(engine_refs, requests, clients, per_client)
+    attempts = 1
+    while result["p95_ratio"] > MAX_P95_RATIO and attempts < 3:
+        attempts += 1
+        result = run_once(engine_refs, requests, clients, per_client)
+    result["attempts"] = attempts
+
+    report = {
+        "benchmark": "service_overload",
+        "repro_version": __version__,
+        "mode": "smoke" if args.smoke else "large",
+        "workload": {
+            "references": engine_refs,
+            "unloaded_requests": requests,
+            "clients": clients,
+            "per_client": per_client,
+            "max_p95_ratio": MAX_P95_RATIO,
+        },
+        **result,
+    }
+    outputs = [args.out]
+    if args.trajectory:
+        outputs.append(
+            os.path.join(
+                os.path.dirname(os.path.abspath(__file__)),
+                "results",
+                f"BENCH_net-v{__version__}.json",
+            )
+        )
+    for out in outputs:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    unloaded, overloaded = result["unloaded"], result["overloaded"]
+    print(
+        f"[unloaded]   {unloaded['requests']} sequential requests: "
+        f"p50 {unloaded['p50_ms']:.2f}ms, p95 {unloaded['p95_ms']:.2f}ms"
+    )
+    print(
+        f"[overloaded] {overloaded['offered']} offered over "
+        f"{overloaded['clients']} clients vs 2-slot capacity: "
+        f"{overloaded['completed']} completed, "
+        f"{overloaded['rejected']} rejected "
+        f"({overloaded['service']['shed']} shed); admitted p50 "
+        f"{overloaded['p50_ms']:.2f}ms, p95 {overloaded['p95_ms']:.2f}ms"
+    )
+    print(
+        f"[gate] p95 ratio {result['p95_ratio']:.2f}x "
+        f"(limit {MAX_P95_RATIO:.0f}x), counters "
+        f"{'reconcile' if overloaded['reconciles'] else 'DO NOT reconcile'}"
+        f", {attempts} attempt(s)"
+    )
+    print("wrote " + ", ".join(outputs))
+
+    failed = False
+    if result["p95_ratio"] > MAX_P95_RATIO:
+        print(
+            f"FAIL: admitted p95 {result['p95_ratio']:.2f}x unloaded "
+            f"exceeds {MAX_P95_RATIO:.0f}x"
+        )
+        failed = True
+    if overloaded["rejected"] == 0 or overloaded["service"]["shed"] == 0:
+        print("FAIL: 2x-capacity load shed nothing — bounds not enforced")
+        failed = True
+    if not overloaded["reconciles"]:
+        print(
+            "FAIL: requests != completed + rejected "
+            f"({overloaded['service']})"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

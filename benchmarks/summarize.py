@@ -55,6 +55,7 @@ BENCH_CAPTIONS = {
     "BENCH_delta": "Live updates: delta overlay vs full rebuild",
     "BENCH_planner": "Adaptive planner: plan cache, exact strategy, feedback",
     "BENCH_obs": "Observability: disabled-mode overhead and micro-costs",
+    "BENCH_net": "Network serving: overload shedding and admitted-p95 gate",
 }
 
 

@@ -35,7 +35,14 @@ Commands
     :class:`~repro.service.QueryService` (result cache, single-flight
     dedup), warm-starting from / writing an offline snapshot; with
     ``--shards`` the index is hash-sharded, with ``--batch`` each
-    workload round is submitted as one grouped evaluation.
+    workload round is submitted as one grouped evaluation; with
+    ``--listen HOST:PORT`` the service is exposed over the network
+    through the fault-tolerant asyncio front end (:mod:`repro.net`)
+    instead of draining a workload file.
+``client``
+    Send a query (or ping / stats probe) to a running
+    ``serve --listen`` server, with timeouts, bounded retry and a
+    circuit breaker.
 ``bench-serve``
     Measure serving latency and throughput (cache hits, worker
     scaling, repeated workloads).
@@ -361,6 +368,47 @@ def _build_parser() -> argparse.ArgumentParser:
             "(0 = never, default)"
         ),
     )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT",
+        help=(
+            "serve over the network instead of from a workload file: "
+            "bind the asyncio front end (admission control, deadlines, "
+            "load shedding) on HOST:PORT and run until interrupted "
+            "(port 0 picks an ephemeral port)"
+        ),
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64, dest="max_pending",
+        help="network admission queue bound before shedding (default 64)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        dest="default_deadline_ms",
+        help="deadline applied to network requests that carry none",
+    )
+
+    client = commands.add_parser(
+        "client",
+        help="query a running `serve --listen` server over the network",
+    )
+    client.add_argument("address", metavar="HOST:PORT")
+    client.add_argument("--spec", help="query spec JSON file")
+    client.add_argument("--alpha", type=float, default=0.5)
+    client.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        help="per-request deadline in milliseconds",
+    )
+    client.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="request timeout in seconds (default 30)",
+    )
+    client.add_argument(
+        "--ping", action="store_true", help="round-trip a ping and exit"
+    )
+    client.add_argument(
+        "--stats", action="store_true",
+        help="print the server's stats snapshot and exit",
+    )
 
     bench = commands.add_parser(
         "bench-serve",
@@ -426,14 +474,14 @@ def _cmd_info(args) -> int:
 
 
 def _load_query_spec(path: str) -> QueryGraph:
+    from repro.net.protocol import query_graph_from_spec
+
     with open(path, "r", encoding="utf-8") as handle:
         spec = json.load(handle)
-    if not isinstance(spec, dict) or "nodes" not in spec:
-        raise ReproError(
-            f"{path!r} must contain a JSON object with a 'nodes' mapping"
-        )
-    edges = [tuple(edge) for edge in spec.get("edges", [])]
-    return QueryGraph(spec["nodes"], edges)
+    try:
+        return query_graph_from_spec(spec)
+    except ReproError as exc:
+        raise ReproError(f"{path!r}: {exc}") from exc
 
 
 def _cmd_query(args) -> int:
@@ -657,15 +705,25 @@ def _load_workload(path: str | None) -> list:
         specs = [
             json.loads(line) for line in text.splitlines() if line.strip()
         ]
+    from repro.net.protocol import query_graph_from_spec
+
     workload = []
     for spec in specs:
-        if not isinstance(spec, dict) or "nodes" not in spec:
-            raise ReproError(
-                "each workload entry must be an object with a 'nodes' mapping"
-            )
-        edges = [tuple(edge) for edge in spec.get("edges", [])]
-        workload.append((QueryGraph(spec["nodes"], edges), spec.get("alpha")))
+        try:
+            query = query_graph_from_spec(spec)
+        except ReproError as exc:
+            raise ReproError(f"workload entry rejected: {exc}") from exc
+        workload.append((query, spec.get("alpha")))
     return workload
+
+
+def _parse_address(address: str) -> tuple:
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(
+            f"address must be HOST:PORT, got {address!r}"
+        )
+    return host or "127.0.0.1", int(port)
 
 
 def _cmd_serve(args) -> int:
@@ -679,7 +737,9 @@ def _cmd_serve(args) -> int:
             "build exchanges data through the snapshot directory"
         )
     peg = load_peg(args.peg)
-    workload = _load_workload(args.queries)
+    # Network mode serves requests from sockets, not a workload file
+    # (reading stdin for one would block forever).
+    workload = [] if args.listen else _load_workload(args.queries)
     if args.snapshot:
         service = QueryService.open(
             peg,
@@ -711,6 +771,33 @@ def _cmd_serve(args) -> int:
             build_processes=args.build_processes,
         )
         print("cold start: built offline phase (no snapshot directory)")
+    if args.listen:
+        import threading
+
+        from repro.net import start_server
+
+        host, port = _parse_address(args.listen)
+        with service:
+            handle = start_server(
+                service,
+                host,
+                port,
+                max_pending=args.max_pending,
+                default_deadline_ms=args.default_deadline_ms,
+            )
+            bound_host, bound_port = handle.address
+            print(f"serving on {bound_host}:{bound_port} (Ctrl-C to stop)")
+            sys.stdout.flush()
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("draining...")
+            finally:
+                handle.stop()
+            if args.stats:
+                for key, value in sorted(service.stats_snapshot().items()):
+                    print(f"{key:20s}{value}")
+        return 0
     with service:
         for round_num in range(args.repeat):
             if args.batch:
@@ -747,6 +834,41 @@ def _cmd_serve(args) -> int:
         if args.stats:
             for key, value in sorted(service.stats_snapshot().items()):
                 print(f"{key:20s}{value}")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from repro.net import QueryClient
+
+    host, port = _parse_address(args.address)
+    with QueryClient(host, port, request_timeout=args.timeout) as client:
+        if args.ping:
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if args.stats:
+            for key, value in sorted(client.stats().items()):
+                print(f"{key:24s}{value}")
+            return 0
+        if not args.spec:
+            raise ReproError("client needs --spec (or --ping / --stats)")
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+        if not isinstance(spec, dict):
+            raise ReproError(f"{args.spec!r} must contain a JSON object")
+        reply = client.query(
+            spec.get("nodes", {}),
+            spec.get("edges", ()),
+            alpha=spec.get("alpha", args.alpha),
+            deadline_ms=args.deadline_ms,
+        )
+        print(f"{reply['num_matches']} matches (alpha="
+              f"{spec.get('alpha', args.alpha)})")
+        for match in reply["matches"]:
+            rendered = ", ".join(
+                "{" + ",".join(str(r) for r in refs) + "}" + f":{label}"
+                for refs, label in match["nodes"]
+            )
+            print(f"  Pr={match['probability']:.4f}  {rendered}")
     return 0
 
 
@@ -788,8 +910,15 @@ def main(argv=None) -> int:
         "build": _cmd_build,
         "apply-updates": _cmd_apply_updates,
         "serve": _cmd_serve,
+        "client": _cmd_client,
         "bench-serve": _cmd_bench_serve,
     }
+    if args.command in ("serve", "client"):
+        # Chaos testing: REPRO_FAULTS / REPRO_FAULTS_SEED arm the
+        # fault-injection sites before any serving work starts.
+        from repro.testing import faults
+
+        faults.install_from_env()
     try:
         return handlers[args.command](args)
     except ReproError as exc:

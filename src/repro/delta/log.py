@@ -17,6 +17,7 @@ import pickle
 from dataclasses import dataclass
 
 from repro.storage.recordlog import RecordLog
+from repro.testing import faults
 from repro.utils.errors import DeltaError
 
 
@@ -37,14 +38,28 @@ class MutationLog:
         File backing the log. An existing file is reopened and its
         entry count recovered by scanning the (self-delimiting)
         records, so appends continue the sequence.
+
+    Crash safety
+    ------------
+    A process dying mid-append leaves a *torn* trailing record (partial
+    header or short payload). Recovery tolerates it: the scan stops at
+    the last complete record, the torn bytes are truncated away so the
+    log is appendable again, and :attr:`truncated` is set so callers
+    can surface the data loss (exactly the op that never finished
+    committing — which, write-ahead, was never applied either). Replay
+    therefore always terminates cleanly instead of raising mid-replay.
     """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
         self._log = RecordLog(self.path)
         self._next_seq = 0
-        for _offset, _payload in self._log.records():
+        for _offset, _payload in self._log.records(tolerate_truncation=True):
             self._next_seq += 1
+        #: Whether recovery found (and discarded) a torn trailing record.
+        self.truncated = self._log.truncated_tail
+        if self.truncated:
+            self._log.truncate_to(self._log.valid_end)
 
     def __len__(self) -> int:
         return self._next_seq
@@ -69,10 +84,13 @@ class MutationLog:
 
         ``after=-1`` (the default) replays the whole log; pass an
         engine's ``applied_mutation_seq`` to fetch only the unseen
-        suffix.
+        suffix. A torn trailing record (only possible when the file was
+        appended to externally after recovery) ends the replay cleanly
+        at the last complete entry rather than raising mid-replay.
         """
+        faults.check("log.replay")
         entries = []
-        for _offset, payload in self._log.records():
+        for _offset, payload in self._log.records(tolerate_truncation=True):
             try:
                 seq, op = pickle.loads(bytes(payload))
             except Exception as exc:
@@ -81,6 +99,8 @@ class MutationLog:
                 ) from exc
             if seq > after:
                 entries.append(LoggedOp(seq, op))
+        if self._log.truncated_tail:
+            self.truncated = True
         return entries
 
     def flush(self) -> None:

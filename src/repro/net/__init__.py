@@ -1,0 +1,33 @@
+"""Fault-tolerant network serving tier over the query service.
+
+An asyncio TCP front end (:mod:`repro.net.server`) with bounded
+admission, load shedding, per-client fairness, request deadlines and
+graceful drain; a synchronous client (:mod:`repro.net.client`) with
+timeouts, bounded retry and a circuit breaker; and the shared
+length-prefixed JSON wire protocol (:mod:`repro.net.protocol`).
+"""
+
+from repro.net.client import CircuitBreaker, QueryClient
+from repro.net.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
+    ERROR_INTERNAL,
+    ERROR_QUERY,
+    ERROR_REJECTED,
+    ERROR_UNAVAILABLE,
+)
+from repro.net.server import QueryServer, ServerHandle, start_server
+
+__all__ = [
+    "CircuitBreaker",
+    "QueryClient",
+    "QueryServer",
+    "ServerHandle",
+    "start_server",
+    "ERROR_BAD_REQUEST",
+    "ERROR_DEADLINE",
+    "ERROR_INTERNAL",
+    "ERROR_QUERY",
+    "ERROR_REJECTED",
+    "ERROR_UNAVAILABLE",
+]

@@ -1,0 +1,294 @@
+"""Synchronous client for the network serving tier.
+
+:class:`QueryClient` speaks the :mod:`repro.net.protocol` framing over
+a plain TCP socket and wraps it in the reliability mechanics a caller
+facing a faulty network needs:
+
+* **Timeouts everywhere** — ``connect_timeout`` bounds dialing,
+  ``request_timeout`` bounds each exchange; a stuck server surfaces as
+  :class:`~repro.utils.errors.NetTimeout`, never a hang.
+* **Bounded retry with backoff** — *connection* failures (refused,
+  reset, torn frame, clean EOF mid-exchange) retry up to
+  ``max_retries`` times with exponential backoff and jitter. Queries
+  are read-only, so retrying after an ambiguous connection loss is
+  safe by construction. Timeouts and *application* errors (a typed
+  ``error`` reply, surfaced as
+  :class:`~repro.utils.errors.RemoteError`) are never retried: the
+  server made a decision — re-asking would turn backpressure into
+  retry amplification, exactly the storm load shedding exists to
+  prevent.
+* **Circuit breaker** — after ``breaker_threshold`` consecutive
+  transport failures the breaker opens and requests fail fast with
+  :class:`~repro.utils.errors.CircuitOpenError` for
+  ``breaker_cooldown`` seconds; then one half-open probe either closes
+  it or re-opens it. A dead server costs one exception per cooldown,
+  not ``max_retries`` connect timeouts per call.
+
+The client is deliberately synchronous (one socket, one outstanding
+request): the concurrency story lives server-side, and test/benchmark
+load generators get parallelism by running one client per thread.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+from repro.net import protocol
+from repro.utils.errors import (
+    CircuitOpenError,
+    NetError,
+    NetTimeout,
+    RemoteError,
+)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over consecutive failures.
+
+    ``threshold`` consecutive transport failures open the breaker;
+    while open, :meth:`allow` refuses until ``cooldown`` seconds pass,
+    then admits a single half-open probe. A recorded success closes
+    the breaker, a failure re-opens it for another cooldown.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?"""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if time.monotonic() - self._opened_at >= self.cooldown:
+                    self._state = "half-open"
+                    return True
+                return False
+            # half-open: the single probe is already out
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open" or self._failures >= self.threshold:
+                self._state = "open"
+                self._opened_at = time.monotonic()
+
+
+class QueryClient:
+    """Blocking protocol client with retry, timeouts and a breaker.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address.
+    connect_timeout, request_timeout:
+        Seconds to bound dialing and each request/reply exchange.
+    max_retries:
+        Retries (beyond the first attempt) on connection failures.
+    backoff_base, backoff_max, jitter:
+        Retry ``n`` sleeps ``min(backoff_max, backoff_base * 2**n)``
+        scaled by a random factor in ``[1, 1 + jitter]``.
+    breaker_threshold, breaker_cooldown:
+        Circuit breaker tuning (see :class:`CircuitBreaker`).
+    seed:
+        Seeds the jitter RNG for reproducible retry schedules in tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        jitter: float = 0.5,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.connect_timeout = float(connect_timeout)
+        self.request_timeout = float(request_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.jitter = float(jitter)
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._id_counter = 0
+        self._lock = threading.Lock()
+        #: Transport-level retries performed (observability for tests).
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+            sock.settimeout(self.request_timeout)
+            self._sock = sock
+        return self._sock
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _recv_exact(self, sock: socket.socket, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = sock.recv(remaining)
+            except socket.timeout as exc:
+                raise NetTimeout(
+                    f"no reply within {self.request_timeout}s"
+                ) from exc
+            if not chunk:
+                raise NetError("connection closed mid-reply")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _exchange(self, payload: dict) -> dict:
+        sock = self._connect()
+        sock.sendall(protocol.encode_frame(payload))
+        header = self._recv_exact(sock, protocol.FRAME_HEADER.size)
+        (length,) = protocol.FRAME_HEADER.unpack(header)
+        if length > protocol.MAX_FRAME_BYTES:
+            raise NetError(
+                f"frame length {length} exceeds {protocol.MAX_FRAME_BYTES}"
+            )
+        return protocol.decode_frame(self._recv_exact(sock, length))
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One request/reply exchange with retry and the breaker.
+
+        Returns the reply dict on ``ok: true``; raises
+        :class:`~repro.utils.errors.RemoteError` carrying the typed
+        code on ``ok: false``, :class:`~repro.utils.errors.NetTimeout`
+        on a request timeout, :class:`~repro.utils.errors.NetError`
+        when retries are exhausted, and
+        :class:`~repro.utils.errors.CircuitOpenError` while the
+        breaker is open.
+        """
+        with self._lock:
+            if not self.breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit open for {self.host}:{self.port}"
+                )
+            if "id" not in payload:
+                self._id_counter += 1
+                payload = dict(payload, id=self._id_counter)
+            attempt = 0
+            while True:
+                try:
+                    reply = self._exchange(payload)
+                except NetTimeout:
+                    # A timed-out request may still be executing
+                    # server-side; retrying would double-spend capacity
+                    # against an already-overloaded server.
+                    self._disconnect()
+                    self.breaker.record_failure()
+                    raise
+                except (ConnectionError, OSError, NetError) as exc:
+                    self._disconnect()
+                    self.breaker.record_failure()
+                    if attempt >= self.max_retries:
+                        raise NetError(
+                            f"request failed after {attempt + 1} attempts: "
+                            f"{exc}"
+                        ) from exc
+                    if not self.breaker.allow():
+                        raise CircuitOpenError(
+                            f"circuit opened for {self.host}:{self.port} "
+                            f"after {exc}"
+                        ) from exc
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    self.retries += 1
+                    continue
+                self.breaker.record_success()
+                if reply.get("ok"):
+                    return reply
+                error = reply.get("error") or {}
+                raise RemoteError(
+                    error.get("type", protocol.ERROR_INTERNAL),
+                    error.get("message", "unknown server error"),
+                )
+
+    def query(
+        self,
+        nodes: dict,
+        edges=(),
+        alpha: float = 0.5,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Evaluate one query; returns the reply dict (``matches`` etc.)."""
+        payload = {
+            "kind": "query",
+            "nodes": dict(nodes),
+            "edges": [list(edge) for edge in edges],
+            "alpha": alpha,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        return self.request(payload)
+
+    def ping(self) -> bool:
+        """Round-trip a ``ping``; True if the server answered."""
+        return bool(self.request({"kind": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        """Fetch the server's service + net stats snapshot."""
+        return self.request({"kind": "stats"})["stats"]
+
+    def close(self) -> None:
+        self._disconnect()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,183 @@
+"""The wire protocol of the network serving tier.
+
+Frames are length-prefixed JSON: a 4-byte big-endian payload length
+followed by a UTF-8 JSON object — the same framing discipline the
+storage record log uses, over the same query-spec codec the CLI
+``serve`` workload files speak (``{"nodes": {...}, "edges": [...],
+"alpha": ...}``).
+
+Requests
+--------
+::
+
+    {"id": 7, "kind": "query", "nodes": {"a": "DB", "b": "ML"},
+     "edges": [["a", "b"]], "alpha": 0.4, "deadline_ms": 500}
+    {"id": 8, "kind": "ping"}
+    {"id": 9, "kind": "stats"}
+
+Responses
+--------
+::
+
+    {"id": 7, "ok": true, "matches": [{"probability": 0.82,
+     "nodes": [[[1, 4], "DB"], [[2], "ML"]]}], "num_matches": 1}
+    {"id": 7, "ok": false,
+     "error": {"type": "REJECTED", "message": "admission queue full"}}
+
+Error types (``error.type``) are the serving tier's whole failure
+vocabulary: ``REJECTED`` (load shed / fairness cap / drain policy),
+``DEADLINE_EXCEEDED``, ``UNAVAILABLE`` (shutdown, admission-pause
+timeout), ``BAD_REQUEST`` (malformed spec), ``QUERY_ERROR`` (invalid
+query), ``INTERNAL`` (evaluation failure). A client therefore always
+receives either a result or one of these typed errors — the chaos
+suite's invariant.
+
+Match serialization is deterministic: entity reference sets are sorted,
+and the match list keeps the engine's deterministic emission order — so
+a fault-free oracle reply and a chaos-run reply can be compared for
+bit-identical equality.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.query.query_graph import QueryGraph
+from repro.utils.errors import NetError, QueryError
+
+#: Frame header: payload byte length, big-endian u32.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload; a corrupt length prefix
+#: must not make a reader try to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Typed error codes carried in ``error.type``.
+ERROR_REJECTED = "REJECTED"
+ERROR_DEADLINE = "DEADLINE_EXCEEDED"
+ERROR_UNAVAILABLE = "UNAVAILABLE"
+ERROR_BAD_REQUEST = "BAD_REQUEST"
+ERROR_QUERY = "QUERY_ERROR"
+ERROR_INTERNAL = "INTERNAL"
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one message as a length-prefixed JSON frame."""
+    payload = json.dumps(obj, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    )
+    if len(payload) > MAX_FRAME_BYTES:
+        raise NetError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Parse one frame payload; the message must be a JSON object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise NetError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise NetError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean end-of-stream (the peer closed between
+    frames); raises :class:`~repro.utils.errors.NetError` on a torn
+    frame or an implausible length prefix.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise NetError("torn frame header") from exc
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise NetError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise NetError("torn frame payload") from exc
+    return decode_frame(payload)
+
+
+def query_graph_from_spec(spec: dict) -> QueryGraph:
+    """Build a :class:`QueryGraph` from the shared JSON query spec.
+
+    The codec of the CLI ``serve`` workload files and of the wire
+    protocol's ``query`` requests: a ``"nodes"`` mapping of query-node
+    name to label, plus optional ``"edges"`` pairs.
+    """
+    if not isinstance(spec, dict) or not isinstance(spec.get("nodes"), dict):
+        raise QueryError(
+            "query spec must be a JSON object with a 'nodes' mapping"
+        )
+    if not spec["nodes"]:
+        raise QueryError("query spec 'nodes' mapping must not be empty")
+    edges = []
+    for edge in spec.get("edges", ()):
+        if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+            raise QueryError(f"query spec edge must be a pair, got {edge!r}")
+        edges.append(tuple(edge))
+    return QueryGraph(spec["nodes"], edges)
+
+
+def _json_ref(ref) -> object:
+    """A JSON-stable rendering of one entity reference."""
+    if isinstance(ref, (int, str, float, bool)):
+        return ref
+    return str(ref)
+
+
+def serialize_matches(matches) -> list:
+    """Deterministic JSON form of a result's match list.
+
+    Each match becomes ``{"probability": p, "nodes": [[refs, label],
+    ...]}`` with entity references sorted; the match order is the
+    engine's (deterministic) emission order. Two evaluations of the
+    same query against the same graph serialize bit-identically.
+    """
+    out = []
+    for match in matches:
+        out.append(
+            {
+                "probability": match.probability,
+                "nodes": [
+                    [sorted((_json_ref(r) for r in entity), key=repr),
+                     str(label)]
+                    for entity, label in match.nodes
+                ],
+            }
+        )
+    return out
+
+
+def result_response(request_id, result) -> dict:
+    """A successful ``query`` reply for ``result``."""
+    matches = serialize_matches(result.matches)
+    return {
+        "id": request_id,
+        "ok": True,
+        "matches": matches,
+        "num_matches": len(matches),
+    }
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """A typed error reply."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": str(code), "message": str(message)},
+    }

@@ -1,0 +1,713 @@
+"""The asyncio serving tier in front of :class:`~repro.service.QueryService`.
+
+:class:`QueryServer` accepts length-prefixed JSON connections
+(:mod:`repro.net.protocol`) and forwards admitted requests into the
+in-process service's worker pool. What it adds over calling the
+service directly is everything an *online* system needs under overload
+and partial failure:
+
+* **Bounded admission with explicit backpressure** — at most
+  ``max_pending`` requests wait for dispatch and at most
+  ``max_inflight`` occupy the service at once; past the bound new
+  requests are *shed* with a typed ``REJECTED`` reply (the 429 of this
+  protocol) instead of growing an unbounded queue. Sheds are counted
+  in :class:`~repro.service.stats.ServiceStats` (``rejected``/``shed``)
+  so ``requests == completed + rejected`` reconciles exactly on drain.
+* **Per-client fairness** — dispatch round-robins across connections
+  and each client is capped at ``per_client_inflight`` queued+running
+  requests, so one chatty client cannot starve the rest.
+* **Deadlines that cannot hang** — a request's ``deadline_ms``
+  propagates into :meth:`QueryService.submit` (expired-in-queue
+  requests are never evaluated) *and* arms a server-side watchdog that
+  answers ``DEADLINE_EXCEEDED`` at the deadline even if the evaluation
+  is still running; the late result is then discarded.
+* **Graceful drain** — :meth:`apply_updates` stops dispatch, lets
+  in-flight requests finish, applies the mutation batch through the
+  service's admission-pause machinery, and resumes; queued requests
+  are *held* across the update or *shed* with ``REJECTED``, by policy.
+  :meth:`stop` drains the same way with a hard cutoff: whatever is
+  still unresolved at the cutoff is answered ``UNAVAILABLE`` — no
+  client is left waiting on a reply that will never come.
+* **Fault sites** — ``net.accept``, ``net.read`` and ``net.write``
+  let the chaos suite (:mod:`repro.testing.faults`) drop or delay
+  connections mid-exchange and assert the correct-or-clean-error
+  invariant end to end.
+
+Use :func:`start_server` to run a server on its own event-loop thread
+(the shape the CLI and the tests use); the asyncio API
+(:meth:`QueryServer.start` / :meth:`QueryServer.stop`) is also public
+for embedding into an existing loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+
+from repro.net import protocol
+from repro.obs.metrics import get_registry
+from repro.testing import faults
+from repro.utils.errors import (
+    DeadlineExceeded,
+    QueryError,
+    ReproError,
+    ServiceError,
+)
+
+
+class _Client:
+    """Per-connection state: queue, in-flight count, serialized writes."""
+
+    def __init__(self, cid: int, writer: asyncio.StreamWriter) -> None:
+        self.cid = cid
+        self.writer = writer
+        self.queue: deque = deque()
+        self.inflight = 0
+        self.write_lock = asyncio.Lock()
+        self.closed = False
+
+
+class _Entry:
+    """One admitted query request moving through the server."""
+
+    __slots__ = (
+        "request_id", "client", "query", "alpha", "deadline", "finished",
+        "timer",
+    )
+
+    def __init__(self, request_id, client, query, alpha, deadline) -> None:
+        self.request_id = request_id
+        self.client = client
+        self.query = query
+        self.alpha = alpha
+        #: Absolute ``time.monotonic()`` deadline, or ``None``.
+        self.deadline = deadline
+        #: Set exactly once, when the entry's slots are released and its
+        #: reply (result, error, or watchdog expiry) is owned.
+        self.finished = False
+        #: The armed watchdog timer handle, if any.
+        self.timer = None
+
+
+class QueryServer:
+    """Serves one :class:`~repro.service.QueryService` over asyncio TCP.
+
+    Parameters
+    ----------
+    service:
+        The in-process service evaluations run on. The server never
+        closes it — the caller owns its lifecycle.
+    host, port:
+        Listen address; port 0 binds an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    max_pending:
+        Bound on requests queued for dispatch across all clients.
+        Overflow is shed with ``REJECTED``.
+    max_inflight:
+        Bound on requests concurrently submitted to the service
+        (default ``2 * service.num_workers``): backpressure that keeps
+        the service's internal executor queue from growing unboundedly
+        behind the admission queue's back.
+    per_client_inflight:
+        Per-connection cap on queued+running requests (fairness).
+    default_deadline_ms:
+        Deadline applied to requests that carry none (``None`` = no
+        deadline).
+    drain_policy:
+        What happens to queued requests while :meth:`apply_updates`
+        drains: ``"hold"`` keeps them queued across the update (they
+        run against the post-update graph), ``"shed"`` rejects them.
+    drain_timeout:
+        Hard cutoff, in seconds, :meth:`stop` waits for in-flight
+        requests before answering the stragglers ``UNAVAILABLE``.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_pending: int = 64,
+        max_inflight: int | None = None,
+        per_client_inflight: int = 8,
+        default_deadline_ms: float | None = None,
+        drain_policy: str = "hold",
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if drain_policy not in ("hold", "shed"):
+            raise ServiceError(
+                f"drain_policy must be 'hold' or 'shed', got {drain_policy!r}"
+            )
+        if max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {max_pending}")
+        if per_client_inflight < 1:
+            raise ServiceError(
+                f"per_client_inflight must be >= 1, got {per_client_inflight}"
+            )
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_pending = int(max_pending)
+        self.max_inflight = int(
+            max_inflight if max_inflight is not None
+            else 2 * service.num_workers
+        )
+        self.per_client_inflight = int(per_client_inflight)
+        self.default_deadline_ms = default_deadline_ms
+        self.drain_policy = drain_policy
+        self.drain_timeout = float(drain_timeout)
+
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._dispatch_task: asyncio.Task | None = None
+        self._clients: dict[int, _Client] = {}
+        #: Round-robin order of client ids (rotated by the dispatcher).
+        self._rr: deque = deque()
+        self._cid_counter = itertools.count(1)
+        self._pending_total = 0
+        self._inflight_total = 0
+        self._inflight_entries: set = set()
+        self._reply_tasks: set = set()
+        self._dispatch_wake: asyncio.Event | None = None
+        self._idle: asyncio.Event | None = None
+        self._draining = False
+        self._closing = False
+        self._stopped = False
+        self._apply_lock: asyncio.Lock | None = None
+
+        registry = get_registry()
+        self._m_connections = registry.counter("repro_net_connections_total")
+        self._m_requests = {
+            outcome: registry.counter(
+                "repro_net_requests_total", outcome=outcome
+            )
+            for outcome in ("ok", "error", "rejected", "deadline")
+        }
+        self._m_dropped = registry.counter(
+            "repro_net_dropped_connections_total"
+        )
+        self._m_pending = registry.gauge("repro_net_pending")
+        self._m_inflight = registry.gauge("repro_net_inflight")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listen socket and start the dispatcher."""
+        self._loop = asyncio.get_running_loop()
+        self._dispatch_wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._apply_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatch_task = self._loop.create_task(self._dispatch_loop())
+
+    @property
+    def address(self) -> tuple:
+        """``(host, port)`` actually bound (port resolved if 0)."""
+        return (self.host, self.port)
+
+    async def stop(self, drain_timeout: float | None = None) -> None:
+        """Drain and shut down; every pending request gets a reply.
+
+        New connections are refused, queued requests are shed with
+        ``UNAVAILABLE``, in-flight requests get ``drain_timeout``
+        seconds (default: the constructor's) to complete, and whatever
+        is still unresolved at the hard cutoff is answered
+        ``UNAVAILABLE`` — the evaluation may still finish service-side,
+        but no client is left hanging. Idempotent.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        timeout = (
+            self.drain_timeout if drain_timeout is None else float(drain_timeout)
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._shed_queued(
+            protocol.ERROR_UNAVAILABLE, "server shutting down"
+        )
+        try:
+            await asyncio.wait_for(self._wait_idle(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        # Hard cutoff: answer the stragglers now. Their service futures
+        # still resolve later and are discarded (entry.finished).
+        for entry in list(self._inflight_entries):
+            if self._finish_entry(entry):
+                self._reply_error(
+                    entry.client, entry.request_id,
+                    protocol.ERROR_UNAVAILABLE,
+                    "server shut down before the request completed",
+                )
+        self._stopped = True
+        if self._dispatch_wake is not None:
+            self._dispatch_wake.set()
+        if self._dispatch_task is not None:
+            try:
+                await asyncio.wait_for(self._dispatch_task, 1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._dispatch_task.cancel()
+        # Flush every in-progress reply before tearing sockets down —
+        # including the UNAVAILABLE replies created just above. Bounded:
+        # a peer that stopped reading must not wedge the shutdown.
+        flush_deadline = self._loop.time() + 2.0
+        while self._reply_tasks and self._loop.time() < flush_deadline:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *list(self._reply_tasks), return_exceptions=True
+                    ),
+                    flush_deadline - self._loop.time(),
+                )
+            except asyncio.TimeoutError:
+                break
+        for client in list(self._clients.values()):
+            client.closed = True
+            try:
+                client.writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        action = faults.fire("net.accept")
+        if action is not None and action.kind == "delay":
+            await asyncio.sleep(action.param)
+            action = None
+        if action is not None:  # drop / error: refuse the connection
+            self._m_dropped.inc()
+            writer.close()
+            return
+        client = _Client(next(self._cid_counter), writer)
+        self._clients[client.cid] = client
+        self._rr.append(client.cid)
+        self._m_connections.inc()
+        try:
+            while not self._closing:
+                action = faults.fire("net.read")
+                if action is not None:
+                    if action.kind == "delay":
+                        await asyncio.sleep(action.param)
+                    else:  # drop / error: tear the connection down
+                        self._m_dropped.inc()
+                        break
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    break
+                await self._handle_request(client, frame)
+        except (ConnectionError, OSError, ReproError):
+            pass  # torn connection: the client's retry layer handles it
+        finally:
+            self._disconnect(client)
+
+    def _disconnect(self, client: _Client) -> None:
+        """Unregister a connection; queued-but-undispatched work is dropped.
+
+        Entries already in flight keep running (their replies are
+        discarded by the ``closed`` check); entries still queued were
+        never counted in the service stats, so dropping them leaves
+        the counters reconciled.
+        """
+        client.closed = True
+        if client.cid in self._clients:
+            del self._clients[client.cid]
+            try:
+                self._rr.remove(client.cid)
+            except ValueError:
+                pass
+        while client.queue:
+            client.queue.popleft()
+            self._pending_total -= 1
+            self._m_pending.dec()
+        try:
+            client.writer.close()
+        except Exception:
+            pass
+
+    async def _handle_request(self, client: _Client, frame: dict) -> None:
+        rid = frame.get("id")
+        kind = frame.get("kind", "query")
+        if kind == "ping":
+            self._reply(client, {"id": rid, "ok": True, "pong": True})
+            return
+        if kind == "stats":
+            snap = self.service.stats_snapshot()
+            snap["net_pending"] = self._pending_total
+            snap["net_inflight"] = self._inflight_total
+            snap["net_connections"] = len(self._clients)
+            self._reply(client, {"id": rid, "ok": True, "stats": snap})
+            return
+        if kind != "query":
+            self._reply_error(
+                client, rid, protocol.ERROR_BAD_REQUEST,
+                f"unknown request kind {kind!r}",
+            )
+            return
+        # Admission control. Order matters: shed on global overflow
+        # before spending parse work, cap per-client before global
+        # (a greedy client must hit its own limit, not everyone's).
+        if self._closing:
+            self._reply_error(
+                client, rid, protocol.ERROR_UNAVAILABLE,
+                "server shutting down",
+            )
+            return
+        if self._draining and self.drain_policy == "shed":
+            self.service.stats.record_rejected()
+            self._m_requests["rejected"].inc()
+            self._reply_error(
+                client, rid, protocol.ERROR_REJECTED,
+                "draining for a live update",
+            )
+            return
+        if client.inflight + len(client.queue) >= self.per_client_inflight:
+            self.service.stats.record_rejected()
+            self._m_requests["rejected"].inc()
+            self._reply_error(
+                client, rid, protocol.ERROR_REJECTED,
+                f"per-client in-flight cap ({self.per_client_inflight}) "
+                "reached",
+            )
+            return
+        if self._pending_total >= self.max_pending:
+            self.service.stats.record_rejected(shed=True)
+            self._m_requests["rejected"].inc()
+            self._reply_error(
+                client, rid, protocol.ERROR_REJECTED,
+                f"admission queue full ({self.max_pending} pending)",
+            )
+            return
+        try:
+            query = protocol.query_graph_from_spec(frame)
+            alpha = frame.get("alpha", 0.5)
+            if not isinstance(alpha, (int, float)) or not 0.0 < alpha <= 1.0:
+                raise QueryError(f"alpha must be in (0, 1], got {alpha!r}")
+        except ReproError as exc:
+            self._reply_error(
+                client, rid, protocol.ERROR_BAD_REQUEST, str(exc)
+            )
+            return
+        deadline_ms = frame.get("deadline_ms", self.default_deadline_ms)
+        deadline = None
+        if deadline_ms is not None:
+            deadline = time.monotonic() + float(deadline_ms) / 1e3
+        client.queue.append(_Entry(rid, client, query, float(alpha), deadline))
+        self._pending_total += 1
+        self._m_pending.inc()
+        self._dispatch_wake.set()
+
+    # ------------------------------------------------------------------
+    # Dispatch (round-robin fairness, bounded in-flight)
+    # ------------------------------------------------------------------
+
+    def _next_entry(self) -> _Entry | None:
+        """Pop the next dispatchable entry, round-robin across clients."""
+        if self._inflight_total >= self.max_inflight:
+            return None
+        for _ in range(len(self._rr)):
+            cid = self._rr[0]
+            self._rr.rotate(-1)
+            client = self._clients.get(cid)
+            if client is None or not client.queue:
+                continue
+            if client.inflight >= self.per_client_inflight:
+                continue
+            return client.queue.popleft()
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopped:
+            await self._dispatch_wake.wait()
+            self._dispatch_wake.clear()
+            while not self._draining and not self._closing:
+                entry = self._next_entry()
+                if entry is None:
+                    break
+                self._pending_total -= 1
+                self._m_pending.dec()
+                entry.client.inflight += 1
+                self._inflight_total += 1
+                self._m_inflight.inc()
+                self._idle.clear()
+                self._inflight_entries.add(entry)
+                if entry.deadline is not None:
+                    entry.timer = self._loop.call_later(
+                        max(0.0, entry.deadline - time.monotonic()),
+                        self._entry_expired, entry,
+                    )
+                # submit() can block briefly (admission gate during a
+                # concurrent live update), so it runs on a thread to
+                # keep the event loop responsive.
+                await asyncio.to_thread(self._submit_entry, entry)
+
+    def _submit_entry(self, entry: _Entry) -> None:
+        """Thread-side: hand one entry to the service."""
+        try:
+            future = self.service.submit(
+                entry.query, entry.alpha, deadline=entry.deadline
+            )
+        except ReproError as exc:
+            self._loop.call_soon_threadsafe(self._entry_failed, entry, exc)
+            return
+        future.add_done_callback(
+            lambda fut: self._loop.call_soon_threadsafe(
+                self._entry_done, entry, fut
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Completion (loop-side)
+    # ------------------------------------------------------------------
+
+    def _finish_entry(self, entry: _Entry) -> bool:
+        """Release an entry's slots exactly once; False if already done."""
+        if entry.finished:
+            return False
+        entry.finished = True
+        if entry.timer is not None:
+            entry.timer.cancel()
+        self._inflight_entries.discard(entry)
+        entry.client.inflight -= 1
+        self._inflight_total -= 1
+        self._m_inflight.dec()
+        if self._inflight_total == 0:
+            self._idle.set()
+        self._dispatch_wake.set()
+        return True
+
+    def _entry_done(self, entry: _Entry, future) -> None:
+        if not self._finish_entry(entry):
+            return  # the watchdog already answered; discard the late result
+        if future.cancelled():
+            self._m_requests["error"].inc()
+            self._reply_error(
+                entry.client, entry.request_id, protocol.ERROR_UNAVAILABLE,
+                "service closed before the request ran",
+            )
+            return
+        exc = future.exception()
+        if exc is not None:
+            code, message = self._classify(exc)
+            self._m_requests[
+                "deadline" if code == protocol.ERROR_DEADLINE else "error"
+            ].inc()
+            self._reply_error(entry.client, entry.request_id, code, message)
+            return
+        self._m_requests["ok"].inc()
+        self._reply(
+            entry.client,
+            protocol.result_response(entry.request_id, future.result()),
+        )
+
+    def _entry_failed(self, entry: _Entry, exc: Exception) -> None:
+        if not self._finish_entry(entry):
+            return
+        code, message = self._classify(exc)
+        self._m_requests["error"].inc()
+        self._reply_error(entry.client, entry.request_id, code, message)
+
+    def _entry_expired(self, entry: _Entry) -> None:
+        """Watchdog: the deadline passed with the evaluation still running."""
+        if not self._finish_entry(entry):
+            return
+        self.service.stats.record_deadline_exceeded()
+        self._m_requests["deadline"].inc()
+        self._reply_error(
+            entry.client, entry.request_id, protocol.ERROR_DEADLINE,
+            "deadline expired before the evaluation completed",
+        )
+
+    @staticmethod
+    def _classify(exc: Exception) -> tuple:
+        """Map an evaluation failure to a wire error code."""
+        if isinstance(exc, DeadlineExceeded):
+            return protocol.ERROR_DEADLINE, str(exc)
+        if isinstance(exc, ServiceError):
+            # Covers ServiceUnavailable and the "service closed before
+            # the request completed" errors close(wait=False) resolves
+            # pending futures with.
+            return protocol.ERROR_UNAVAILABLE, str(exc)
+        if isinstance(exc, QueryError):
+            return protocol.ERROR_QUERY, str(exc)
+        return protocol.ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+
+    def _reply(self, client: _Client, payload: dict) -> None:
+        if client.closed:
+            return
+        task = self._loop.create_task(self._send(client, payload))
+        self._reply_tasks.add(task)
+        task.add_done_callback(self._reply_tasks.discard)
+
+    def _reply_error(self, client, request_id, code, message) -> None:
+        self._reply(client, protocol.error_response(request_id, code, message))
+
+    async def _send(self, client: _Client, payload: dict) -> None:
+        action = faults.fire("net.write")
+        if action is not None:
+            if action.kind == "delay":
+                await asyncio.sleep(action.param)
+            else:  # drop / error: tear the connection down mid-reply
+                self._m_dropped.inc()
+                self._disconnect(client)
+                return
+        async with client.write_lock:
+            if client.closed:
+                return
+            try:
+                client.writer.write(protocol.encode_frame(payload))
+                await client.writer.drain()
+            except (ConnectionError, OSError):
+                self._disconnect(client)
+
+    # ------------------------------------------------------------------
+    # Drain / live updates
+    # ------------------------------------------------------------------
+
+    async def _wait_idle(self) -> None:
+        while self._inflight_total > 0:
+            await self._idle.wait()
+
+    def _shed_queued(self, code: str, message: str) -> None:
+        """Reject every queued-but-undispatched request with ``code``."""
+        for client in list(self._clients.values()):
+            while client.queue:
+                entry = client.queue.popleft()
+                self._pending_total -= 1
+                self._m_pending.dec()
+                self.service.stats.record_rejected()
+                self._m_requests["rejected"].inc()
+                self._reply_error(client, entry.request_id, code, message)
+
+    async def apply_updates(self, ops, log=None) -> dict:
+        """Absorb a mutation batch with a graceful networked drain.
+
+        Dispatch pauses, in-flight requests complete, queued requests
+        are held (``drain_policy="hold"``) or shed with ``REJECTED``
+        (``"shed"``), the batch is applied through
+        :meth:`QueryService.apply_updates` (which re-keys every cache
+        entry via the graph-version bump), and dispatch resumes — held
+        requests then evaluate against the post-update graph.
+        """
+        if self._closing:
+            raise ServiceError("server is shutting down")
+        async with self._apply_lock:
+            self._draining = True
+            try:
+                if self.drain_policy == "shed":
+                    self._shed_queued(
+                        protocol.ERROR_REJECTED, "draining for a live update"
+                    )
+                await self._wait_idle()
+                return await asyncio.to_thread(
+                    self.service.apply_updates, ops, log
+                )
+            finally:
+                self._draining = False
+                self._dispatch_wake.set()
+
+
+class ServerHandle:
+    """A :class:`QueryServer` running on its own event-loop thread.
+
+    The synchronous façade the CLI and tests use: construction via
+    :func:`start_server`, thread-safe :meth:`apply_updates` /
+    :meth:`stop`, and context-manager cleanup.
+    """
+
+    def __init__(self, server: QueryServer, loop, thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def address(self) -> tuple:
+        return self.server.address
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def apply_updates(self, ops, log=None) -> dict:
+        """Drain, apply a mutation batch, resume (thread-safe)."""
+        return asyncio.run_coroutine_threadsafe(
+            self.server.apply_updates(ops, log=log), self._loop
+        ).result()
+
+    def stop(
+        self,
+        drain_timeout: float | None = None,
+        close_service: bool = False,
+    ) -> None:
+        """Drain and stop the server; optionally close the service too."""
+        if not self._stopped:
+            self._stopped = True
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain_timeout), self._loop
+            ).result()
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if not self._loop.is_running():
+                self._loop.close()
+        if close_service:
+            self.server.service.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server(service, host: str = "127.0.0.1", port: int = 0,
+                 **config) -> ServerHandle:
+    """Start a :class:`QueryServer` on a dedicated event-loop thread.
+
+    Returns once the listen socket is bound; ``handle.address`` carries
+    the resolved port. ``config`` forwards to :class:`QueryServer`.
+    """
+    server = QueryServer(service, host, port, **config)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    boot_error: list = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except Exception as exc:  # bind failure etc.
+            boot_error.append(exc)
+            started.set()
+            loop.close()
+            return
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(
+        target=_run, name="repro-net-server", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if boot_error:
+        raise boot_error[0]
+    return ServerHandle(server, loop, thread)

@@ -39,7 +39,13 @@ from repro.query.engine import QueryEngine, QueryOptions, QueryResult
 from repro.query.query_graph import QueryGraph
 from repro.service.cache import ResultCache
 from repro.service.stats import ServiceStats
-from repro.utils.errors import QueryError, ServiceError
+from repro.testing import faults
+from repro.utils.errors import (
+    DeadlineExceeded,
+    QueryError,
+    ServiceError,
+    ServiceUnavailable,
+)
 
 #: Engine of the current process-pool worker (set by the initializer).
 _WORKER_ENGINE: QueryEngine | None = None
@@ -51,8 +57,12 @@ def _process_worker_init(peg, snapshot_dir: str) -> None:
     _WORKER_ENGINE = QueryEngine.from_saved(peg, snapshot_dir)
 
 
-def _process_worker_query(query, alpha, options):
+def _process_worker_query(query, alpha, options, deadline=None):
     """Evaluate one request on the worker's warm-started engine."""
+    if deadline is not None and time.monotonic() >= deadline:
+        raise DeadlineExceeded(
+            "deadline expired before the evaluation started"
+        )
     return _WORKER_ENGINE.query(query, alpha, options)
 
 
@@ -131,6 +141,13 @@ class QueryService:
         request. Process-pool evaluations cannot carry spans across the
         pickling boundary; their request spans record admission and
         outcome only.
+    max_admission_wait:
+        Upper bound, in seconds, a request may block in admission while
+        a live update (:meth:`apply_updates`) holds the gate. Past it
+        the request fails with
+        :class:`~repro.utils.errors.ServiceUnavailable` instead of
+        blocking indefinitely — callers always get an answer or a clean
+        error, never a hang.
     """
 
     def __init__(
@@ -143,6 +160,7 @@ class QueryService:
         executor: str = "thread",
         snapshot_dir: str | None = None,
         tracer=None,
+        max_admission_wait: float = 5.0,
     ) -> None:
         if num_workers < 1:
             raise ServiceError(f"num_workers must be >= 1, got {num_workers}")
@@ -155,6 +173,11 @@ class QueryService:
         self.default_options = default_options or QueryOptions()
         self.executor_kind = executor
         self.snapshot_dir = snapshot_dir
+        if max_admission_wait <= 0:
+            raise ServiceError(
+                f"max_admission_wait must be > 0, got {max_admission_wait}"
+            )
+        self.max_admission_wait = float(max_admission_wait)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics_registry = get_registry()
         self.stats = ServiceStats(latency_window=latency_window)
@@ -335,8 +358,20 @@ class QueryService:
             # and evaluated against the post-update graph). Splitting
             # this into separate gate holds would let a request slip
             # between the drain snapshot and the graph surgery.
+            #
+            # The wait is bounded: a stuck or slow mutation batch must
+            # not turn every submit into an indefinite block.
+            wait_deadline = time.monotonic() + self.max_admission_wait
             while self._applying:
-                self._apply_done.wait()
+                remaining = wait_deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats.record_rejected()
+                    span.set("outcome", "unavailable")
+                    raise ServiceUnavailable(
+                        "admission paused by a live update for more than "
+                        f"max_admission_wait={self.max_admission_wait}s"
+                    )
+                self._apply_done.wait(remaining)
             if self._closed:
                 raise ServiceError("service is closed")
             # Engine-like test doubles may not carry a version; treat
@@ -389,12 +424,23 @@ class QueryService:
         query: QueryGraph,
         alpha: float,
         options: QueryOptions | None = None,
+        deadline: float | None = None,
     ) -> Future:
         """Enqueue one request; returns a future of its ``QueryResult``.
 
         Cache hits resolve immediately; a request identical (up to node
         renaming) to one already in flight shares that evaluation's
         future instead of spawning another.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant. A
+        request still queued behind busy workers when it passes is
+        never evaluated: its future resolves with
+        :class:`~repro.utils.errors.DeadlineExceeded` the moment a
+        worker picks it up, so expired requests cannot occupy
+        evaluation capacity and their callers cannot hang. (A deadline
+        cannot interrupt an evaluation already running; the network
+        tier adds the watchdog that answers the client at the deadline
+        regardless.)
         """
         if self._closed:
             raise ServiceError("service is closed")
@@ -416,11 +462,12 @@ class QueryService:
                 # admission + outcome (queue wait is unmeasurable from
                 # the worker side too).
                 task = self._executor.submit(
-                    _process_worker_query, query, alpha, options
+                    _process_worker_query, query, alpha, options, deadline
                 )
             else:
                 task = self._executor.submit(
-                    self._run_query, query, alpha, options, span, start
+                    self._run_query, query, alpha, options, span, start,
+                    deadline,
                 )
         except RuntimeError as exc:
             self._abort_submission(key, future, start, exc)
@@ -431,17 +478,29 @@ class QueryService:
         )
         return future
 
-    def _run_query(self, query, alpha, options, span, submitted) -> QueryResult:
+    def _run_query(
+        self, query, alpha, options, span, submitted, deadline=None
+    ) -> QueryResult:
         """Worker-side wrapper of one evaluation.
 
         Records how long the task sat queued behind busy workers and
         re-attaches the request span on this worker thread, so the
         engine's stage spans nest under it across the pool boundary.
+        Expired deadlines are detected here — after the queue wait,
+        before any evaluation work — so a timed-out request resolves
+        with a clean error instead of wasting a worker.
         """
         wait = time.perf_counter() - submitted
         self.stats.record_queue_wait(wait)
         if span.enabled:
             span.set("queue_wait_ms", round(wait * 1e3, 3))
+        if deadline is not None and time.monotonic() >= deadline:
+            self.stats.record_deadline_exceeded()
+            raise DeadlineExceeded(
+                f"deadline expired after {wait * 1e3:.1f} ms queued, "
+                "before the evaluation started"
+            )
+        faults.check("service.worker")
         with use_span(span):
             return self.engine.query(query, alpha, options)
 
@@ -451,9 +510,12 @@ class QueryService:
         alpha: float,
         options: QueryOptions | None = None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(query, alpha, options).result(timeout)
+        return self.submit(query, alpha, options, deadline=deadline).result(
+            timeout
+        )
 
     def query_many(
         self,

@@ -59,6 +59,18 @@ class ServiceStats:
         self.errors = 0
         self.completed = 0
         self.in_flight = 0
+        #: Requests refused admission (load shedding, per-client caps,
+        #: admission-pause timeouts). Rejected requests count toward
+        #: ``requests`` but never toward ``completed``, so on a drained
+        #: service ``requests == completed + rejected`` reconciles
+        #: exactly.
+        self.rejected = 0
+        #: Subset of ``rejected`` shed because a bounded queue was full.
+        self.shed = 0
+        #: Requests whose deadline expired before a result was produced
+        #: (informational; the request still completes as an error or,
+        #: for a server-side late reply, as its eventual outcome).
+        self.deadline_exceeded = 0
         #: Deduplicated requests whose attached evaluation has resolved
         #: (each contributes to ``completed``).
         self.attached = 0
@@ -82,6 +94,15 @@ class ServiceStats:
         )
         self._m_in_flight = registry.gauge("repro_service_in_flight")
         self._m_evictions = registry.counter("repro_service_evictions_total")
+        self._m_rejected = {
+            kind: registry.counter(
+                "repro_service_rejected_total", kind=kind
+            )
+            for kind in ("shed", "refused")
+        }
+        self._m_deadline = registry.counter(
+            "repro_service_deadline_exceeded_total"
+        )
 
     # -- recording -----------------------------------------------------
 
@@ -151,6 +172,25 @@ class ServiceStats:
                 self._latencies.append(seconds)
         self._m_latency["error" if error else "ok"].observe(seconds)
 
+    def record_rejected(self, shed: bool = False) -> None:
+        """A request was refused admission (never evaluated).
+
+        ``shed=True`` marks queue-overflow load shedding; ``False``
+        covers per-client fairness caps, drain-policy rejections and
+        admission-pause timeouts.
+        """
+        with self._lock:
+            self.rejected += 1
+            if shed:
+                self.shed += 1
+        self._m_rejected["shed" if shed else "refused"].inc()
+
+    def record_deadline_exceeded(self) -> None:
+        """A request's deadline expired before its result was produced."""
+        with self._lock:
+            self.deadline_exceeded += 1
+        self._m_deadline.inc()
+
     def record_eviction(self, count: int = 1) -> None:
         """``count`` entries were evicted from the result cache."""
         with self._lock:
@@ -177,12 +217,23 @@ class ServiceStats:
 
     @property
     def requests(self) -> int:
-        """Total requests observed (hits + misses + deduplicated)."""
+        """Total requests observed (hits + misses + dedup + rejected).
+
+        Rejected requests were refused admission, so on a drained
+        service the counters reconcile exactly:
+        ``requests == completed + rejected``.
+        """
         with self._lock:
-            return self.hits + self.misses + self.deduplicated
+            return (
+                self.hits + self.misses + self.deduplicated + self.rejected
+            )
 
     def hit_rate(self) -> float:
-        """Cache hit fraction over all requests (0 when idle)."""
+        """Cache hit fraction over admitted requests (0 when idle).
+
+        Rejected requests never reach the cache, so they are excluded
+        from the denominator.
+        """
         with self._lock:
             total = self.hits + self.misses + self.deduplicated
             return self.hits / total if total else 0.0
@@ -210,13 +261,18 @@ class ServiceStats:
                 "errors": self.errors,
                 "completed": self.completed,
                 "in_flight": self.in_flight,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "deadline_exceeded": self.deadline_exceeded,
                 "plan_hits": self.plan_hits,
                 "plan_misses": self.plan_misses,
             }
-        snap["requests"] = snap["hits"] + snap["misses"] + snap["deduplicated"]
-        snap["hit_rate"] = (
-            snap["hits"] / snap["requests"] if snap["requests"] else 0.0
+        snap["requests"] = (
+            snap["hits"] + snap["misses"] + snap["deduplicated"]
+            + snap["rejected"]
         )
+        admitted = snap["hits"] + snap["misses"] + snap["deduplicated"]
+        snap["hit_rate"] = snap["hits"] / admitted if admitted else 0.0
         snap["latency_p50"] = _quantile(ordered, 0.50)
         snap["latency_p95"] = _quantile(ordered, 0.95)
         snap["error_latency_p50"] = _quantile(error_ordered, 0.50)

@@ -30,6 +30,7 @@ from typing import Iterable, Iterator, Tuple
 
 from repro.storage.btree import BPlusTree
 from repro.storage.recordlog import RecordLog
+from repro.testing import faults
 from repro.utils.errors import StorageError
 
 _COMPOSITE = struct.Struct(">IH")   # (sequence id, bucket in milli-units)
@@ -119,6 +120,7 @@ class InMemoryPathStore(PathStore):
         self._data.setdefault(tuple(label_seq), {})[bucket] = bytes(payload)
 
     def get_bucket(self, label_seq: tuple, bucket: int) -> bytes | None:
+        faults.check("store.read")
         self.read_count += 1
         payload = self._data.get(tuple(label_seq), {}).get(_check_bucket(bucket))
         if payload is not None:
@@ -126,6 +128,7 @@ class InMemoryPathStore(PathStore):
         return payload
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
+        faults.check("store.read")
         self.read_count += 1
         buckets = self._data.get(tuple(label_seq), {})
         for bucket in sorted(buckets):
@@ -219,6 +222,7 @@ class DiskPathStore(PathStore):
         self, label_seq: tuple, bucket: int
     ) -> "bytes | memoryview | None":
         _check_bucket(bucket)
+        faults.check("store.read")
         with self._lock:
             self.read_count += 1
             seq_id = self._sequence_id(label_seq, create=False)
@@ -232,6 +236,7 @@ class DiskPathStore(PathStore):
             return self._read_payload(offset, length)
 
     def scan_buckets(self, label_seq: tuple, min_bucket: int = 0):
+        faults.check("store.read")
         with self._lock:
             self.read_count += 1
             seq_id = self._sequence_id(label_seq, create=False)

@@ -35,6 +35,10 @@ class RecordLog:
         self._end = self._file.tell()
         self._map: mmap.mmap | None = None
         self._map_size = 0
+        #: Updated by :meth:`records` scans: whether the last scan hit a
+        #: torn tail, and where the last complete record ends.
+        self.truncated_tail = False
+        self.valid_end = self._end
 
     def append(self, payload: bytes) -> tuple:
         """Append ``payload`` and return its ``(offset, length)`` pointer."""
@@ -115,18 +119,29 @@ class RecordLog:
             )
         return memoryview(mapping)[offset + _HEADER.size:end]
 
-    def records(self):
+    def records(self, tolerate_truncation: bool = False):
         """Iterate ``(offset, payload)`` over every record, in write order.
 
         The length prefixes make the log self-delimiting, so a reopened
         log can be replayed without an external offset directory — this
-        is what :class:`repro.delta.log.MutationLog` recovery uses. A
-        truncated tail (e.g. a crash mid-append) raises
-        :class:`StorageError` rather than yielding a partial record.
+        is what :class:`repro.delta.log.MutationLog` recovery uses.
+
+        A truncated tail (a crash mid-append leaves a partial header or
+        a short payload) raises :class:`StorageError` by default. With
+        ``tolerate_truncation=True`` iteration instead stops cleanly at
+        the last complete record, sets :attr:`truncated_tail` and
+        leaves :attr:`valid_end` pointing at the first torn byte —
+        callers can :meth:`truncate_to` it to make the log appendable
+        again. Every complete prefix record is still yielded.
         """
+        self.truncated_tail = False
         offset = 0
         while offset < self._end:
             if offset + _HEADER.size > self._end:
+                if tolerate_truncation:
+                    self.truncated_tail = True
+                    self.valid_end = offset
+                    return
                 raise StorageError(
                     f"truncated record header at offset {offset}"
                 )
@@ -134,9 +149,32 @@ class RecordLog:
             (length,) = _HEADER.unpack(self._file.read(_HEADER.size))
             payload = self._file.read(length)
             if len(payload) != length:
+                if tolerate_truncation:
+                    self.truncated_tail = True
+                    self.valid_end = offset
+                    return
                 raise StorageError(f"short record read at offset {offset}")
             yield offset, payload
             offset += _HEADER.size + length
+        self.valid_end = offset
+
+    def truncate_to(self, offset: int) -> None:
+        """Chop the log back to ``offset`` bytes (crash recovery).
+
+        Used after a tolerant :meth:`records` scan found a torn tail:
+        truncating to ``valid_end`` discards the partial record so
+        subsequent appends produce a well-formed log again. The mmap is
+        dropped first — a mapping over the shrunk region would be
+        stale.
+        """
+        if offset < 0 or offset > self._end:
+            raise StorageError(
+                f"truncate offset {offset} out of range [0, {self._end}]"
+            )
+        self._drop_map()
+        self._file.truncate(offset)
+        self._file.flush()
+        self._end = offset
 
     def size_bytes(self) -> int:
         """Total bytes written to the log."""

@@ -1,0 +1,31 @@
+"""Test-support subsystems shipped with the library.
+
+:mod:`repro.testing.faults` is the seedable fault-injection registry
+the chaos suite and the ``REPRO_FAULTS`` environment hook drive. It
+lives in the installed package (not under ``tests/``) because its
+injection sites are threaded through production modules — the store
+read path, the service worker pool, mutation-log replay, and the
+network server — and those modules import it unconditionally.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultRule,
+    check,
+    fire,
+    get_injector,
+    install,
+    install_from_env,
+    uninstall,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "check",
+    "fire",
+    "get_injector",
+    "install",
+    "install_from_env",
+    "uninstall",
+]

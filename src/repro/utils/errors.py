@@ -39,6 +39,74 @@ class ServiceError(ReproError):
     """Misuse of the query-serving layer (e.g. submitting after close)."""
 
 
+class ServiceUnavailable(ServiceError):
+    """The service cannot admit the request right now.
+
+    Raised when admission stays paused (a live update holding the gate)
+    for longer than the service's ``max_admission_wait`` — the caller
+    gets a clean, prompt failure instead of an unbounded block and may
+    retry once the update settles.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """A request's deadline passed before its evaluation produced a result.
+
+    Requests carrying a deadline never hang: if the deadline expires
+    while the request is still queued, the evaluation is skipped and
+    the request's future resolves with this error.
+    """
+
+
+class FaultError(ReproError):
+    """An error injected by the fault-injection framework.
+
+    Only ever raised when :mod:`repro.testing.faults` is active, i.e.
+    in chaos tests or under ``REPRO_FAULTS``. Deriving from
+    :class:`ReproError` means injected faults surface exactly like real
+    subsystem failures: as clean typed errors, never as hangs or wrong
+    answers.
+    """
+
+
+class NetError(ReproError):
+    """Transport-level failure in the network serving tier.
+
+    Connection refusals, resets, dropped connections and short reads on
+    the wire protocol. The client retries these (bounded, with backoff)
+    because queries are read-only; application errors use
+    :class:`RemoteError` and are never retried.
+    """
+
+
+class NetTimeout(NetError):
+    """A network request did not complete within its timeout.
+
+    Deliberately *not* retried by the client: the request may have been
+    admitted server-side, and the caller should decide whether to spend
+    another deadline on it.
+    """
+
+
+class CircuitOpenError(NetError):
+    """The client's circuit breaker is open; the request was not sent."""
+
+
+class RemoteError(NetError):
+    """A typed application error returned by the query server.
+
+    ``code`` carries the wire error type (``REJECTED``,
+    ``DEADLINE_EXCEEDED``, ``UNAVAILABLE``, ``QUERY_ERROR``,
+    ``BAD_REQUEST``, ``INTERNAL``). The server answered — the
+    connection is healthy — so the client never retries these.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = str(code)
+        self.remote_message = str(message)
+
+
 class DeltaError(ReproError):
     """Invalid live-update operation against a running engine.
 

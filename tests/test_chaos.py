@@ -1,0 +1,255 @@
+"""Chaos suite: the serving tier under seeded fault injection.
+
+The invariant under test (ISSUE 8 acceptance): with faults enabled at
+every site — store reads erroring, workers delayed or erroring, the
+server dropping reads and writes mid-exchange — every client request
+returns either a result *bit-identical to the fault-free oracle* or a
+clean typed error. Never a wrong answer; never a hang (each exchange is
+bounded by the client's connect/request timeouts, which double as the
+suite's watchdog).
+
+The sweep (:class:`TestChaosSweep`) runs CHAOS_SEEDS full
+service+server stacks, each with a differently-seeded injector, firing
+CHAOS_QUERIES_PER_SEED requests — well over the 50-case floor. Seeds
+derive from ``REPRO_FAULTS_SEED`` when set (the CI chaos step pins it)
+so a CI failure reproduces locally with the same environment.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.net import QueryClient, protocol, start_server
+from repro.peg import build_peg
+from repro.query import QueryEngine, QueryGraph
+from repro.service import QueryService
+from repro.delta import AddEntity, MutationLog
+from repro.testing import faults
+from repro.utils.errors import (
+    CircuitOpenError,
+    FaultError,
+    NetError,
+    RemoteError,
+)
+from tests.conftest import small_random_peg
+
+#: Every typed application error the wire protocol may answer with.
+TYPED_ERRORS = {
+    protocol.ERROR_REJECTED,
+    protocol.ERROR_DEADLINE,
+    protocol.ERROR_UNAVAILABLE,
+    protocol.ERROR_BAD_REQUEST,
+    protocol.ERROR_QUERY,
+    protocol.ERROR_INTERNAL,
+}
+
+CHAOS_SEEDS = 18
+CHAOS_QUERIES_PER_SEED = 4  # 72 fault-exposed requests, floor is 50
+
+#: Per-exchange watchdog. Nothing in the suite may take longer.
+WATCHDOG = 15.0
+
+QUERIES = [
+    ({"u": "i", "v": "a"}, [("u", "v")], 0.3),
+    ({"u": "i", "v": "a"}, [("u", "v")], 0.6),
+    ({"x": "r", "y": "a"}, [("x", "y")], 0.2),
+    ({"a": "i"}, [], 0.5),
+]
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def chaos_rules(injector: faults.FaultInjector) -> faults.FaultInjector:
+    """Arm every production fault site with moderate probabilities."""
+    injector.add("store.read", "error", probability=0.15)
+    injector.add("service.worker", "error", probability=0.10)
+    injector.add("service.worker", "delay", probability=0.15, param=0.02)
+    injector.add("net.read", "drop", probability=0.08)
+    injector.add("net.write", "drop", probability=0.08)
+    injector.add("net.accept", "drop", probability=0.10)
+    return injector
+
+
+class TestChaosSweep:
+    def test_correct_or_clean_error_never_wrong_never_hung(self, figure1_peg):
+        # Fault-free oracle replies, computed once.
+        engine = QueryEngine(figure1_peg, max_length=2, beta=0.1)
+        oracles = [
+            protocol.serialize_matches(
+                engine.query(QueryGraph(nodes, edges), alpha).matches
+            )
+            for nodes, edges, alpha in QUERIES
+        ]
+
+        base_seed = int(os.environ.get("REPRO_FAULTS_SEED", "1337"))
+        outcomes = {"ok": 0, "typed_error": 0, "transport_error": 0}
+        exercised = 0
+        suite_start = time.monotonic()
+
+        for case in range(CHAOS_SEEDS):
+            # A fresh stack per case, built fault-free (the sweep tests
+            # serving under faults, not index construction): a shared
+            # cache would serve pre-fault results and mask store faults.
+            engine = QueryEngine(figure1_peg, max_length=2, beta=0.1)
+            service = QueryService(
+                engine, num_workers=2, cache_size=0, max_admission_wait=2.0
+            )
+            handle = start_server(service, max_pending=8)
+            faults.install(
+                chaos_rules(faults.FaultInjector(seed=base_seed + case))
+            )
+            try:
+                client = QueryClient(
+                    *handle.address,
+                    connect_timeout=WATCHDOG,
+                    request_timeout=WATCHDOG,
+                    max_retries=2,
+                    backoff_base=0.005,
+                    breaker_threshold=100,  # the sweep measures replies,
+                    seed=case,              # not fail-fast behavior
+                )
+                for (nodes, edges, alpha), oracle in zip(QUERIES, oracles):
+                    start = time.monotonic()
+                    try:
+                        reply = client.query(nodes, edges, alpha=alpha)
+                    except RemoteError as exc:
+                        # clean typed error
+                        assert exc.code in TYPED_ERRORS, exc.code
+                        outcomes["typed_error"] += 1
+                    except (NetError, CircuitOpenError):
+                        # connection torn by an injected drop: a clean
+                        # transport error, never a corrupt frame
+                        outcomes["transport_error"] += 1
+                    else:
+                        # the zero-wrong-answers half of the invariant:
+                        # a success must be bit-identical to the oracle
+                        assert reply["matches"] == oracle
+                        outcomes["ok"] += 1
+                    # the zero-hangs half: every exchange bounded
+                    assert time.monotonic() - start < WATCHDOG
+                    exercised += 1
+                client.close()
+            finally:
+                faults.uninstall()  # clean shutdown path
+                handle.stop(close_service=True)
+        assert exercised == CHAOS_SEEDS * CHAOS_QUERIES_PER_SEED >= 50
+        # the sweep must actually exercise faults and still succeed often
+        assert outcomes["ok"] > 0
+        assert outcomes["typed_error"] + outcomes["transport_error"] > 0
+        assert time.monotonic() - suite_start < CHAOS_SEEDS * WATCHDOG
+
+    def test_sweep_is_seed_deterministic(self):
+        """The same seed must fire the same faults (reproducible CI)."""
+
+        def fire_pattern(seed):
+            injector = chaos_rules(faults.FaultInjector(seed=seed))
+            return [
+                (injector.fire(site) or faults.FaultAction(site, "none")).kind
+                for site in ("store.read", "service.worker", "net.read",
+                             "net.write", "net.accept") * 20
+            ]
+
+        assert fire_pattern(5) == fire_pattern(5)
+        assert fire_pattern(5) != fire_pattern(6)
+
+
+class TestFaultSites:
+    """Each production site surfaces injected faults as clean errors."""
+
+    def test_store_read_fault_is_typed_query_failure(self):
+        peg = small_random_peg(seed=3)
+        engine = QueryEngine(peg, max_length=2, beta=0.1)
+        query = QueryGraph(
+            {"a": sorted(peg.sigma, key=repr)[0]}, []
+        )
+        engine.query(query, 0.5)  # warm path works
+        faults.install(faults.FaultInjector(seed=0)).add(
+            "store.read", "error"
+        )
+        with pytest.raises(FaultError):
+            engine.query(query, 0.5)
+        faults.uninstall()
+        # the engine survives the fault: clean evaluation afterwards
+        assert engine.query(query, 0.5) is not None
+
+    def test_worker_fault_surfaces_through_service(self, figure1_peg):
+        engine = QueryEngine(figure1_peg, max_length=2, beta=0.1)
+        with QueryService(engine, num_workers=1, cache_size=0) as service:
+            faults.install(faults.FaultInjector(seed=0)).add(
+                "service.worker", "error", max_fires=1
+            )
+            query = QueryGraph({"u": "i", "v": "a"}, [("u", "v")])
+            with pytest.raises(FaultError):
+                service.query(query, 0.5, timeout=WATCHDOG)
+            # the worker pool survives: next request succeeds
+            assert service.query(query, 0.5, timeout=WATCHDOG) is not None
+            assert service.stats.errors == 1
+            assert service.stats.requests == service.stats.completed
+
+    def test_mutation_log_replay_fault_is_clean(self, tmp_path):
+        path = str(tmp_path / "mutations.log")
+        with MutationLog(path) as log:
+            log.append(AddEntity(("f1",), {"A": 1.0}))
+        faults.install(faults.FaultInjector(seed=0)).add(
+            "log.replay", "error"
+        )
+        with MutationLog(path) as log:
+            with pytest.raises(FaultError):
+                log.replay()
+        faults.uninstall()
+        with MutationLog(path) as log:
+            assert len(log.replay()) == 1
+
+    def test_server_write_drop_tears_connection_not_protocol(self):
+        """A dropped reply means a torn connection — never a torn frame."""
+        peg = build_peg_figure1()
+        engine = QueryEngine(peg, max_length=2, beta=0.1)
+        service = QueryService(engine, num_workers=1, cache_size=0)
+        handle = start_server(service)
+        try:
+            faults.install(faults.FaultInjector(seed=0)).add(
+                "net.write", "drop", max_fires=1
+            )
+            client = QueryClient(
+                *handle.address, max_retries=2, backoff_base=0.005,
+                request_timeout=WATCHDOG,
+            )
+            # first reply dropped -> retry on a fresh connection wins
+            reply = client.query({"u": "i", "v": "a"}, [("u", "v")], alpha=0.4)
+            assert reply["ok"] is True
+            assert client.retries >= 1
+            client.close()
+        finally:
+            faults.uninstall()
+            handle.stop(close_service=True)
+
+
+def build_peg_figure1():
+    from repro.pgd import pgd_from_edge_list
+
+    return build_peg(
+        pgd_from_edge_list(
+            node_labels={
+                "r1": {"r": 0.25, "i": 0.75},
+                "r2": "a",
+                "r3": "r",
+                "r4": "i",
+            },
+            edges=[
+                ("r1", "r2", 0.9),
+                ("r2", "r3", 1.0),
+                ("r2", "r4", 0.5),
+                ("r1", "r4", 1.0),
+            ],
+            reference_sets=[(("r3", "r4"), 0.8)],
+        )
+    )

@@ -128,6 +128,37 @@ class TestMutationLog:
             assert log.append(ops[0]) == 2
             assert [e.seq for e in log.replay(after=1)] == [2]
 
+    def test_torn_tail_recovery(self, tmp_path):
+        """A crash mid-append must not poison replay on reopen."""
+        path = str(tmp_path / "mutations.log")
+        ops = [
+            AddEntity(("f1",), {"A": 1.0}),
+            UpdateLabelProbability(("f1",), {"A": 0.5, "B": 0.5}),
+        ]
+        with MutationLog(path) as log:
+            log.append_all(ops)
+        # Simulate the crash: a record header without its payload.
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00\x01\x00" + b"partial")
+        with MutationLog(path) as log:
+            assert log.truncated is True
+            assert len(log) == 2
+            entries = log.replay()  # terminates cleanly, no raise
+            assert [e.op for e in entries] == ops
+            # the torn bytes were truncated away, so appends continue
+            # the sequence on a well-formed log
+            assert log.append(ops[0]) == 2
+        with MutationLog(path) as log:
+            assert log.truncated is False
+            assert [e.seq for e in log.replay()] == [0, 1, 2]
+
+    def test_clean_log_not_flagged_truncated(self, tmp_path):
+        path = str(tmp_path / "mutations.log")
+        with MutationLog(path) as log:
+            log.append(AddEntity(("f1",), {"A": 1.0}))
+        with MutationLog(path) as log:
+            assert log.truncated is False
+
     def test_replay_is_idempotent(self, tmp_path, peg, engine):
         sigma = sorted(peg.sigma, key=repr)
         anchor = singleton_ids(peg)[0]

@@ -1,0 +1,680 @@
+"""The network serving tier: protocol, server semantics, client mechanics.
+
+Server tests drive a real :class:`~repro.net.server.QueryServer` on an
+ephemeral port, mostly over scriptable engine doubles whose evaluations
+block on an event — the only way to make admission control, fairness,
+deadlines and drain *deterministic* instead of timing-lottery tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.net import (
+    ERROR_DEADLINE,
+    ERROR_REJECTED,
+    ERROR_UNAVAILABLE,
+    CircuitBreaker,
+    QueryClient,
+    start_server,
+)
+from repro.net import protocol
+from repro.peg import build_peg
+from repro.query import QueryEngine, QueryGraph
+from repro.service import QueryService
+from repro.testing import faults
+from repro.utils.errors import (
+    CircuitOpenError,
+    NetError,
+    NetTimeout,
+    QueryError,
+    RemoteError,
+)
+
+FIGURE1_NODES = {"u": "i", "v": "a"}
+FIGURE1_EDGES = [("u", "v")]
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class FakeResult:
+    def __init__(self, matches=()):
+        self.matches = list(matches)
+
+
+class GatedEngine:
+    """Engine double whose evaluations block until ``gate`` is set."""
+
+    def __init__(self, gate=None):
+        self.gate = gate
+        self.calls = []  # (alpha, graph_version at evaluation time)
+        self.graph_version = 0
+        self.applied = 0
+        self._lock = threading.Lock()
+
+    def query(self, query, alpha, options=None):
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10)
+        with self._lock:
+            self.calls.append((alpha, self.graph_version))
+        return FakeResult()
+
+    def apply_updates(self, ops, log=None):
+        self.graph_version += 1
+        self.applied += 1
+        return {"applied": len(ops)}
+
+
+def gated_server(gate=None, *, num_workers=1, **config):
+    """A started server over a GatedEngine service; caller must stop()."""
+    engine = GatedEngine(gate)
+    service = QueryService(engine, num_workers=num_workers, cache_size=0)
+    handle = start_server(service, **config)
+    return handle, engine, service
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+# ----------------------------------------------------------------------
+# Raw-socket helpers: pipelined frames (a QueryClient keeps only one
+# request outstanding, which can never trip per-client caps).
+# ----------------------------------------------------------------------
+
+
+def connect_raw(address):
+    sock = socket.create_connection(address, timeout=10)
+    sock.settimeout(10)
+    return sock
+
+
+def send_frames(sock, frames):
+    for frame in frames:
+        sock.sendall(protocol.encode_frame(frame))
+
+
+def read_reply(sock):
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            raise ConnectionError("EOF")
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            raise ConnectionError("EOF")
+        payload += chunk
+    return protocol.decode_frame(payload)
+
+
+def read_replies(sock, count):
+    return {reply["id"]: reply for reply in
+            (read_reply(sock) for _ in range(count))}
+
+
+def query_frame(rid, alpha=0.5, deadline_ms=None, nodes=None, edges=None):
+    frame = {
+        "id": rid,
+        "kind": "query",
+        "nodes": dict(FIGURE1_NODES if nodes is None else nodes),
+        "edges": [list(e) for e in (FIGURE1_EDGES if edges is None else edges)],
+        "alpha": alpha,
+    }
+    if deadline_ms is not None:
+        frame["deadline_ms"] = deadline_ms
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        message = {"id": 1, "kind": "query", "nodes": {"a": "X"}}
+        frame = protocol.encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert protocol.decode_frame(frame[4:]) == message
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(NetError):
+            protocol.decode_frame(b"[1, 2]")
+        with pytest.raises(NetError):
+            protocol.decode_frame(b"not json")
+
+    def test_read_frame_clean_eof(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await protocol.read_frame(reader)
+
+        assert asyncio.run(run()) is None
+
+    def test_read_frame_torn_header(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")
+            reader.feed_eof()
+            return await protocol.read_frame(reader)
+
+        with pytest.raises(NetError, match="torn frame header"):
+            asyncio.run(run())
+
+    def test_read_frame_torn_payload(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00\x00\x08abc")
+            reader.feed_eof()
+            return await protocol.read_frame(reader)
+
+        with pytest.raises(NetError, match="torn frame payload"):
+            asyncio.run(run())
+
+    def test_read_frame_implausible_length(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\xff\xff\xff\xff")
+            return await protocol.read_frame(reader)
+
+        with pytest.raises(NetError, match="exceeds"):
+            asyncio.run(run())
+
+    def test_query_graph_from_spec_validation(self):
+        query = protocol.query_graph_from_spec(
+            {"nodes": {"a": "X", "b": "Y"}, "edges": [["a", "b"]]}
+        )
+        assert isinstance(query, QueryGraph)
+        with pytest.raises(QueryError):
+            protocol.query_graph_from_spec({"nodes": {}})
+        with pytest.raises(QueryError):
+            protocol.query_graph_from_spec({"edges": []})
+        with pytest.raises(QueryError):
+            protocol.query_graph_from_spec(
+                {"nodes": {"a": "X"}, "edges": [["a"]]}
+            )
+
+
+# ----------------------------------------------------------------------
+# Server: request path, admission, fairness, deadlines
+# ----------------------------------------------------------------------
+
+
+class TestServerRoundtrip:
+    def test_query_matches_inprocess_oracle(self, figure1_peg):
+        engine = QueryEngine(figure1_peg, max_length=2, beta=0.1)
+        oracle = protocol.serialize_matches(
+            engine.query(
+                QueryGraph(FIGURE1_NODES, FIGURE1_EDGES), 0.3
+            ).matches
+        )
+        service = QueryService(engine, num_workers=2)
+        with start_server(service) as handle:
+            with QueryClient(*handle.address) as client:
+                reply = client.query(FIGURE1_NODES, FIGURE1_EDGES, alpha=0.3)
+                assert reply["ok"] is True
+                assert reply["num_matches"] == len(oracle)
+                assert reply["matches"] == oracle
+                # served twice (second hits the result cache): still
+                # byte-identical on the wire
+                assert client.query(
+                    FIGURE1_NODES, FIGURE1_EDGES, alpha=0.3
+                )["matches"] == oracle
+        service.close()
+
+    def test_ping_and_stats(self):
+        handle, _, service = gated_server()
+        try:
+            with QueryClient(*handle.address) as client:
+                assert client.ping() is True
+                stats = client.stats()
+                assert stats["net_connections"] == 1
+                assert stats["requests"] == 0
+        finally:
+            handle.stop(close_service=True)
+
+    def test_bad_request_typed_error_not_counted(self):
+        handle, _, service = gated_server()
+        try:
+            with QueryClient(*handle.address) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.query({}, [], alpha=0.5)
+                assert excinfo.value.code == "BAD_REQUEST"
+                with pytest.raises(RemoteError) as excinfo:
+                    client.query(FIGURE1_NODES, FIGURE1_EDGES, alpha=7.0)
+                assert excinfo.value.code == "BAD_REQUEST"
+                with pytest.raises(RemoteError) as excinfo:
+                    client.request({"kind": "mystery"})
+                assert excinfo.value.code == "BAD_REQUEST"
+            # malformed requests never reach the service counters
+            assert service.stats.requests == 0
+        finally:
+            handle.stop(close_service=True)
+
+    def test_deadline_watchdog_answers_while_evaluation_runs(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(gate)
+        try:
+            with QueryClient(*handle.address) as client:
+                start = time.monotonic()
+                with pytest.raises(RemoteError) as excinfo:
+                    client.query(
+                        FIGURE1_NODES, FIGURE1_EDGES,
+                        alpha=0.5, deadline_ms=150,
+                    )
+                elapsed = time.monotonic() - start
+                assert excinfo.value.code == ERROR_DEADLINE
+                # answered at the deadline, not when the engine unblocks
+                assert elapsed < 5.0
+                assert service.stats.deadline_exceeded >= 1
+            gate.set()  # release the stuck evaluation; its result is
+            # discarded by the finished entry, not resent
+            wait_until(lambda: len(engine.calls) == 1)
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+
+class TestAdmissionControl:
+    def test_load_shedding_bounded_queue(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(
+            gate, max_pending=2, max_inflight=1, per_client_inflight=16
+        )
+        server = handle.server
+        try:
+            first = connect_raw(handle.address)
+            # stage the sends so the dispatcher settles between frames:
+            # 1 dispatched (blocked on the gate) + 2 pending = at bound
+            send_frames(first, [query_frame(0, alpha=0.10)])
+            wait_until(lambda: server._inflight_total == 1
+                       and server._pending_total == 0)
+            send_frames(first, [query_frame(1, alpha=0.11)])
+            wait_until(lambda: server._pending_total == 1)
+            send_frames(first, [query_frame(2, alpha=0.12)])
+            wait_until(lambda: server._pending_total == 2)
+            second = connect_raw(handle.address)
+            send_frames(second, [query_frame(10, alpha=0.9),
+                                 query_frame(11, alpha=0.91)])
+            rejected = read_replies(second, 2)
+            for rid in (10, 11):
+                assert rejected[rid]["ok"] is False
+                assert rejected[rid]["error"]["type"] == ERROR_REJECTED
+            gate.set()
+            admitted = read_replies(first, 3)
+            assert all(reply["ok"] for reply in admitted.values())
+            wait_until(lambda: service.stats.completed == 3)
+            # exact reconciliation on the drained service
+            assert service.stats.shed == 2
+            assert service.stats.rejected == 2
+            assert service.stats.requests == (
+                service.stats.completed + service.stats.rejected
+            )
+            first.close()
+            second.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+    def test_per_client_inflight_cap(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(
+            gate, max_pending=64, max_inflight=1, per_client_inflight=2
+        )
+        try:
+            sock = connect_raw(handle.address)
+            send_frames(sock, [query_frame(i, alpha=0.1 + i / 100)
+                               for i in range(4)])
+            # ids 2 and 3 exceed the cap and bounce immediately
+            capped = read_replies(sock, 2)
+            assert set(capped) == {2, 3}
+            assert all(
+                reply["error"]["type"] == ERROR_REJECTED
+                for reply in capped.values()
+            )
+            gate.set()
+            served = read_replies(sock, 2)
+            assert set(served) == {0, 1}
+            assert all(reply["ok"] for reply in served.values())
+            sock.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+    def test_round_robin_fairness_across_clients(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(
+            gate, max_pending=64, max_inflight=1, per_client_inflight=16
+        )
+        server = handle.server
+        try:
+            heavy = connect_raw(handle.address)
+            send_frames(heavy, [query_frame(0, alpha=0.10)])
+            wait_until(lambda: server._inflight_total == 1)
+            send_frames(heavy, [query_frame(1, alpha=0.11),
+                                query_frame(2, alpha=0.12)])
+            wait_until(lambda: server._pending_total == 2)
+            light = connect_raw(handle.address)
+            send_frames(light, [query_frame(100, alpha=0.9)])
+            wait_until(lambda: server._pending_total == 3)
+            gate.set()
+            heavy_replies = read_replies(heavy, 3)
+            light_reply = read_reply(light)
+            assert all(r["ok"] for r in heavy_replies.values())
+            assert light_reply["ok"]
+            # round-robin: the light client's single request was
+            # dispatched before the heavy client's backlog drained
+            order = [alpha for alpha, _ in engine.calls]
+            assert order.index(0.9) < order.index(0.12)
+            heavy.close()
+            light.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+
+# ----------------------------------------------------------------------
+# Drain: live updates and shutdown
+# ----------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_apply_updates_holds_queued_requests(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(
+            gate, max_pending=64, max_inflight=1, drain_policy="hold"
+        )
+        server = handle.server
+        try:
+            sock = connect_raw(handle.address)
+            send_frames(sock, [query_frame(0, alpha=0.5)])
+            wait_until(lambda: server._inflight_total == 1)
+            applied = []
+            updater = threading.Thread(
+                target=lambda: applied.append(handle.apply_updates([]))
+            )
+            updater.start()
+            wait_until(lambda: server._draining)
+            # a request arriving mid-drain is held, not rejected
+            send_frames(sock, [query_frame(1, alpha=0.6)])
+            wait_until(lambda: server._pending_total == 1)
+            gate.set()
+            replies = read_replies(sock, 2)
+            updater.join(timeout=10)
+            assert not updater.is_alive()
+            assert applied == [{"applied": 0}]
+            assert replies[0]["ok"] and replies[1]["ok"]
+            # the held request evaluated against the post-update graph
+            assert dict(engine.calls)[0.6] == 1
+            assert dict(engine.calls)[0.5] == 0
+            sock.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+    def test_apply_updates_shed_policy_rejects_queued(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(
+            gate, max_pending=64, max_inflight=1, drain_policy="shed"
+        )
+        server = handle.server
+        try:
+            sock = connect_raw(handle.address)
+            send_frames(sock, [query_frame(0, alpha=0.5),
+                               query_frame(1, alpha=0.6)])
+            wait_until(lambda: server._inflight_total == 1
+                       and server._pending_total == 1)
+            updater = threading.Thread(target=handle.apply_updates, args=([],))
+            updater.start()
+            wait_until(lambda: server._draining)
+            gate.set()
+            replies = read_replies(sock, 2)
+            updater.join(timeout=10)
+            assert replies[0]["ok"] is True
+            assert replies[1]["ok"] is False
+            assert replies[1]["error"]["type"] == ERROR_REJECTED
+            assert service.stats.rejected == 1
+            assert service.stats.requests == (
+                service.stats.completed + service.stats.rejected
+            )
+            sock.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+    def test_stop_hard_cutoff_resolves_inflight(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(gate)
+        try:
+            sock = connect_raw(handle.address)
+            send_frames(sock, [query_frame(0, alpha=0.5)])
+            wait_until(lambda: handle.server._inflight_total == 1)
+            stopper = threading.Thread(
+                target=handle.stop, kwargs={"drain_timeout": 0.2}
+            )
+            stopper.start()
+            # the stuck evaluation cannot complete, yet the client gets
+            # a typed reply at the cutoff instead of a dead socket
+            reply = read_reply(sock)
+            assert reply["id"] == 0
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == ERROR_UNAVAILABLE
+            stopper.join(timeout=10)
+            assert not stopper.is_alive()
+            sock.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+    def test_service_close_nowait_resolves_net_futures(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(gate, max_inflight=2)
+        server = handle.server
+        try:
+            sock = connect_raw(handle.address)
+            # one running (gated), one queued inside the service executor
+            send_frames(sock, [query_frame(0, alpha=0.5),
+                               query_frame(1, alpha=0.6)])
+            wait_until(lambda: server._inflight_total == 2)
+            service.close(wait=False)
+            # both futures resolve with errors -> both net replies
+            # arrive as typed UNAVAILABLE; no dangling connection
+            replies = read_replies(sock, 2)
+            for rid in (0, 1):
+                assert replies[rid]["ok"] is False
+                assert replies[rid]["error"]["type"] == ERROR_UNAVAILABLE
+            sock.close()
+        finally:
+            gate.set()
+            handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Overload (satellite: 2x capacity offered load)
+# ----------------------------------------------------------------------
+
+
+class TestOverload:
+    def test_double_capacity_sheds_and_reconciles(self):
+        class SlowEngine(GatedEngine):
+            def query(self, query, alpha, options=None):
+                time.sleep(0.02)
+                return super().query(query, alpha, options)
+
+        engine = SlowEngine()
+        service = QueryService(engine, num_workers=1, cache_size=0)
+        # capacity: 1 in flight + 2 pending = 3 concurrent requests
+        handle = start_server(
+            service, max_pending=2, max_inflight=1, per_client_inflight=16
+        )
+        outcomes = []
+        lock = threading.Lock()
+
+        def hammer(tid):
+            with QueryClient(*handle.address, max_retries=0) as client:
+                for i in range(6):
+                    try:
+                        reply = client.query(
+                            FIGURE1_NODES, FIGURE1_EDGES,
+                            alpha=0.3 + (tid * 6 + i) * 1e-3,
+                        )
+                        with lock:
+                            outcomes.append("ok" if reply["ok"] else "?")
+                    except RemoteError as exc:
+                        assert exc.code == ERROR_REJECTED
+                        with lock:
+                            outcomes.append("rejected")
+
+        try:
+            # 6 concurrent clients >= 2x the 3-slot capacity
+            threads = [
+                threading.Thread(target=hammer, args=(tid,))
+                for tid in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in threads)
+            assert len(outcomes) == 36
+            assert "?" not in outcomes
+            # overload was actually shed, and admitted requests all ran
+            assert outcomes.count("rejected") >= 1
+            assert service.stats.shed >= 1
+            wait_until(lambda: service.stats.in_flight == 0)
+            snap = service.stats_snapshot()
+            assert snap["requests"] == 36
+            assert snap["completed"] == outcomes.count("ok")
+            assert snap["rejected"] == outcomes.count("rejected")
+            assert snap["requests"] == snap["completed"] + snap["rejected"]
+        finally:
+            handle.stop(close_service=True)
+
+
+# ----------------------------------------------------------------------
+# Client: retry, timeouts, breaker
+# ----------------------------------------------------------------------
+
+
+def _dead_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestCircuitBreaker:
+    def test_transitions(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=0.05)
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow() is False
+        time.sleep(0.06)
+        assert breaker.allow() is True  # half-open probe
+        assert breaker.state == "half-open"
+        assert breaker.allow() is False  # only one probe at a time
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.06)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestClientRetry:
+    def test_connection_refused_retries_then_raises(self):
+        client = QueryClient(
+            "127.0.0.1", _dead_port(),
+            max_retries=2, backoff_base=0.001, breaker_threshold=10,
+        )
+        with pytest.raises(NetError):
+            client.ping()
+        assert client.retries == 2
+
+    def test_retry_recovers_from_dropped_connection(self):
+        injector = faults.install(faults.FaultInjector(seed=1))
+        # the server refuses exactly one connection, then behaves
+        injector.add("net.accept", "drop", max_fires=1)
+        handle, engine, service = gated_server()
+        try:
+            client = QueryClient(
+                *handle.address, max_retries=2, backoff_base=0.001,
+            )
+            assert client.ping() is True
+            assert client.retries == 1
+            client.close()
+        finally:
+            handle.stop(close_service=True)
+
+    def test_application_errors_never_retried(self):
+        handle, engine, service = gated_server()
+        try:
+            with QueryClient(*handle.address, max_retries=3) as client:
+                with pytest.raises(RemoteError):
+                    client.query({}, [], alpha=0.5)
+                assert client.retries == 0
+                assert client.breaker.state == "closed"
+        finally:
+            handle.stop(close_service=True)
+
+    def test_timeout_not_retried(self):
+        gate = threading.Event()
+        handle, engine, service = gated_server(gate)
+        try:
+            client = QueryClient(
+                *handle.address, request_timeout=0.2, max_retries=3,
+            )
+            with pytest.raises(NetTimeout):
+                client.query(FIGURE1_NODES, FIGURE1_EDGES, alpha=0.5)
+            assert client.retries == 0
+            client.close()
+        finally:
+            gate.set()
+            handle.stop(close_service=True)
+
+    def test_breaker_fails_fast_on_dead_server(self):
+        client = QueryClient(
+            "127.0.0.1", _dead_port(),
+            max_retries=0, backoff_base=0.001,
+            breaker_threshold=1, breaker_cooldown=0.1,
+        )
+        with pytest.raises(NetError):
+            client.ping()
+        # breaker open: fail fast, no connect attempt
+        start = time.perf_counter()
+        with pytest.raises(CircuitOpenError):
+            client.ping()
+        assert time.perf_counter() - start < 0.05
+        time.sleep(0.12)
+        # half-open probe fails -> open again
+        with pytest.raises(NetError):
+            client.ping()
+        with pytest.raises(CircuitOpenError):
+            client.ping()

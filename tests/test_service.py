@@ -11,7 +11,12 @@ from repro.peg import build_peg
 from repro.pgd import pgd_from_edge_list
 from repro.query import QueryEngine, QueryGraph, QueryOptions
 from repro.service import QueryService, ResultCache, ServiceStats, request_key
-from repro.utils.errors import QueryError, ServiceError
+from repro.utils.errors import (
+    DeadlineExceeded,
+    QueryError,
+    ServiceError,
+    ServiceUnavailable,
+)
 
 
 @pytest.fixture
@@ -491,3 +496,129 @@ class TestCloseLifecycle:
         assert not errors
         assert len(done) == 16
         assert service._inflight == {}
+
+
+class TestDeadlines:
+    def test_expired_deadline_resolves_with_clean_error(self):
+        with QueryService(FakeEngine(), num_workers=1, cache_size=0) as service:
+            future = service.submit(
+                figure1_query(), 0.5, deadline=time.monotonic() - 0.01
+            )
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=10)
+            assert service.stats.deadline_exceeded == 1
+            # the request still completed (as an error): counters reconcile
+            assert service.stats.requests == service.stats.completed
+
+    def test_future_deadline_does_not_interfere(self):
+        with QueryService(FakeEngine(), num_workers=1, cache_size=0) as service:
+            future = service.submit(
+                figure1_query(), 0.5, deadline=time.monotonic() + 30.0
+            )
+            assert future.result(timeout=10) is not None
+            assert service.stats.deadline_exceeded == 0
+
+    def test_queued_expired_request_never_evaluates(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        with QueryService(engine, num_workers=1, cache_size=0) as service:
+            blocker = service.submit(figure1_query(), 0.5)
+            # distinct alpha: a distinct request key (same-shape queries
+            # would deduplicate against the blocker)
+            expired = service.submit(
+                figure1_query(), 0.4,
+                deadline=time.monotonic() + 0.01,
+            )
+            time.sleep(0.05)  # let the deadline lapse while queued
+            gate.set()
+            assert blocker.result(timeout=10) is not None
+            with pytest.raises(DeadlineExceeded):
+                expired.result(timeout=10)
+            # only the blocker reached the engine
+            assert engine.calls == 1
+
+
+class TestBoundedAdmissionWait:
+    def test_invalid_max_admission_wait_rejected(self):
+        with pytest.raises(ServiceError):
+            QueryService(FakeEngine(), max_admission_wait=0)
+        with pytest.raises(ServiceError):
+            QueryService(FakeEngine(), max_admission_wait=-1.0)
+
+    def test_admission_pause_times_out_cleanly(self):
+        service = QueryService(
+            FakeEngine(), num_workers=1, cache_size=0,
+            max_admission_wait=0.05,
+        )
+        try:
+            with service._gate:
+                service._applying = True
+            start = time.perf_counter()
+            with pytest.raises(ServiceUnavailable):
+                service.submit(figure1_query(), 0.5)
+            assert time.perf_counter() - start < 5.0
+            assert service.stats.rejected == 1
+            assert service.stats.requests == service.stats.rejected
+            with service._gate:
+                service._applying = False
+                service._apply_done.notify_all()
+            # the pause lifted: submits are admitted again
+            assert service.submit(figure1_query(), 0.5).result(timeout=10)
+        finally:
+            service.close()
+
+    def test_no_hang_under_concurrent_update_and_query_load(self):
+        class UpdatableEngine(FakeEngine):
+            def __init__(self, hold):
+                super().__init__()
+                self.hold = hold
+                self.graph_version = 0
+
+            def apply_updates(self, ops, log=None):
+                assert self.hold.wait(timeout=10)
+                self.graph_version += 1
+                return {"applied": len(ops)}
+
+        hold = threading.Event()
+        service = QueryService(
+            UpdatableEngine(hold), num_workers=2, cache_size=0,
+            max_admission_wait=0.1,
+        )
+        try:
+            updater = threading.Thread(
+                target=service.apply_updates, args=([],)
+            )
+            updater.start()
+            deadline = time.monotonic() + 5.0
+            while not service._applying:  # wait for the pause to engage
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            outcomes = []
+
+            def query(i):
+                try:
+                    service.submit(
+                        figure1_query(f"x{i}", f"y{i}"), 0.5
+                    ).result(timeout=10)
+                    outcomes.append("ok")
+                except ServiceUnavailable:
+                    outcomes.append("unavailable")
+
+            threads = [
+                threading.Thread(target=query, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            # the stuck update must not hang the submitters: every one
+            # resolved, with a clean typed error
+            assert not any(thread.is_alive() for thread in threads)
+            assert outcomes == ["unavailable"] * 4
+            hold.set()
+            updater.join(timeout=10)
+            assert not updater.is_alive()
+            assert service.submit(figure1_query(), 0.5).result(timeout=10)
+        finally:
+            hold.set()
+            service.close()

@@ -95,3 +95,73 @@ class TestReadView:
         with RecordLog(str(tmp_path / "log.bin")) as log:
             pointer = log.append(b"")
             assert log.read_view(*pointer) == b""
+
+
+class TestTornTailRecovery:
+    """A process dying mid-append leaves a torn trailing record."""
+
+    def _write_then_tear(self, path, keep=2, tear_bytes=3):
+        with RecordLog(path) as log:
+            pointers = [log.append(f"rec{i}".encode()) for i in range(keep)]
+        with open(path, "r+b") as handle:
+            handle.seek(0, 2)
+            end = handle.tell()
+            # Simulate a torn append: some header/payload bytes landed,
+            # the rest never made it to disk.
+            handle.write(b"\x00\x00\x00\x09" + b"par"[: max(0, tear_bytes - 4)])
+        return pointers, end
+
+    def test_strict_scan_raises_on_torn_tail(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        self._write_then_tear(path)
+        with RecordLog(path) as log:
+            with pytest.raises(StorageError):
+                list(log.records())
+
+    def test_tolerant_scan_stops_cleanly_and_flags(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        pointers, valid_end = self._write_then_tear(path)
+        with RecordLog(path) as log:
+            records = list(log.records(tolerate_truncation=True))
+            assert [payload for _, payload in records] == [b"rec0", b"rec1"]
+            assert log.truncated_tail is True
+            assert log.valid_end == valid_end
+
+    def test_torn_header_only(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        with RecordLog(path) as log:
+            log.append(b"whole")
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00")  # 2 of 4 header bytes
+        with RecordLog(path) as log:
+            records = list(log.records(tolerate_truncation=True))
+            assert [payload for _, payload in records] == [b"whole"]
+            assert log.truncated_tail is True
+
+    def test_clean_log_not_flagged(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        with RecordLog(path) as log:
+            log.append(b"one")
+            assert list(log.records(tolerate_truncation=True))
+            assert log.truncated_tail is False
+            assert log.valid_end == log.size_bytes()
+
+    def test_truncate_to_makes_log_appendable(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        pointers, valid_end = self._write_then_tear(path)
+        with RecordLog(path) as log:
+            list(log.records(tolerate_truncation=True))
+            log.truncate_to(log.valid_end)
+            fresh = log.append(b"after-recovery")
+            assert log.read(*fresh) == b"after-recovery"
+            # the surviving records and the new one all scan strictly
+            payloads = [payload for _, payload in log.records()]
+            assert payloads == [b"rec0", b"rec1", b"after-recovery"]
+
+    def test_truncate_to_validates_range(self, tmp_path):
+        with RecordLog(str(tmp_path / "log.bin")) as log:
+            log.append(b"x")
+            with pytest.raises(StorageError):
+                log.truncate_to(log.size_bytes() + 10)
+            with pytest.raises(StorageError):
+                log.truncate_to(-1)

@@ -1,0 +1,122 @@
+"""Unit tests for the seedable fault-injection registry."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing import faults
+from repro.utils.errors import FaultError, ReproError
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestFaultRule:
+    def test_exact_site_match(self):
+        rule = faults.FaultRule(site="store.read", kind="error")
+        assert rule.matches("store.read")
+        assert not rule.matches("store.write")
+
+    def test_prefix_match(self):
+        rule = faults.FaultRule(site="net.*", kind="drop")
+        assert rule.matches("net.read")
+        assert rule.matches("net.write")
+        assert not rule.matches("service.worker")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ReproError):
+            faults.FaultRule(site="x", kind="explode")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ReproError):
+            faults.FaultRule(site="x", kind="error", probability=1.5)
+
+
+class TestFaultInjector:
+    def test_disabled_is_no_op(self):
+        # No injector installed: check() must be free and silent.
+        assert faults.fire("store.read") is None
+        faults.check("store.read")  # must not raise
+
+    def test_error_kind_raises(self):
+        injector = faults.install(faults.FaultInjector(seed=1))
+        injector.add("store.read", "error")
+        with pytest.raises(FaultError, match="store.read"):
+            faults.check("store.read")
+        assert injector.total_fired() == 1
+
+    def test_delay_kind_sleeps(self):
+        injector = faults.install(faults.FaultInjector(seed=1))
+        injector.add("service.worker", "delay", param=0.05)
+        start = time.perf_counter()
+        faults.check("service.worker")
+        assert time.perf_counter() - start >= 0.04
+
+    def test_drop_returns_action(self):
+        injector = faults.install(faults.FaultInjector(seed=1))
+        injector.add("net.read", "drop")
+        action = faults.fire("net.read")
+        assert action is not None
+        assert action.kind == "drop"
+
+    def test_probability_is_seed_deterministic(self):
+        def run(seed):
+            injector = faults.FaultInjector(seed=seed)
+            injector.add("s", "error", probability=0.5)
+            return [injector.fire("s") is not None for _ in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        fired = sum(run(7))
+        assert 5 < fired < 45  # actually probabilistic, not all-or-nothing
+
+    def test_max_fires_caps_rule(self):
+        injector = faults.install(faults.FaultInjector(seed=1))
+        injector.add("store.read", "error", max_fires=2)
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                faults.check("store.read")
+        faults.check("store.read")  # exhausted: no longer fires
+        assert injector.total_fired() == 2
+
+    def test_uninstall_disables(self):
+        injector = faults.install(faults.FaultInjector(seed=1))
+        injector.add("store.read", "error")
+        faults.uninstall()
+        faults.check("store.read")
+        assert faults.get_injector() is None
+
+
+class TestEnvSpec:
+    def test_parse_env_spec(self):
+        injector = faults.parse_env(
+            "store.read:error:0.25,net.*:delay:1.0:0.01", seed=3
+        )
+        assert len(injector.rules) == 2
+        assert injector.rules[0].site == "store.read"
+        assert injector.rules[0].probability == 0.25
+        assert injector.rules[1].kind == "delay"
+        assert injector.rules[1].param == 0.01
+
+    def test_parse_env_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            faults.parse_env("store.read")  # no kind
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "service.worker:error:1.0")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "42")
+        injector = faults.install_from_env()
+        assert injector is not None
+        with pytest.raises(FaultError):
+            faults.check("service.worker")
+
+    def test_install_from_env_absent(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert faults.install_from_env() is None
+        assert faults.get_injector() is None
