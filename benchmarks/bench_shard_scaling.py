@@ -27,7 +27,7 @@ from repro.index import build_path_index, build_sharded_path_index
 from repro.query import QueryEngine, QueryGraph
 from repro.datasets import random_query
 from repro.service.bench import available_cpus
-from repro.utils.timing import Timer
+from repro.obs.timing import Timer
 
 NUM_REFERENCES = 600
 MAX_LENGTH = 2

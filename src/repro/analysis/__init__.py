@@ -1,0 +1,39 @@
+"""``repro.analysis``: the repo's AST-based invariant linter.
+
+Generic linters cannot check the contracts this reproduction actually
+depends on — bit-exact backend agreement, ``PYTHONHASHSEED``-independent
+ordering, lock-guarded stats, version-keyed cache invalidation, typed
+wire errors. This package mechanizes them: a small per-file /
+cross-file checker framework (:mod:`repro.analysis.core`,
+:mod:`repro.analysis.runner`) plus one checker per contract
+(:mod:`repro.analysis.checkers`). ``python -m repro.analysis src/repro
+--strict`` is the CI gate; ``python -m repro lint`` is the same thing
+through the main CLI.
+
+See the README's "Static analysis" section for the diagnostic codes,
+the ``# guarded-by:`` annotation convention and how to suppress a
+finding with ``# lint-ok:``.
+"""
+
+from repro.analysis.core import (
+    AnalysisError,
+    Checker,
+    Diagnostic,
+    ProjectChecker,
+    SourceFile,
+    parse_source,
+)
+from repro.analysis.checkers import all_checkers
+from repro.analysis.runner import Report, run_paths
+
+__all__ = [
+    "AnalysisError",
+    "Checker",
+    "Diagnostic",
+    "ProjectChecker",
+    "Report",
+    "SourceFile",
+    "all_checkers",
+    "parse_source",
+    "run_paths",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis [paths...] [--strict] [--json FILE]``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Asyncio hygiene: no blocking calls inside coroutines.
+
+The serving tier (:mod:`repro.net`) multiplexes every connection over
+one event loop; a single blocking call inside a coroutine stalls every
+client at once — the kind of regression that only shows up as tail
+latency under load, long after the offending line merged.
+
+``REP401`` flags, lexically inside an ``async def`` (nested *sync*
+functions are excluded — they may legitimately run via
+``asyncio.to_thread``):
+
+* ``time.sleep(...)`` — use ``asyncio.sleep``;
+* builtin ``open(...)`` and ``os.read``/``os.write`` — file I/O blocks
+  the loop; do it in a thread;
+* ``socket.create_connection`` / raw ``socket.socket`` use — streams
+  belong to asyncio;
+* ``subprocess.run``/``call``/``check_output``/``Popen`` — use
+  ``asyncio.create_subprocess_exec``;
+* ``<anything>.result()`` with no arguments — a
+  ``concurrent.futures.Future`` (the service's submit() return type)
+  blocks the loop until the worker finishes; await an
+  ``asyncio.wrap_future`` or hand the callback to
+  ``call_soon_threadsafe`` instead.
+
+The ``.result()`` rule is name-based and may hit a non-future; that is
+what ``# lint-ok: REP401`` is for — the suppression doubles as a
+reviewer-visible claim that the call cannot block.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, SourceFile
+
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "time.sleep blocks the event loop; await "
+                       "asyncio.sleep(...) instead",
+    ("os", "read"): "os.read blocks the event loop; move file I/O to a "
+                    "thread (asyncio.to_thread)",
+    ("os", "write"): "os.write blocks the event loop; move file I/O to a "
+                     "thread (asyncio.to_thread)",
+    ("socket", "create_connection"): "blocking socket dial inside a "
+                                     "coroutine; use asyncio streams",
+    ("socket", "socket"): "raw socket construction inside a coroutine; "
+                          "use asyncio streams",
+    ("subprocess", "run"): "blocking subprocess call in a coroutine; use "
+                           "asyncio.create_subprocess_exec",
+    ("subprocess", "call"): "blocking subprocess call in a coroutine; use "
+                            "asyncio.create_subprocess_exec",
+    ("subprocess", "check_output"): "blocking subprocess call in a "
+                                    "coroutine; use "
+                                    "asyncio.create_subprocess_exec",
+    ("subprocess", "Popen"): "blocking subprocess call in a coroutine; "
+                             "use asyncio.create_subprocess_exec",
+}
+
+_BLOCKING_BUILTINS = {
+    "open": "open() blocks the event loop on disk latency; do file I/O "
+            "via asyncio.to_thread",
+    "input": "input() blocks the event loop indefinitely",
+}
+
+
+class AsyncioHygieneChecker(Checker):
+    name = "asyncio-hygiene"
+    codes = {
+        "REP401": "blocking call inside a coroutine",
+    }
+
+    def check(self, source: SourceFile) -> list:
+        diagnostics: list = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                collector = _CoroutineVisitor(self, source)
+                for statement in node.body:
+                    collector.visit(statement)
+                diagnostics.extend(collector.diagnostics)
+        return diagnostics
+
+
+class _CoroutineVisitor(ast.NodeVisitor):
+    """Visits one coroutine body, skipping nested sync functions."""
+
+    def __init__(self, checker, source) -> None:
+        self.checker = checker
+        self.source = source
+        self.diagnostics: list = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # sync helper: runs wherever it is called, not on the loop
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.generic_visit(node)  # nested coroutine: same rules apply
+
+    def _flag(self, node, message: str) -> None:
+        self.diagnostics.append(
+            self.checker.diagnostic(
+                self.source, "REP401", node.lineno, message,
+                col=node.col_offset,
+            )
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _BLOCKING_BUILTINS:
+            self._flag(node, _BLOCKING_BUILTINS[func.id])
+        elif isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                message = _BLOCKING_MODULE_CALLS.get(
+                    (func.value.id, func.attr)
+                )
+                if message is not None:
+                    self._flag(node, message)
+                    self.generic_visit(node)
+                    return
+            if func.attr == "result" and not node.args and not node.keywords:
+                self._flag(
+                    node,
+                    ".result() on a future blocks the event loop until "
+                    "the worker finishes; await asyncio.wrap_future(...) "
+                    "or resolve via call_soon_threadsafe",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,190 @@
+"""Determinism checkers: hash-order and hidden-entropy hazards.
+
+The reproduction's core contract is bit-exact, ``PYTHONHASHSEED``-
+independent output: the vectorized and reference backends must agree,
+match lists must sort identically across processes, and cache keys must
+be stable. Three recurring ways that contract has been broken by hand
+before tooling existed (PR 5 fixed a hash-order ``frozenset`` repr in
+the exact-cover tie-break; PR 4 fixed ``top_k_matches`` trusting
+set-iteration emission order):
+
+``REP101``
+    Iterating a set (literal, comprehension, or ``set()``/
+    ``frozenset()`` call) in a position where the iteration order can
+    escape — a ``for`` loop, a comprehension, or an order-preserving
+    conversion (``list``/``tuple``/``iter``/``enumerate``/``join``).
+    Hash randomization makes that order differ between processes.
+    Wrap the iterable in ``sorted(...)`` or restructure.
+
+``REP102``
+    ``repr()`` / ``str()`` of a set or frozenset expression. The
+    rendering follows hash order, so using it as a sort key, cache-key
+    component or stored artifact is nondeterministic across processes.
+
+``REP103``
+    Module-level ``random.*`` (process-global, unseeded RNG) or wall
+    clock (``time.time`` / ``time.time_ns``) inside pure query logic
+    (``repro.query``, ``repro.pgm``, ``repro.pgd``, ``repro.peg``,
+    ``repro.index``, ``repro.relational``, ``repro.delta``). Pure
+    stages must be replayable: take a seeded ``random.Random`` and use
+    monotonic clocks for timing.
+
+Only syntactically evident sets are flagged — a variable that happens
+to hold a set is beyond a single-file AST pass. That keeps the checker
+free of false positives at the cost of missed cases; the differential
+harness remains the backstop for those.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, SourceFile
+
+#: Modules whose logic must be a pure function of (graph, query, seed).
+PURE_MODULE_PREFIXES = (
+    "repro.query",
+    "repro.pgm",
+    "repro.pgd",
+    "repro.peg",
+    "repro.index",
+    "repro.relational",
+    "repro.delta",
+)
+
+#: Order-preserving consumers: feeding them a set leaks hash order.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "iter", "enumerate"}
+
+#: Global-RNG entry points on the ``random`` module.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss", "normalvariate",
+    "betavariate", "expovariate", "seed",
+}
+
+_WALL_CLOCK_FNS = {"time", "time_ns"}
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """Is ``node`` syntactically guaranteed to evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    codes = {
+        "REP101": "iteration over a set leaks hash order into emitted order",
+        "REP102": "repr()/str() of a set is hash-order dependent",
+        "REP103": "unseeded global RNG or wall clock in pure query logic",
+    }
+
+    def check(self, source: SourceFile) -> list:
+        visitor = _Visitor(self, source)
+        visitor.visit(source.tree)
+        return visitor.diagnostics
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, checker: DeterminismChecker, source: SourceFile) -> None:
+        self.checker = checker
+        self.source = source
+        self.diagnostics: list = []
+        self.pure = source.module.startswith(PURE_MODULE_PREFIXES)
+
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            self.checker.diagnostic(
+                self.source, code, node.lineno, message,
+                col=node.col_offset,
+            )
+        )
+
+    # -- REP101: set iteration feeding order ---------------------------
+
+    def _check_iter(self, iterable: ast.AST, context: str) -> None:
+        if is_set_expression(iterable):
+            self._flag(
+                "REP101", iterable,
+                f"{context} iterates a set in hash order; wrap it in "
+                "sorted(...) so the order is PYTHONHASHSEED-independent",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter, "async for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The output is itself a set: the generator's order cannot
+        # escape, so only recurse (a nested hazard still flags).
+        self.generic_visit(node)
+
+    # -- Calls: REP101 conversions, REP102 repr, REP103 entropy --------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (
+                func.id in _ORDER_SENSITIVE_BUILTINS
+                and node.args
+                and is_set_expression(node.args[0])
+            ):
+                self._flag(
+                    "REP101", node,
+                    f"{func.id}() of a set preserves hash order; use "
+                    "sorted(...) for a stable order",
+                )
+            elif func.id in ("repr", "str", "format") and node.args and (
+                is_set_expression(node.args[0])
+            ):
+                self._flag(
+                    "REP102", node,
+                    f"{func.id}() of a set renders in hash order and is "
+                    "not stable across processes; sort the elements and "
+                    "render those",
+                )
+        elif isinstance(func, ast.Attribute):
+            if (
+                func.attr == "join"
+                and node.args
+                and is_set_expression(node.args[0])
+            ):
+                self._flag(
+                    "REP101", node,
+                    "join() over a set emits elements in hash order; "
+                    "join(sorted(...)) instead",
+                )
+            elif self.pure and isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base == "random" and func.attr in _GLOBAL_RANDOM_FNS:
+                    self._flag(
+                        "REP103", node,
+                        f"random.{func.attr}() uses the process-global "
+                        "RNG; pure query logic must take a seeded "
+                        "random.Random so runs are replayable",
+                    )
+                elif base == "time" and func.attr in _WALL_CLOCK_FNS:
+                    self._flag(
+                        "REP103", node,
+                        f"time.{func.attr}() reads the wall clock inside "
+                        "pure query logic; use time.monotonic()/"
+                        "perf_counter() for intervals or pass timestamps in",
+                    )
+        self.generic_visit(node)

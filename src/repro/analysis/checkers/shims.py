@@ -1,0 +1,67 @@
+"""Dead-shim detection: re-export modules must not accumulate.
+
+PR 6 folded ``repro.utils.timing`` into ``repro.obs.timing`` and left a
+compatibility shim behind "temporarily". Shims rot: every one is a
+second import path for the same objects, splitting ``isinstance``
+identities across reload boundaries and hiding the real home of the
+code from readers and tooling alike.
+
+``REP701`` flags a module whose executable body is nothing but imports
+(plus an optional docstring and an ``__all__`` assignment): a pure
+re-export surface. Package ``__init__.py`` files are exempt — curating
+a package namespace is exactly their job. A shim that must live through
+a deprecation window can carry ``# lint-ok: REP701 remove after vX.Y``
+on its first import line, making the debt visible and dated.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker, SourceFile
+
+_EXEMPT_BASENAMES = {"__init__", "__main__"}
+
+
+class DeadShimChecker(Checker):
+    name = "dead-shim"
+    codes = {
+        "REP701": "module is a pure re-export shim",
+    }
+
+    def check(self, source: SourceFile) -> list:
+        basename = source.module.rsplit(".", 1)[-1]
+        if basename in _EXEMPT_BASENAMES:
+            return []
+        body = list(source.tree.body)
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ) and isinstance(body[0].value.value, str):
+            body = body[1:]  # docstring
+        if not body:
+            return []
+        imports = 0
+        for node in body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                imports += 1
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+                isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+            ):
+                continue
+            return []  # real code: not a shim
+        if imports == 0:
+            return []
+        first = next(
+            node for node in source.tree.body
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+        )
+        return [
+            self.diagnostic(
+                source, "REP701", first.lineno,
+                f"module '{source.module}' only re-exports other modules; "
+                "fold it into its target and update importers (or date "
+                "the deprecation window in a suppression)",
+            )
+        ]

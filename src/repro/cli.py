@@ -410,6 +410,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the server's stats snapshot and exit",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro.analysis invariant linter over source paths",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any unsuppressed diagnostic",
+    )
+    lint.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="also write the machine-readable report to FILE ('-' = stdout)",
+    )
+    lint.add_argument(
+        "--select", action="append", metavar="NAME_OR_CODE",
+        help="run only the named checkers / codes (repeatable)",
+    )
+    lint.add_argument(
+        "--list-codes", action="store_true", dest="list_codes",
+        help="print every diagnostic code with its description and exit",
+    )
+
     bench = commands.add_parser(
         "bench-serve",
         help="measure serving latency/throughput (cache, workers, dedup)",
@@ -897,6 +922,21 @@ def _cmd_bench_serve(args) -> int:
         return run(directory)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.runner import main as analysis_main
+
+    argv = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.json_out:
+        argv.extend(["--json", args.json_out])
+    for item in args.select or ():
+        argv.extend(["--select", item])
+    if args.list_codes:
+        argv.append("--list-codes")
+    return analysis_main(argv)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -912,6 +952,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "client": _cmd_client,
         "bench-serve": _cmd_bench_serve,
+        "lint": _cmd_lint,
     }
     if args.command in ("serve", "client"):
         # Chaos testing: REPRO_FAULTS / REPRO_FAULTS_SEED arm the

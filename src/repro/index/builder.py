@@ -39,7 +39,7 @@ from repro.index.paths import IndexedPath, encode_paths
 from repro.peg.entity_graph import ProbabilisticEntityGraph
 from repro.storage.kvstore import InMemoryPathStore, PathStore
 from repro.utils.errors import IndexError_
-from repro.utils.timing import Timer
+from repro.obs.timing import Timer
 
 
 class PathIndexBuilder:

@@ -55,7 +55,7 @@ from repro.storage.kvstore import (
     shard_directory,
 )
 from repro.utils.errors import IndexError_
-from repro.utils.timing import Timer
+from repro.obs.timing import Timer
 
 #: Separator between labels in the shard hash input; a byte that cannot
 #: appear ambiguously inside ``repr`` output of one label boundary.

@@ -60,9 +60,9 @@ class CircuitBreaker:
         self.threshold = int(threshold)
         self.cooldown = float(cooldown)
         self._lock = threading.Lock()
-        self._failures = 0
-        self._state = "closed"
-        self._opened_at = 0.0
+        self._failures = 0  # guarded-by: _lock
+        self._state = "closed"  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
 
     @property
     def state(self) -> str:
@@ -140,17 +140,17 @@ class QueryClient:
         self.jitter = float(jitter)
         self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
         self._rng = random.Random(seed)
-        self._sock: socket.socket | None = None
-        self._id_counter = 0
+        self._sock: socket.socket | None = None  # guarded-by: _lock
+        self._id_counter = 0  # guarded-by: _lock
         self._lock = threading.Lock()
         #: Transport-level retries performed (observability for tests).
-        self.retries = 0
+        self.retries = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect(self) -> socket.socket:  # holds-lock: _lock
         if self._sock is None:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.connect_timeout
@@ -159,7 +159,7 @@ class QueryClient:
             self._sock = sock
         return self._sock
 
-    def _disconnect(self) -> None:
+    def _disconnect(self) -> None:  # holds-lock: _lock
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -285,7 +285,8 @@ class QueryClient:
         return self.request({"kind": "stats"})["stats"]
 
     def close(self) -> None:
-        self._disconnect()
+        with self._lock:
+            self._disconnect()
 
     def __enter__(self) -> "QueryClient":
         return self

@@ -164,19 +164,24 @@ class QueryServer:
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._dispatch_task: asyncio.Task | None = None
-        self._clients: dict[int, _Client] = {}
+        # All mutable serving state below is confined to the event
+        # loop: only coroutines and call_soon_threadsafe callbacks may
+        # touch it, which the ``lock-discipline`` checker enforces via
+        # the ``event-loop`` pseudo-guard (sync methods touching these
+        # must carry ``# loop-only``).
+        self._clients: dict[int, _Client] = {}  # guarded-by: event-loop
         #: Round-robin order of client ids (rotated by the dispatcher).
-        self._rr: deque = deque()
+        self._rr: deque = deque()  # guarded-by: event-loop
         self._cid_counter = itertools.count(1)
-        self._pending_total = 0
-        self._inflight_total = 0
-        self._inflight_entries: set = set()
-        self._reply_tasks: set = set()
+        self._pending_total = 0  # guarded-by: event-loop
+        self._inflight_total = 0  # guarded-by: event-loop
+        self._inflight_entries: set = set()  # guarded-by: event-loop
+        self._reply_tasks: set = set()  # guarded-by: event-loop
         self._dispatch_wake: asyncio.Event | None = None
         self._idle: asyncio.Event | None = None
-        self._draining = False
-        self._closing = False
-        self._stopped = False
+        self._draining = False  # guarded-by: event-loop
+        self._closing = False  # guarded-by: event-loop
+        self._stopped = False  # guarded-by: event-loop
         self._apply_lock: asyncio.Lock | None = None
 
         registry = get_registry()
@@ -316,7 +321,7 @@ class QueryServer:
         finally:
             self._disconnect(client)
 
-    def _disconnect(self, client: _Client) -> None:
+    def _disconnect(self, client: _Client) -> None:  # loop-only
         """Unregister a connection; queued-but-undispatched work is dropped.
 
         Entries already in flight keep running (their replies are
@@ -416,7 +421,7 @@ class QueryServer:
     # Dispatch (round-robin fairness, bounded in-flight)
     # ------------------------------------------------------------------
 
-    def _next_entry(self) -> _Entry | None:
+    def _next_entry(self) -> _Entry | None:  # loop-only
         """Pop the next dispatchable entry, round-robin across clients."""
         if self._inflight_total >= self.max_inflight:
             return None
@@ -475,7 +480,7 @@ class QueryServer:
     # Completion (loop-side)
     # ------------------------------------------------------------------
 
-    def _finish_entry(self, entry: _Entry) -> bool:
+    def _finish_entry(self, entry: _Entry) -> bool:  # loop-only
         """Release an entry's slots exactly once; False if already done."""
         if entry.finished:
             return False
@@ -551,7 +556,7 @@ class QueryServer:
     # Replies
     # ------------------------------------------------------------------
 
-    def _reply(self, client: _Client, payload: dict) -> None:
+    def _reply(self, client: _Client, payload: dict) -> None:  # loop-only
         if client.closed:
             return
         task = self._loop.create_task(self._send(client, payload))
@@ -587,7 +592,7 @@ class QueryServer:
         while self._inflight_total > 0:
             await self._idle.wait()
 
-    def _shed_queued(self, code: str, message: str) -> None:
+    def _shed_queued(self, code: str, message: str) -> None:  # loop-only
         """Reject every queued-but-undispatched request with ``code``."""
         for client in list(self._clients.values()):
             while client.queue:

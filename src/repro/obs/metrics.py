@@ -52,7 +52,7 @@ class Counter:
         self._registry = registry
         self.name = name
         self.labels = labels
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
@@ -81,7 +81,7 @@ class Gauge:
         self._registry = registry
         self.name = name
         self.labels = labels
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -137,11 +137,11 @@ class Histogram:
             bounds.append(edge)
             edge *= growth
         self._bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = -math.inf
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._min = math.inf  # guarded-by: _lock
+        self._max = -math.inf  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -189,7 +189,7 @@ class Histogram:
                     fraction = (rank - cumulative) / bucket_count
                     return lo + (hi - lo) * fraction
                 cumulative += bucket_count
-        return self._max  # pragma: no cover - unreachable
+            return self._max  # pragma: no cover - unreachable
 
     def percentiles(self) -> dict:
         """``{"p50": ..., "p95": ..., "p99": ...}`` estimates."""
@@ -247,7 +247,7 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = bool(enabled)
         self._lock = threading.Lock()
-        self._metrics: dict = {}
+        self._metrics: dict = {}  # guarded-by: _lock
 
     def _get_or_create(self, kind: str, name: str, labels: dict, factory):
         key = (name, tuple(sorted(labels.items())))

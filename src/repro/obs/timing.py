@@ -1,7 +1,8 @@
 """Wall-clock timing primitives shared by the tracer and the benches.
 
 Home of :class:`Timer` and :class:`StageTimings` (formerly
-``repro.utils.timing``, which now re-exports from here). The engine
+``repro.utils.timing``; the compatibility shim has been removed). The
+engine
 keeps reporting its per-stage breakdown through :class:`StageTimings`
 — it is the cheap always-on aggregate — while spans from
 :mod:`repro.obs.trace` add per-query structure on demand.

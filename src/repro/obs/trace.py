@@ -78,9 +78,9 @@ class Span:
 
     def __init__(self, name: str, **attributes) -> None:
         self.name = str(name)
-        self.attributes = dict(attributes)
-        self.counters: dict = {}
-        self.children: list = []
+        self.attributes = dict(attributes)  # guarded-by: _lock
+        self.counters: dict = {}  # guarded-by: _lock
+        self.children: list = []  # guarded-by: _lock
         self.start = None
         self.end = None
         self.status = "ok"
@@ -269,7 +269,7 @@ class Tracer:
     enabled = True
 
     def __init__(self, max_roots: int = 128) -> None:
-        self._roots: list = []
+        self._roots: list = []  # guarded-by: _lock
         self._max_roots = max(1, int(max_roots))
         self._lock = threading.Lock()
 

@@ -119,8 +119,8 @@ class LinkStructureCache:
 
         self._cache = ResultCache(capacity)
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:

@@ -127,14 +127,15 @@ class EstimatorFeedback:
             )
         self.decay = float(decay)
         self.max_correction = float(max_correction)
-        self._corrections: dict = {}
+        self._corrections: dict = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def correction(self, canonical_seq: tuple, alpha: float) -> float:
         """Current multiplicative correction for one (sequence, alpha)."""
-        return self._corrections.get(
-            (canonical_seq, _alpha_milli(alpha)), 1.0
-        )
+        with self._lock:
+            return self._corrections.get(
+                (canonical_seq, _alpha_milli(alpha)), 1.0
+            )
 
     def observe(self, canonical_seq: tuple, alpha: float,
                 estimated: float, observed: int) -> float:
@@ -154,7 +155,8 @@ class EstimatorFeedback:
             self._corrections.clear()
 
     def __len__(self) -> int:
-        return len(self._corrections)
+        with self._lock:
+            return len(self._corrections)
 
 
 class QueryPlanner:
@@ -182,8 +184,8 @@ class QueryPlanner:
         self.engine = engine
         self.cache = ResultCache(cache_size)
         self.feedback = feedback if feedback is not None else EstimatorFeedback()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         #: Objects with ``record_plan_hit``/``record_plan_miss`` —
         #: :class:`~repro.service.stats.ServiceStats` registers itself
         #: so serving dashboards see planner behaviour.
@@ -380,7 +382,9 @@ class QueryPlanner:
         return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            hits, misses = self.hits, self.misses
         return (
             f"QueryPlanner(cache={len(self.cache)}/{self.cache.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={hits}, misses={misses})"
         )

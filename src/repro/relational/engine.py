@@ -35,7 +35,7 @@ def build_relations(peg: ProbabilisticEntityGraph, query: QueryGraph) -> dict:
       (the CPT lookup a SQL implementation would bake into the table).
     """
     relations: dict = {}
-    for label in {query.label(n) for n in query.nodes}:
+    for label in sorted({query.label(n) for n in query.nodes}):
         rows = []
         for node in peg.node_ids():
             p_label = peg.label_probability_id(node, label)

@@ -71,6 +71,28 @@ def _process_worker_query_batch(requests, options):
     return _WORKER_ENGINE.query_batch(requests, options)
 
 
+#: :class:`QueryOptions` fields deliberately excluded from
+#: :func:`request_key`. Every field listed here must be *result-neutral*:
+#: changing it may change how a query is executed (which backend, how
+#: many threads, whether caches or tracing are used) but never which
+#: matches come back or their probabilities. The differential test
+#: suites (``test_differential_links``, backend-equivalence tests) are
+#: the runtime evidence; the ``cache-keys`` checker in
+#: ``repro.analysis`` is the static gate — a new ``QueryOptions`` field
+#: must either join the key below or be added here, and the linter
+#: fails the build until one of the two happens.
+RESULT_NEUTRAL_OPTIONS = frozenset(
+    {
+        "parallel_reduction",
+        "num_threads",
+        "reduction_backend",
+        "link_backend",
+        "use_link_cache",
+        "trace",
+    }
+)
+
+
 def request_key(
     query: QueryGraph,
     alpha: float,
@@ -209,15 +231,15 @@ class QueryService:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.num_workers, thread_name_prefix="repro-serve"
             )
-        self._inflight: dict = {}
+        self._inflight: dict = {}  # guarded-by: _gate
         self._gate = threading.Lock()
         #: Signalled when a mutation batch finishes; admissions wait on
         #: it so no evaluation overlaps graph surgery.
         self._apply_done = threading.Condition(self._gate)
-        self._applying = False
+        self._applying = False  # guarded-by: _gate
         #: Serializes whole apply_updates() calls against each other.
         self._apply_lock = threading.Lock()
-        self._closed = False
+        self._closed = False  # guarded-by: _gate
 
     # ------------------------------------------------------------------
     # Construction / warm start
@@ -442,8 +464,9 @@ class QueryService:
         tier adds the watchdog that answers the client at the deadline
         regardless.)
         """
-        if self._closed:
-            raise ServiceError("service is closed")
+        with self._gate:
+            if self._closed:
+                raise ServiceError("service is closed")
         options = options or self.default_options
         span = self.tracer.span("request")
         span.begin()
@@ -560,8 +583,9 @@ class QueryService:
         — one bad request must not deny results to the rest of the
         batch, and nothing is registered in-flight for it.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
+        with self._gate:
+            if self._closed:
+                raise ServiceError("service is closed")
         options = options or self.default_options
         futures: list = []
         to_eval: list = []

@@ -50,32 +50,32 @@ class ServiceStats:
 
     def __init__(self, latency_window: int = 1024, registry=None) -> None:
         self._lock = threading.Lock()
-        self._latencies: deque = deque(maxlen=max(1, latency_window))
-        self._error_latencies: deque = deque(maxlen=max(1, latency_window))
-        self.hits = 0
-        self.misses = 0
-        self.deduplicated = 0
-        self.evictions = 0
-        self.errors = 0
-        self.completed = 0
-        self.in_flight = 0
+        self._latencies: deque = deque(maxlen=max(1, latency_window))  # guarded-by: _lock
+        self._error_latencies: deque = deque(maxlen=max(1, latency_window))  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.deduplicated = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.errors = 0  # guarded-by: _lock
+        self.completed = 0  # guarded-by: _lock
+        self.in_flight = 0  # guarded-by: _lock
         #: Requests refused admission (load shedding, per-client caps,
         #: admission-pause timeouts). Rejected requests count toward
         #: ``requests`` but never toward ``completed``, so on a drained
         #: service ``requests == completed + rejected`` reconciles
         #: exactly.
-        self.rejected = 0
+        self.rejected = 0  # guarded-by: _lock
         #: Subset of ``rejected`` shed because a bounded queue was full.
-        self.shed = 0
+        self.shed = 0  # guarded-by: _lock
         #: Requests whose deadline expired before a result was produced
         #: (informational; the request still completes as an error or,
         #: for a server-side late reply, as its eventual outcome).
-        self.deadline_exceeded = 0
+        self.deadline_exceeded = 0  # guarded-by: _lock
         #: Deduplicated requests whose attached evaluation has resolved
         #: (each contributes to ``completed``).
-        self.attached = 0
-        self.plan_hits = 0
-        self.plan_misses = 0
+        self.attached = 0  # guarded-by: _lock
+        self.plan_hits = 0  # guarded-by: _lock
+        self.plan_misses = 0  # guarded-by: _lock
         registry = registry if registry is not None else get_registry()
         self._m_requests = {
             outcome: registry.counter(
@@ -280,7 +280,11 @@ class ServiceStats:
         return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"ServiceStats(requests={self.requests}, hits={self.hits}, "
-            f"misses={self.misses}, in_flight={self.in_flight})"
-        )
+        with self._lock:
+            requests = (
+                self.hits + self.misses + self.deduplicated + self.rejected
+            )
+            return (
+                f"ServiceStats(requests={requests}, hits={self.hits}, "
+                f"misses={self.misses}, in_flight={self.in_flight})"
+            )

@@ -8,7 +8,7 @@ from repro.utils.errors import (
     QueryError,
 )
 from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.utils.timing import Timer, StageTimings
+from repro.obs.timing import Timer, StageTimings
 from repro.utils.validation import (
     check_probability,
     check_distribution,

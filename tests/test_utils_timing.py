@@ -1,8 +1,8 @@
-"""Unit tests for repro.utils.timing."""
+"""Unit tests for repro.obs.timing."""
 
 import time
 
-from repro.utils.timing import StageTimings, Timer
+from repro.obs.timing import StageTimings, Timer
 
 
 class TestTimer:
