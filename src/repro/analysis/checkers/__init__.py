@@ -7,15 +7,23 @@ from repro.analysis.checkers.error_taxonomy import ErrorTaxonomyChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
 from repro.analysis.checkers.locking import LockDisciplineChecker
 from repro.analysis.checkers.shims import DeadShimChecker
+from repro.analysis.flow import (
+    ErrorEscapeChecker,
+    LockFlowChecker,
+    TransitiveBlockingChecker,
+)
 
 __all__ = [
     "AsyncioHygieneChecker",
     "CacheKeyChecker",
     "DeadShimChecker",
     "DeterminismChecker",
+    "ErrorEscapeChecker",
     "ErrorTaxonomyChecker",
     "FloatEqualityChecker",
     "LockDisciplineChecker",
+    "LockFlowChecker",
+    "TransitiveBlockingChecker",
     "all_checkers",
 ]
 
@@ -30,4 +38,7 @@ def all_checkers() -> list:
         ErrorTaxonomyChecker(),
         FloatEqualityChecker(),
         DeadShimChecker(),
+        LockFlowChecker(),
+        TransitiveBlockingChecker(),
+        ErrorEscapeChecker(),
     ]

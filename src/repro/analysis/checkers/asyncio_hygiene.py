@@ -22,6 +22,13 @@ functions are excluded — they may legitimately run via
   ``asyncio.wrap_future`` or hand the callback to
   ``call_soon_threadsafe`` instead.
 
+Blocking calls are recognised through the file's import bindings
+(:class:`repro.analysis.imports.ImportMap`), so ``from time import
+sleep``, ``from time import sleep as snooze`` and ``import time as t``
+all flag — not just the ``time.sleep`` spelling. Directly awaited
+calls are exempt from the ``.result()`` shape rule: ``await
+event.wait()`` is the correct asyncio idiom, not a block.
+
 The ``.result()`` rule is name-based and may hit a non-future; that is
 what ``# lint-ok: REP401`` is for — the suppression doubles as a
 reviewer-visible claim that the call cannot block.
@@ -32,34 +39,7 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.core import Checker, SourceFile
-
-_BLOCKING_MODULE_CALLS = {
-    ("time", "sleep"): "time.sleep blocks the event loop; await "
-                       "asyncio.sleep(...) instead",
-    ("os", "read"): "os.read blocks the event loop; move file I/O to a "
-                    "thread (asyncio.to_thread)",
-    ("os", "write"): "os.write blocks the event loop; move file I/O to a "
-                     "thread (asyncio.to_thread)",
-    ("socket", "create_connection"): "blocking socket dial inside a "
-                                     "coroutine; use asyncio streams",
-    ("socket", "socket"): "raw socket construction inside a coroutine; "
-                          "use asyncio streams",
-    ("subprocess", "run"): "blocking subprocess call in a coroutine; use "
-                           "asyncio.create_subprocess_exec",
-    ("subprocess", "call"): "blocking subprocess call in a coroutine; use "
-                            "asyncio.create_subprocess_exec",
-    ("subprocess", "check_output"): "blocking subprocess call in a "
-                                    "coroutine; use "
-                                    "asyncio.create_subprocess_exec",
-    ("subprocess", "Popen"): "blocking subprocess call in a coroutine; "
-                             "use asyncio.create_subprocess_exec",
-}
-
-_BLOCKING_BUILTINS = {
-    "open": "open() blocks the event loop on disk latency; do file I/O "
-            "via asyncio.to_thread",
-    "input": "input() blocks the event loop indefinitely",
-}
+from repro.analysis.imports import ImportMap, loop_blocking_call
 
 
 class AsyncioHygieneChecker(Checker):
@@ -70,9 +50,10 @@ class AsyncioHygieneChecker(Checker):
 
     def check(self, source: SourceFile) -> list:
         diagnostics: list = []
+        imports = ImportMap(source.tree)
         for node in ast.walk(source.tree):
             if isinstance(node, ast.AsyncFunctionDef):
-                collector = _CoroutineVisitor(self, source)
+                collector = _CoroutineVisitor(self, source, imports)
                 for statement in node.body:
                     collector.visit(statement)
                 diagnostics.extend(collector.diagnostics)
@@ -82,10 +63,12 @@ class AsyncioHygieneChecker(Checker):
 class _CoroutineVisitor(ast.NodeVisitor):
     """Visits one coroutine body, skipping nested sync functions."""
 
-    def __init__(self, checker, source) -> None:
+    def __init__(self, checker, source, imports: ImportMap) -> None:
         self.checker = checker
         self.source = source
+        self.imports = imports
         self.diagnostics: list = []
+        self._awaited: set = set()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         pass  # sync helper: runs wherever it is called, not on the loop
@@ -104,24 +87,15 @@ class _CoroutineVisitor(ast.NodeVisitor):
             )
         )
 
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
+
     def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in _BLOCKING_BUILTINS:
-            self._flag(node, _BLOCKING_BUILTINS[func.id])
-        elif isinstance(func, ast.Attribute):
-            if isinstance(func.value, ast.Name):
-                message = _BLOCKING_MODULE_CALLS.get(
-                    (func.value.id, func.attr)
-                )
-                if message is not None:
-                    self._flag(node, message)
-                    self.generic_visit(node)
-                    return
-            if func.attr == "result" and not node.args and not node.keywords:
-                self._flag(
-                    node,
-                    ".result() on a future blocks the event loop until "
-                    "the worker finishes; await asyncio.wrap_future(...) "
-                    "or resolve via call_soon_threadsafe",
-                )
+        message = loop_blocking_call(
+            node, self.imports, awaited=id(node) in self._awaited
+        )
+        if message is not None:
+            self._flag(node, message)
         self.generic_visit(node)

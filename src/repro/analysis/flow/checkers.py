@@ -1,0 +1,664 @@
+"""Interprocedural checkers: REP210/211, REP410, REP510.
+
+All three are :class:`~repro.analysis.core.ProjectChecker`\\ s — they
+see the whole parsed corpus, build one :class:`CallGraph` plus
+per-function summaries, and run a small fixpoint each:
+
+* ``REP210`` — the global lock-acquisition-order graph has a cycle:
+  two code paths take the same locks in opposite orders, which
+  deadlocks the moment two threads interleave. One diagnostic per
+  cycle, listing every edge with the code location that creates it.
+* ``REP211`` — an unbounded wait (``time.sleep``, no-timeout
+  ``Future.result()`` / ``join()`` / ``queue.get()``) executed while a
+  lock is held, directly or through any resolvable call chain. A lock
+  held across an unbounded wait stalls every other thread that needs
+  the lock for as long as the wait lasts.
+* ``REP410`` — ``REP401``'s blocking-call set, but *reachable* from a
+  coroutine through sync calls (the blind spot of per-function
+  analysis: a helper three frames down calls ``time.sleep``). The
+  diagnostic prints the full chain from the coroutine to the blocking
+  site.
+* ``REP510`` — an exception raised in the engine layers
+  (``repro.query`` / ``index`` / ``storage`` / ``delta`` / …) that is
+  *not* part of the :class:`~repro.utils.errors.ReproError` taxonomy
+  can propagate into a ``repro.net`` handler uncaught. The wire
+  protocol can only map typed errors; anything else tears down the
+  connection instead of returning a typed failure frame.
+
+Everything is conservative: unresolved calls propagate nothing, so a
+finding always corresponds to a concrete chain of resolved calls shown
+in the message.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ProjectChecker
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.summaries import summarize
+
+#: Layers whose raises must be wrapped before reaching ``repro.net``.
+ENGINE_LAYER_PREFIXES = (
+    "repro.query",
+    "repro.index",
+    "repro.storage",
+    "repro.peg",
+    "repro.pgd",
+    "repro.pgm",
+    "repro.relational",
+    "repro.delta",
+    "repro.net.protocol",
+)
+
+#: Exceptions REP510 never reports: flow control and interpreter exits,
+#: not error-taxonomy material.
+_ESCAPE_EXEMPT = {
+    "builtins.StopIteration",
+    "builtins.StopAsyncIteration",
+    "builtins.GeneratorExit",
+    "builtins.KeyboardInterrupt",
+    "builtins.SystemExit",
+}
+
+#: Builtin exception hierarchy (child -> parent), enough to decide
+#: whether an ``except`` clause catches a raise.
+BUILTIN_EXC_PARENTS = {
+    "builtins.Exception": "builtins.BaseException",
+    "builtins.KeyboardInterrupt": "builtins.BaseException",
+    "builtins.SystemExit": "builtins.BaseException",
+    "builtins.GeneratorExit": "builtins.BaseException",
+    "builtins.ArithmeticError": "builtins.Exception",
+    "builtins.ZeroDivisionError": "builtins.ArithmeticError",
+    "builtins.OverflowError": "builtins.ArithmeticError",
+    "builtins.FloatingPointError": "builtins.ArithmeticError",
+    "builtins.AssertionError": "builtins.Exception",
+    "builtins.AttributeError": "builtins.Exception",
+    "builtins.BufferError": "builtins.Exception",
+    "builtins.EOFError": "builtins.Exception",
+    "builtins.ImportError": "builtins.Exception",
+    "builtins.ModuleNotFoundError": "builtins.ImportError",
+    "builtins.LookupError": "builtins.Exception",
+    "builtins.IndexError": "builtins.LookupError",
+    "builtins.KeyError": "builtins.LookupError",
+    "builtins.MemoryError": "builtins.Exception",
+    "builtins.NameError": "builtins.Exception",
+    "builtins.OSError": "builtins.Exception",
+    "builtins.IOError": "builtins.OSError",
+    "builtins.FileNotFoundError": "builtins.OSError",
+    "builtins.PermissionError": "builtins.OSError",
+    "builtins.TimeoutError": "builtins.OSError",
+    "builtins.ConnectionError": "builtins.OSError",
+    "builtins.BrokenPipeError": "builtins.ConnectionError",
+    "builtins.ConnectionAbortedError": "builtins.ConnectionError",
+    "builtins.ConnectionRefusedError": "builtins.ConnectionError",
+    "builtins.ConnectionResetError": "builtins.ConnectionError",
+    "builtins.ReferenceError": "builtins.Exception",
+    "builtins.RuntimeError": "builtins.Exception",
+    "builtins.NotImplementedError": "builtins.RuntimeError",
+    "builtins.RecursionError": "builtins.RuntimeError",
+    "builtins.StopIteration": "builtins.Exception",
+    "builtins.StopAsyncIteration": "builtins.Exception",
+    "builtins.SyntaxError": "builtins.Exception",
+    "builtins.SystemError": "builtins.Exception",
+    "builtins.TypeError": "builtins.Exception",
+    "builtins.ValueError": "builtins.Exception",
+    "builtins.UnicodeError": "builtins.ValueError",
+    "builtins.UnicodeDecodeError": "builtins.UnicodeError",
+    "builtins.UnicodeEncodeError": "builtins.UnicodeError",
+}
+
+
+def _short_lock(lock: str) -> str:
+    """``repro.service.service:QueryService._gate`` -> readable form."""
+    module, _, rest = lock.partition(":")
+    tail = module.rsplit(".", 1)[-1]
+    return f"{tail}.{rest}" if rest else lock
+
+
+def _qual(graph: CallGraph, fid: str) -> str:
+    info = graph.functions.get(fid)
+    if info is None:
+        return fid
+    tail = info.module.rsplit(".", 1)[-1]
+    return f"{tail}.{info.qualname}"
+
+
+class _FlowChecker(ProjectChecker):
+    """Shared scaffolding: build graph + summaries once per run."""
+
+    def _prepare(self, sources):
+        graph = CallGraph(sources)
+        return graph, summarize(graph)
+
+
+class LockFlowChecker(_FlowChecker):
+    name = "lock-flow"
+    codes = {
+        "REP210": "lock-order cycle across functions (potential deadlock)",
+        "REP211": "unbounded wait while holding a lock",
+    }
+
+    def check_project(self, sources) -> list:
+        graph, summaries = self._prepare(sources)
+        acquired = self._acquired_fixpoint(graph, summaries)
+        diagnostics: list = []
+        edges = self._lock_order_edges(graph, summaries, acquired)
+        diagnostics.extend(self._cycle_diagnostics(graph, edges))
+        diagnostics.extend(
+            self._blocking_diagnostics(graph, summaries)
+        )
+        return diagnostics
+
+    # -- REP210 --------------------------------------------------------
+
+    def _acquired_fixpoint(self, graph, summaries) -> dict:
+        """``{fid: frozenset(locks f may acquire, transitively)}``.
+
+        Entry (``holds-lock``) locks are excluded — the *caller*
+        acquires those; counting them here would double every edge.
+        """
+        acquired = {
+            fid: {acq.lock for acq in summary.acquisitions}
+            for fid, summary in summaries.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fid, summary in summaries.items():
+                mine = acquired[fid]
+                before = len(mine)
+                for call in summary.calls:
+                    if call.callee is not None:
+                        mine |= acquired.get(call.callee, set())
+                if len(mine) != before:
+                    changed = True
+        return acquired
+
+    def _lock_order_edges(self, graph, summaries, acquired) -> dict:
+        """``{(src, dst): (source, lineno, detail)}`` — first witness wins.
+
+        An edge src -> dst means "some path acquires dst while holding
+        src". Witness iteration is sorted, so the recorded site is
+        deterministic across runs.
+        """
+        edges: dict = {}
+
+        def record(src, dst, source, lineno, detail):
+            key = (src, dst)
+            if key not in edges:
+                edges[key] = (source, lineno, detail)
+
+        for fid in sorted(summaries):
+            summary = summaries[fid]
+            source = summary.info.source
+            for acq in summary.acquisitions:
+                holders = tuple(summary.entry_locks) + tuple(acq.held)
+                for held in holders:
+                    if held == acq.lock and self._reentrant(graph, held):
+                        continue
+                    record(
+                        held, acq.lock, source, acq.lineno,
+                        f"{_qual(graph, fid)} acquires "
+                        f"{_short_lock(acq.lock)} while holding "
+                        f"{_short_lock(held)}",
+                    )
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                holders = tuple(summary.entry_locks) + tuple(call.held)
+                if not holders:
+                    continue
+                for lock in sorted(acquired.get(call.callee, ())):
+                    for held in holders:
+                        if held == lock and self._reentrant(graph, held):
+                            continue
+                        record(
+                            held, lock, source, call.lineno,
+                            f"{_qual(graph, fid)} calls {call.text} "
+                            f"(which may acquire {_short_lock(lock)}) "
+                            f"while holding {_short_lock(held)}",
+                        )
+        return edges
+
+    def _reentrant(self, graph, lock: str) -> bool:
+        kind = self._lock_kind(graph, lock)
+        return kind in ("rlock", "condition")
+
+    def _lock_kind(self, graph, lock: str) -> str | None:
+        if lock in graph.module_locks:
+            return graph.module_locks[lock]
+        key, _, attr = lock.rpartition(".")
+        cls = graph.classes.get(key)
+        if cls is not None:
+            return cls.lock_attrs.get(attr)
+        return None
+
+    def _cycle_diagnostics(self, graph, edges) -> list:
+        adjacency: dict = {}
+        for src, dst in edges:
+            adjacency.setdefault(src, set()).add(dst)
+            adjacency.setdefault(dst, set())
+        diagnostics: list = []
+        for component in _strongly_connected(adjacency):
+            in_cycle = len(component) > 1 or any(
+                (node, node) in edges for node in component
+            )
+            if not in_cycle:
+                continue
+            cycle_edges = sorted(
+                (src, dst) for (src, dst) in edges
+                if src in component and dst in component
+            )
+            witness_parts = []
+            for src, dst in cycle_edges:
+                source, lineno, detail = edges[(src, dst)]
+                witness_parts.append(
+                    f"{detail} at {source.path}:{lineno}"
+                )
+            anchor_source, anchor_line, _ = edges[cycle_edges[0]]
+            order = " -> ".join(
+                _short_lock(lock) for lock in sorted(component)
+            )
+            diagnostics.append(
+                self.diagnostic(
+                    anchor_source, "REP210", anchor_line,
+                    f"lock-order cycle over {{{order}}} — potential "
+                    f"deadlock; pick one global acquisition order. "
+                    f"Edges: " + "; ".join(witness_parts),
+                )
+            )
+        return diagnostics
+
+    # -- REP211 --------------------------------------------------------
+
+    def _blocking_diagnostics(self, graph, summaries) -> list:
+        witnesses = self._blocking_witnesses(summaries)
+        diagnostics: list = []
+        for fid in sorted(summaries):
+            summary = summaries[fid]
+            source = summary.info.source
+            for site in summary.unbounded_blocking:
+                held = tuple(summary.entry_locks) + tuple(site.held)
+                if not held:
+                    continue
+                locks = ", ".join(_short_lock(lock) for lock in held)
+                diagnostics.append(
+                    self.diagnostic(
+                        source, "REP211", site.lineno,
+                        f"{site.desc} while holding {locks} — every "
+                        f"other thread needing the lock stalls for the "
+                        f"whole wait; release first or bound the wait",
+                    )
+                )
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                held = tuple(summary.entry_locks) + tuple(call.held)
+                if not held:
+                    continue
+                witness = witnesses.get(call.callee)
+                if witness is None:
+                    continue
+                chain, desc, path, lineno = witness
+                chain_text = " -> ".join(
+                    [_qual(graph, fid)]
+                    + [_qual(graph, step) for step in chain]
+                )
+                locks = ", ".join(_short_lock(lock) for lock in held)
+                diagnostics.append(
+                    self.diagnostic(
+                        source, "REP211", call.lineno,
+                        f"call chain {chain_text} reaches an unbounded "
+                        f"wait ({desc} at {path}:{lineno}) while "
+                        f"holding {locks}",
+                    )
+                )
+        return diagnostics
+
+    def _blocking_witnesses(self, summaries) -> dict:
+        """``{fid: (chain, desc, path, lineno)}`` — may f block, and where.
+
+        The chain lists fids from f down to the function containing the
+        blocking site; resolution order is sorted, so witnesses are
+        stable.
+        """
+        memo: dict = {}
+
+        def visit(fid, visiting):
+            if fid in memo:
+                return memo[fid]
+            if fid in visiting:
+                return None  # recursion: no new information
+            visiting.add(fid)
+            summary = summaries.get(fid)
+            result = None
+            if summary is not None:
+                if summary.unbounded_blocking:
+                    site = min(
+                        summary.unbounded_blocking,
+                        key=lambda s: s.lineno,
+                    )
+                    result = (
+                        (fid,), site.desc,
+                        summary.info.source.path, site.lineno,
+                    )
+                else:
+                    for call in sorted(
+                        summary.calls,
+                        key=lambda c: (c.lineno, c.text),
+                    ):
+                        if call.callee is None:
+                            continue
+                        deeper = visit(call.callee, visiting)
+                        if deeper is not None:
+                            chain, desc, path, lineno = deeper
+                            result = ((fid,) + chain, desc, path, lineno)
+                            break
+            visiting.discard(fid)
+            memo[fid] = result
+            return result
+
+        for fid in sorted(summaries):
+            visit(fid, set())
+        return memo
+
+
+class TransitiveBlockingChecker(_FlowChecker):
+    name = "async-flow"
+    codes = {
+        "REP410": "event-loop-blocking call reachable from a coroutine",
+    }
+
+    def check_project(self, sources) -> list:
+        graph, summaries = self._prepare(sources)
+        witnesses = self._loop_blocking_witnesses(graph, summaries)
+        diagnostics: list = []
+        for fid in sorted(summaries):
+            summary = summaries[fid]
+            if not (summary.info.is_async or summary.loop_only):
+                continue
+            source = summary.info.source
+            reported: set = set()
+            for call in summary.calls:
+                if call.callee is None:
+                    continue
+                callee_info = graph.functions.get(call.callee)
+                if callee_info is None or callee_info.is_async:
+                    continue  # async callees are checked on their own
+                witness = witnesses.get(call.callee)
+                if witness is None or call.callee in reported:
+                    continue
+                reported.add(call.callee)
+                chain, desc, path, lineno = witness
+                chain_text = " -> ".join(
+                    [_qual(graph, fid)]
+                    + [_qual(graph, step) for step in chain]
+                )
+                diagnostics.append(
+                    self.diagnostic(
+                        source, "REP410", call.lineno,
+                        f"blocking call reachable from the event loop "
+                        f"via {chain_text}: {desc} at {path}:{lineno} "
+                        f"— run the chain in a thread "
+                        f"(asyncio.to_thread) or make it async",
+                    )
+                )
+        return diagnostics
+
+    def _loop_blocking_witnesses(self, graph, summaries) -> dict:
+        """Loop-blocking witness per *sync* function, like REP211's."""
+        memo: dict = {}
+
+        def visit(fid, visiting):
+            if fid in memo:
+                return memo[fid]
+            if fid in visiting:
+                return None
+            visiting.add(fid)
+            summary = summaries.get(fid)
+            result = None
+            if summary is not None and not summary.info.is_async:
+                if summary.loop_blocking:
+                    site = min(
+                        summary.loop_blocking, key=lambda s: s.lineno
+                    )
+                    result = (
+                        (fid,), site.desc,
+                        summary.info.source.path, site.lineno,
+                    )
+                else:
+                    for call in sorted(
+                        summary.calls,
+                        key=lambda c: (c.lineno, c.text),
+                    ):
+                        if call.callee is None:
+                            continue
+                        callee_info = graph.functions.get(call.callee)
+                        if callee_info is None or callee_info.is_async:
+                            continue
+                        deeper = visit(call.callee, visiting)
+                        if deeper is not None:
+                            chain, desc, path, lineno = deeper
+                            result = ((fid,) + chain, desc, path, lineno)
+                            break
+            visiting.discard(fid)
+            memo[fid] = result
+            return result
+
+        for fid in sorted(summaries):
+            visit(fid, set())
+        return memo
+
+
+class ErrorEscapeChecker(_FlowChecker):
+    name = "error-flow"
+    codes = {
+        "REP510": "untyped engine exception can reach a net handler",
+    }
+
+    def check_project(self, sources) -> list:
+        graph, summaries = self._prepare(sources)
+        parents = self._exception_parents(graph)
+        escapes = self._escape_fixpoint(summaries, parents)
+        diagnostics: list = []
+        for fid in sorted(summaries):
+            summary = summaries[fid]
+            if not summary.info.module.startswith("repro.net"):
+                continue
+            if summary.info.module.startswith("repro.net.protocol"):
+                continue
+            if not (summary.info.is_async or summary.loop_only):
+                continue
+            source = summary.info.source
+            for exc in sorted(escapes.get(fid, {})):
+                chain = escapes[fid][exc]
+                if self._is_repro_error(exc, parents):
+                    continue
+                if exc in _ESCAPE_EXEMPT:
+                    continue
+                origin_fid, origin_line = chain[-1]
+                origin = summaries.get(origin_fid)
+                if origin is None or not origin.info.module.startswith(
+                    ENGINE_LAYER_PREFIXES
+                ):
+                    continue
+                chain_text = " -> ".join(
+                    _qual(graph, step) for step, _ in chain
+                )
+                diagnostics.append(
+                    self.diagnostic(
+                        source, "REP510", chain[0][1],
+                        f"{exc} raised in {_qual(graph, origin_fid)} "
+                        f"({origin.info.source.path}:{origin_line}) can "
+                        f"reach this handler unmapped via {chain_text} "
+                        f"— catch it at the boundary and wrap it in a "
+                        f"typed ReproError so the wire protocol can "
+                        f"encode it",
+                    )
+                )
+        return diagnostics
+
+    def _exception_parents(self, graph) -> dict:
+        """child -> parent exception-class ids (builtin + corpus)."""
+        parents = dict(BUILTIN_EXC_PARENTS)
+        for key in sorted(graph.classes):
+            cls = graph.classes[key]
+            child = key.replace(":", ".")
+            node = cls.node
+            if not node.bases:
+                continue
+            if cls.base_keys:
+                parents[child] = cls.base_keys[0].replace(":", ".")
+                continue
+            base = node.bases[0]
+            resolved = None
+            imports = graph.imports.get(cls.module)
+            if isinstance(base, ast.Name):
+                origin = imports.origin_of(base.id) if imports else None
+                if origin is not None:
+                    resolved = f"{origin[0]}.{origin[1]}"
+                else:
+                    resolved = f"builtins.{base.id}"
+            elif isinstance(base, ast.Attribute) and isinstance(
+                base.value, ast.Name
+            ):
+                target = (
+                    imports.module_of(base.value.id) if imports else None
+                )
+                if target is not None:
+                    resolved = f"{target}.{base.attr}"
+            if resolved is not None:
+                parents[child] = resolved
+        return parents
+
+    def _is_repro_error(self, exc: str, parents: dict) -> bool:
+        seen: set = set()
+        current = exc
+        while current is not None and current not in seen:
+            if current.rsplit(".", 1)[-1] == "ReproError":
+                return True
+            seen.add(current)
+            current = parents.get(current)
+        return False
+
+    def _catches(self, handler: str, exc: str, parents: dict) -> bool:
+        if handler == "":
+            return True  # bare except / unresolvable handler type
+        if handler in ("builtins.BaseException",):
+            return True
+        seen: set = set()
+        current = exc
+        while current is not None and current not in seen:
+            if current == handler:
+                return True
+            seen.add(current)
+            parent = parents.get(current)
+            if parent is None and current not in (
+                "builtins.BaseException", "builtins.Exception"
+            ):
+                # Unknown class: assume a plain Exception subclass so a
+                # broad `except Exception` still counts as a boundary.
+                parent = "builtins.Exception"
+            current = parent
+        return False
+
+    def _escape_fixpoint(self, summaries, parents) -> dict:
+        """``{fid: {exc: witness chain ((fid, line), ...)}}``.
+
+        The chain runs caller-first: entry call site down to the raise
+        site. Propagation only ever *adds* (exc -> chain) pairs, so the
+        iteration terminates; recursion just stops adding.
+        """
+        escapes: dict = {
+            fid: {} for fid in summaries
+        }
+        for fid, summary in summaries.items():
+            for site in summary.raises:
+                if any(
+                    self._catches(handler, site.exc, parents)
+                    for handler in site.caught
+                ):
+                    continue
+                escapes[fid].setdefault(
+                    site.exc, ((fid, site.lineno),)
+                )
+        changed = True
+        while changed:
+            changed = False
+            for fid in sorted(summaries):
+                summary = summaries[fid]
+                for call in summary.calls:
+                    if call.callee is None:
+                        continue
+                    for exc, chain in escapes.get(
+                        call.callee, {}
+                    ).items():
+                        if exc in escapes[fid]:
+                            continue
+                        if any(
+                            self._catches(handler, exc, parents)
+                            for handler in call.caught
+                        ):
+                            continue
+                        escapes[fid][exc] = (
+                            ((fid, call.lineno),) + chain
+                        )
+                        changed = True
+        return escapes
+
+
+def _strongly_connected(adjacency: dict) -> list:
+    """Tarjan's SCCs, iterative, deterministic (sorted neighbours)."""
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    components: list = []
+    counter = [0]
+
+    def strongconnect(root):
+        work = [(root, iter(sorted(adjacency.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, neighbours = work[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in index:
+                    index[neighbour] = lowlink[neighbour] = counter[0]
+                    counter[0] += 1
+                    stack.append(neighbour)
+                    on_stack.add(neighbour)
+                    work.append(
+                        (neighbour,
+                         iter(sorted(adjacency.get(neighbour, ()))))
+                    )
+                    advanced = True
+                    break
+                if neighbour in on_stack:
+                    lowlink[node] = min(
+                        lowlink[node], index[neighbour]
+                    )
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+    return components

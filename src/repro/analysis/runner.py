@@ -139,6 +139,28 @@ class Report:
         return "\n".join(lines)
 
 
+def _dump_call_graph(paths, destination: str) -> int:
+    """Parse ``paths`` and dump the resolved call graph as JSON."""
+    from repro.analysis.flow.callgraph import CallGraph
+
+    sources: list = []
+    for path in discover_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append(parse_source(path, handle.read()))
+        except (OSError, UnicodeDecodeError, AnalysisError):
+            continue  # unparseable files simply have no nodes
+    payload = json.dumps(
+        CallGraph(sources).to_dict(), indent=2, sort_keys=True
+    )
+    if destination == "-":
+        print(payload)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    return 0
+
+
 def _list_codes() -> str:
     lines: list = []
     for checker in all_checkers():
@@ -178,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every diagnostic code with its description and exit",
     )
     parser.add_argument(
+        "--call-graph", metavar="FILE", dest="call_graph",
+        help=(
+            "dump the resolved call graph the flow checkers use as "
+            "JSON to FILE ('-' = stdout) and exit"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the human report (useful with --json)",
     )
@@ -193,6 +222,8 @@ def main(argv=None) -> int:
         if not os.path.exists(path):
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
+    if args.call_graph:
+        return _dump_call_graph(args.paths, args.call_graph)
     report = run_paths(args.paths, select=args.select)
     if args.json:
         payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)

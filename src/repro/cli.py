@@ -434,6 +434,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-codes", action="store_true", dest="list_codes",
         help="print every diagnostic code with its description and exit",
     )
+    lint.add_argument(
+        "--call-graph", metavar="FILE", dest="call_graph",
+        help="dump the flow checkers' resolved call graph as JSON "
+             "('-' = stdout) and exit",
+    )
 
     bench = commands.add_parser(
         "bench-serve",
@@ -934,6 +939,8 @@ def _cmd_lint(args) -> int:
         argv.extend(["--select", item])
     if args.list_codes:
         argv.append("--list-codes")
+    if getattr(args, "call_graph", None):
+        argv.extend(["--call-graph", args.call_graph])
     return analysis_main(argv)
 
 

@@ -221,8 +221,14 @@ class QueryClient:
             if "id" not in payload:
                 self._id_counter += 1
                 payload = dict(payload, id=self._id_counter)
-            attempt = 0
-            while True:
+        attempt = 0
+        while True:
+            # Each attempt's send+receive is one atomic hold of the
+            # lock, but the backoff sleep happens with it released —
+            # other threads' requests interleave between attempts
+            # (distinct ids, one full exchange per hold) instead of
+            # queueing behind this thread's entire retry schedule.
+            with self._lock:
                 try:
                     reply = self._exchange(payload)
                 except NetTimeout:
@@ -245,18 +251,19 @@ class QueryClient:
                             f"circuit opened for {self.host}:{self.port} "
                             f"after {exc}"
                         ) from exc
-                    time.sleep(self._backoff(attempt))
-                    attempt += 1
                     self.retries += 1
-                    continue
-                self.breaker.record_success()
-                if reply.get("ok"):
-                    return reply
-                error = reply.get("error") or {}
-                raise RemoteError(
-                    error.get("type", protocol.ERROR_INTERNAL),
-                    error.get("message", "unknown server error"),
-                )
+                    delay = self._backoff(attempt)
+                else:
+                    self.breaker.record_success()
+                    if reply.get("ok"):
+                        return reply
+                    error = reply.get("error") or {}
+                    raise RemoteError(
+                        error.get("type", protocol.ERROR_INTERNAL),
+                        error.get("message", "unknown server error"),
+                    )
+            time.sleep(delay)
+            attempt += 1
 
     def query(
         self,

@@ -785,7 +785,10 @@ class QueryService:
             try:
                 for future in pending:
                     try:
-                        future.result()
+                        # Holding _apply_lock across the drain IS the
+                        # pause; workers never take _apply_lock, and
+                        # each future is bounded by its own evaluation.
+                        future.result()  # lint-ok: REP211 drain-by-design
                     except Exception:
                         pass  # delivered to its own waiters
                 return self.engine.apply_updates(ops, log=log)

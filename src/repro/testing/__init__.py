@@ -6,8 +6,16 @@ lives in the installed package (not under ``tests/``) because its
 injection sites are threaded through production modules — the store
 read path, the service worker pool, mutation-log replay, and the
 network server — and those modules import it unconditionally.
+
+:mod:`repro.testing.sanitizer` is the runtime concurrency sanitizer
+(``REPRO_SANITIZE=1``): sanitized lock wrappers that detect lock-order
+inversions at runtime, plus Eraser-style lockset checking of
+``# guarded-by:`` annotations. It is exported as a submodule —
+``sanitizer.install`` / ``sanitizer.uninstall`` would collide with the
+fault registry's hooks of the same names.
 """
 
+from repro.testing import sanitizer
 from repro.testing.faults import (
     FaultInjector,
     FaultRule,
@@ -28,4 +36,5 @@ __all__ = [
     "install",
     "install_from_env",
     "uninstall",
+    "sanitizer",
 ]

@@ -1,12 +1,39 @@
-"""Shared fixtures: the paper's motivating example and small random PEGs."""
+"""Shared fixtures: the paper's motivating example and small random PEGs.
+
+With ``REPRO_SANITIZE=1`` this also arms the runtime concurrency
+sanitizer *before* any test constructs repro objects: every repro lock
+becomes a :class:`~repro.testing.sanitizer.SanitizedLock`, the classes
+with ``# guarded-by:`` annotations get Eraser-style lockset checking,
+and an autouse fixture fails any test that accumulated violations.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.datasets import SyntheticConfig, generate_synthetic_pgd
 from repro.peg import build_peg
 from repro.pgd import pgd_from_edge_list
+from repro.testing import sanitizer
+
+if sanitizer.install_from_env():
+    # Import *after* install so the classes' future instances pick up
+    # sanitized guard locks the lockset checker can observe.
+    from repro.net.client import CircuitBreaker
+    from repro.service.stats import ServiceStats
+
+    sanitizer.instrument_guarded(ServiceStats)
+    sanitizer.instrument_guarded(CircuitBreaker)
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_clean():
+    """Every test fails if it left concurrency violations behind."""
+    yield
+    if sanitizer.installed() and os.environ.get("REPRO_SANITIZE") == "1":
+        sanitizer.assert_clean()
 
 
 @pytest.fixture

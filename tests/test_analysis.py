@@ -529,6 +529,62 @@ class TestAsyncioHygieneChecker:
         })
         assert report.clean
 
+    def test_from_import_alias_flags(self, tmp_path):
+        # Regression: ``from time import sleep`` used to dodge the
+        # literal ``time.sleep`` spelling match.
+        report = lint_tree(tmp_path, {
+            "mod.py": """\
+                from time import sleep
+
+                async def handler():
+                    sleep(0.1)
+            """,
+        })
+        assert codes_of(report) == ["REP401"]
+        assert "time.sleep" in report.diagnostics[0].message
+
+    def test_renamed_from_import_flags(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "mod.py": """\
+                from time import sleep as snooze
+
+                async def handler():
+                    snooze(0.1)
+            """,
+        })
+        assert codes_of(report) == ["REP401"]
+
+    def test_module_alias_flags(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "mod.py": """\
+                import time as t
+
+                async def handler():
+                    t.sleep(0.1)
+            """,
+        })
+        assert codes_of(report) == ["REP401"]
+
+    def test_harmless_from_import_is_clean(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "mod.py": """\
+                from time import monotonic
+
+                async def handler():
+                    return monotonic()
+            """,
+        })
+        assert report.clean
+
+    def test_awaited_result_is_clean(self, tmp_path):
+        report = lint_tree(tmp_path, {
+            "mod.py": """\
+                async def handler(task):
+                    return await task.result()
+            """,
+        })
+        assert report.clean
+
     def test_suppression_respected(self, tmp_path):
         report = lint_tree(tmp_path, {
             "mod.py": """\
@@ -740,6 +796,55 @@ SEEDED_VIOLATIONS = {
 
         __all__ = ["join"]
     """,
+    "repro/service/bad_deadlock.py": """\
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+    """,
+    "repro/service/bad_hold.py": """\
+        import threading
+        import time
+
+        class Spinner:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def spin(self):
+                with self._lock:
+                    time.sleep(0.5)
+    """,
+    "repro/net/bad_transitive.py": """\
+        import time
+
+        async def handler():
+            helper()
+
+        def helper():
+            time.sleep(0.1)
+    """,
+    "repro/query/bad_raiser.py": """\
+        def compute(spec):
+            raise ValueError("bad spec")
+    """,
+    "repro/net/bad_handler.py": """\
+        from repro.query.bad_raiser import compute
+
+        async def handle(spec):
+            return compute(spec)
+    """,
 }
 
 
@@ -751,6 +856,14 @@ class TestWholeRepo:
 
     def test_strict_cli_exits_zero_on_src(self, capsys):
         assert lint_main([str(SRC_REPRO), "--strict", "--quiet"]) == 0
+
+    def test_benchmarks_and_examples_lint_clean(self):
+        report = run_paths([
+            str(REPO_ROOT / "benchmarks"),
+            str(REPO_ROOT / "examples"),
+        ])
+        assert report.clean, "\n" + report.render()
+        assert report.files_checked > 0
 
     def test_seeded_violations_cover_every_code(self, tmp_path):
         report = lint_tree(tmp_path, SEEDED_VIOLATIONS)

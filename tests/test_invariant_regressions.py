@@ -25,7 +25,7 @@ from repro.service.service import (
     request_key,
 )
 from repro.service.stats import ServiceStats
-from repro.utils.errors import ServiceError
+from repro.utils.errors import NetError, ServiceError
 from tests.conftest import small_random_peg
 from tests.test_service import FakeEngine
 
@@ -125,6 +125,39 @@ class TestClientCloseLocking:
         client.close()  # never connected: still must serialize vs request()
         assert lock.acquisitions == 1
         assert client._sock is None
+
+
+class TestClientBackoffLocking:
+    """REP211 fix: the retry backoff sleep releases the request lock.
+
+    Sleeping inside ``with self._lock`` would stall every other
+    thread's request for the whole backoff schedule; the flow checker
+    flagged it and the fix moved the sleep outside the hold.
+    """
+
+    def test_backoff_sleep_runs_with_the_lock_released(self, monkeypatch):
+        client = QueryClient(
+            "127.0.0.1", 1,
+            max_retries=2, backoff_base=0.001, backoff_max=0.002,
+            breaker_threshold=100, seed=7,
+        )
+
+        def refused(payload):
+            raise ConnectionError("refused")
+
+        lock_held_during_sleep: list = []
+
+        def observing_sleep(delay):
+            assert delay > 0.0
+            lock_held_during_sleep.append(client._lock.locked())
+
+        monkeypatch.setattr(client, "_exchange", refused)
+        monkeypatch.setattr("repro.net.client.time.sleep", observing_sleep)
+        with pytest.raises(NetError, match="after 3 attempts"):
+            client.request({"kind": "query", "nodes": {}})
+        # One backoff per retry, each with the lock released.
+        assert lock_held_during_sleep == [False, False]
+        assert client.retries == 2
 
 
 class TestRelationalDeterminism:

@@ -1,0 +1,386 @@
+"""Tests for the runtime concurrency sanitizer (repro.testing.sanitizer).
+
+Covers the lock wrapper disciplines (order inversions, self-deadlock,
+reentrancy), the factory frame-gating, the install surface, the
+Eraser-style lockset instrumentation, and the acceptance contract: the
+seeded deadlock pair is flagged by REP210 *statically* and caught by
+the sanitizer *at runtime* from one and the same source text.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+import textwrap
+import threading
+
+import pytest
+
+from repro.testing import sanitizer
+from repro.testing.sanitizer import (
+    SanitizedLock,
+    SanitizedRLock,
+    Violation,
+)
+from tests.test_analysis import codes_of, lint_tree
+from tests.test_analysis_flow import DEADLOCK_PAIR_SOURCE
+
+
+@pytest.fixture(autouse=True)
+def sanitizer_lifecycle():
+    """Isolate every test: fresh order graph, no leaked installation."""
+    sanitizer.reset()
+    yield
+    sanitizer.reset()
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        sanitizer.uninstall()
+
+
+def run_in_thread(target) -> None:
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+def kinds() -> list:
+    return [violation.kind for violation in sanitizer.violations()]
+
+
+class TestLockOrderDiscipline:
+    def test_opposite_orders_report_inversion_with_both_stacks(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert kinds() == ["lock-order-inversion"]
+        violation = sanitizer.violations()[0]
+        assert "repro.x.M._a:1" in violation.message
+        assert "repro.x.M._b:2" in violation.message
+        assert violation.first_stack and violation.second_stack
+        report = violation.format()
+        assert "--- first side ---" in report
+        assert "--- second side ---" in report
+
+    def test_consistent_order_is_clean(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert kinds() == []
+
+    def test_each_inversion_reported_once(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+        with a:
+            with b:
+                pass
+        for _ in range(3):
+            with b:
+                with a:
+                    pass
+        assert kinds() == ["lock-order-inversion"]
+
+    def test_same_site_instances_do_not_order(self):
+        # Two instances of the same class attribute share one identity;
+        # nesting them is shard-style striping, not an order edge.
+        first = SanitizedLock(site="repro.x.Shard._lock:9")
+        second = SanitizedLock(site="repro.x.Shard._lock:9")
+        with first:
+            with second:
+                pass
+        with second:
+            with first:
+                pass
+        assert kinds() == []
+
+    def test_cross_thread_inversion_detected(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        run_in_thread(forward)
+        run_in_thread(backward)
+        assert kinds() == ["lock-order-inversion"]
+
+    def test_self_deadlock_raises_and_records(self):
+        lock = SanitizedLock(site="repro.x.M._lock:1")
+        lock.acquire()
+        try:
+            with pytest.raises(RuntimeError, match="self-deadlock"):
+                lock.acquire()
+        finally:
+            lock.release()
+        assert kinds() == ["self-deadlock"]
+
+    def test_rlock_reentry_is_legal(self):
+        lock = SanitizedRLock(site="repro.x.M._rlock:1")
+        with lock:
+            with lock:
+                pass
+        assert kinds() == []
+
+    def test_nonblocking_acquire_skips_order_check(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+        with a:
+            with b:
+                pass
+        with b:
+            assert a.acquire(blocking=False)
+            a.release()
+        assert kinds() == []
+
+    def test_condition_interop(self):
+        gate = SanitizedLock(site="repro.x.M._gate:1")
+        done = threading.Condition(gate)
+        with gate:
+            done.wait(timeout=0.01)
+        with gate:
+            done.notify_all()
+        assert kinds() == []
+        assert not gate.locked()
+
+    def test_reset_clears_the_order_graph(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+        with a:
+            with b:
+                pass
+        sanitizer.reset()
+        with b:
+            with a:
+                pass
+        assert kinds() == []  # the forward edge was forgotten
+
+
+class TestInstallSurface:
+    def test_repro_frames_get_sanitized_locks(self):
+        sanitizer.install()
+        namespace = {"__name__": "repro._sanitizer_probe"}
+        exec(
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "rlock = threading.RLock()\n",
+            namespace,
+        )
+        assert isinstance(namespace["lock"], SanitizedLock)
+        assert isinstance(namespace["rlock"], SanitizedRLock)
+        assert "_sanitizer_probe" in namespace["lock"]._site
+
+    def test_non_repro_frames_get_real_locks(self):
+        sanitizer.install()
+        lock = threading.Lock()  # this frame is tests.*, not repro.*
+        assert not isinstance(lock, SanitizedLock)
+        lock.acquire()
+        lock.release()
+
+    def test_install_and_uninstall_are_idempotent(self):
+        was_installed = sanitizer.installed()
+        sanitizer.install()
+        sanitizer.install()
+        assert sanitizer.installed()
+        if not was_installed:
+            sanitizer.uninstall()
+            sanitizer.uninstall()
+            assert not sanitizer.installed()
+            assert threading.Lock is sanitizer._REAL_LOCK
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitizer.install_from_env() is False
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitizer.install_from_env() is True
+        assert sanitizer.installed()
+
+    def test_assert_clean_raises_then_clears(self):
+        a = SanitizedLock(site="repro.x.M._a:1")
+        b = SanitizedLock(site="repro.x.M._b:2")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        with pytest.raises(AssertionError, match="lock-order-inversion"):
+            sanitizer.assert_clean()
+        sanitizer.assert_clean()  # drained: second call passes
+
+    def test_violation_format_without_stacks(self):
+        violation = Violation(
+            kind="guarded-write", message="m",
+            first_stack="", second_stack="",
+        )
+        assert violation.format() == "[guarded-write] m"
+
+
+GUARDED_FIXTURE_SOURCE = """\
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def sneak(self):
+        self.value += 1
+
+
+class SampledCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+
+    def sneak(self):
+        self.value += 1
+
+
+class Unguarded:
+    def __init__(self):
+        self.value = 0
+"""
+
+
+@pytest.fixture()
+def guarded_module(tmp_path):
+    """A repro-namespaced module with guarded classes, freshly imported.
+
+    A unique module name per test keeps class-level instrumentation
+    state from leaking between tests.
+    """
+    sanitizer.install()
+    path = tmp_path / "guarded_fixture.py"
+    path.write_text(GUARDED_FIXTURE_SOURCE)
+    name = f"repro._sanfix_{tmp_path.name}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module  # inspect.getsourcefile resolves via here
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(name, None)
+
+
+class TestLocksetInstrumentation:
+    def test_locked_writes_are_clean(self, guarded_module):
+        cls = sanitizer.instrument_guarded(guarded_module.Counter)
+        assert cls is guarded_module.Counter
+        counter = guarded_module.Counter()
+        run_in_thread(counter.bump)
+        run_in_thread(counter.bump)
+        assert counter.value == 2
+        assert kinds() == []
+
+    def test_unlocked_second_thread_write_flags(self, guarded_module):
+        sanitizer.instrument_guarded(guarded_module.Counter)
+        counter = guarded_module.Counter()
+        run_in_thread(counter.sneak)
+        assert kinds() == ["guarded-write"]
+        message = sanitizer.violations()[0].message
+        assert "Counter.value" in message
+        assert "_lock" in message
+
+    def test_first_writer_is_exempt(self, guarded_module):
+        sanitizer.instrument_guarded(guarded_module.Counter)
+        counter = guarded_module.Counter()
+        counter.sneak()  # same thread as __init__: Eraser's init phase
+        assert kinds() == []
+
+    def test_guard_replacement_empties_the_lockset(self, guarded_module):
+        sanitizer.instrument_guarded(guarded_module.Counter)
+        counter = guarded_module.Counter()
+        run_in_thread(counter.bump)
+        # Swapping the guard object mid-life means no single lock
+        # protects all writes, even though each write "holds the guard".
+        counter._lock = SanitizedLock(site="repro.x.Counter._lock:99")
+        run_in_thread(counter.bump)
+        assert kinds() == ["empty-lockset"]
+
+    def test_sampling_checks_every_nth_write(self, guarded_module):
+        sanitizer.instrument_guarded(
+            guarded_module.SampledCounter, sample_every=2
+        )
+        counter = guarded_module.SampledCounter()
+
+        def sneak_four():
+            for _ in range(4):
+                counter.sneak()
+
+        # Guarded writes: __init__ (checked, virgin) then four unlocked
+        # writes from a second thread — positions 2..5, of which the
+        # odd positions (3, 5) are sampled.
+        run_in_thread(sneak_four)
+        assert kinds() == ["guarded-write", "guarded-write"]
+
+    def test_instrumentation_is_idempotent(self, guarded_module):
+        sanitizer.instrument_guarded(guarded_module.Counter)
+        first = guarded_module.Counter.__setattr__
+        sanitizer.instrument_guarded(guarded_module.Counter)
+        assert guarded_module.Counter.__setattr__ is first
+
+    def test_class_without_guards_is_untouched(self, guarded_module):
+        cls = sanitizer.instrument_guarded(guarded_module.Unguarded)
+        assert cls.__setattr__ is object.__setattr__
+
+    def test_pre_install_instances_are_skipped(self, guarded_module):
+        sanitizer.instrument_guarded(guarded_module.Counter)
+        counter = guarded_module.Counter()
+        # Simulate an instance whose guard predates install(): a real,
+        # unobservable primitive. No checks can run against it.
+        counter._lock = sanitizer._REAL_LOCK()
+        run_in_thread(counter.sneak)
+        assert kinds() == []
+
+
+class TestAcceptanceFixture:
+    """One source text; the static and dynamic layers must both bite."""
+
+    def test_static_rep210_flags_the_pair(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {"repro/service/pair.py": DEADLOCK_PAIR_SOURCE},
+            select=["lock-flow"],
+        )
+        assert codes_of(report) == ["REP210"]
+
+    def test_runtime_sanitizer_catches_the_pair(self):
+        sanitizer.install()
+        namespace = {"__name__": "repro._seeded_deadlock"}
+        exec(
+            compile(
+                textwrap.dedent(DEADLOCK_PAIR_SOURCE),
+                "<seeded-deadlock>", "exec",
+            ),
+            namespace,
+        )
+        pair = namespace["Pair"]()
+        assert isinstance(pair._a, SanitizedLock)
+        run_in_thread(pair.forward)
+        run_in_thread(pair.backward)
+        assert kinds() == ["lock-order-inversion"]
+        violation = sanitizer.violations()[0]
+        assert "_seeded_deadlock" in violation.message
+        with pytest.raises(AssertionError, match="opposite orders"):
+            sanitizer.assert_clean()
